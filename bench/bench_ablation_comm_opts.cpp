@@ -1,0 +1,67 @@
+// Ablations for the §7 communication optimizations:
+//   (a) eliminate unnecessary communications — the redundant A(K,K)
+//       broadcast in compiled GE (the very gap Table 4 exhibits);
+//   (b) shift union — FORALL(I) A(I)=B(I+2)+B(I+3) needs one overlap_shift
+//       of 3, not two.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace f90d;
+
+void BM_GeRedundantBcast(benchmark::State& state) {
+  const bool optimized = state.range(0) != 0;
+  const int n = 255, p = 16;
+  bench::GeRun r;
+  for (auto _ : state) {
+    r = bench::run_ge_compiled(n, p, machine::CostModel::ipsc860(), optimized);
+  }
+  state.counters["sim_seconds"] = r.seconds;
+  state.counters["messages"] = static_cast<double>(r.messages);
+  state.SetLabel(optimized ? "redundant bcast eliminated"
+                           : "unoptimized (paper's compiled code)");
+}
+BENCHMARK(BM_GeRedundantBcast)->Arg(0)->Arg(1)->Iterations(1);
+
+void BM_ShiftUnion(benchmark::State& state) {
+  const bool merge = state.range(0) != 0;
+  const int p = 8;
+  const char* src = R"(PROGRAM SHIFTS
+      INTEGER N
+      PARAMETER (N = 4096)
+      REAL A(N)
+      REAL B(N)
+C$ PROCESSORS P(8)
+C$ TEMPLATE T(N)
+C$ DISTRIBUTE T(BLOCK)
+C$ ALIGN A(I) WITH T(I)
+C$ ALIGN B(I) WITH T(I)
+      FORALL (I = 1:N-3) A(I) = B(I+2) + B(I+3)
+      END PROGRAM SHIFTS
+)";
+  std::uint64_t messages = 0;
+  double secs = 0;
+  for (auto _ : state) {
+    compile::CodegenOptions opt;
+    opt.merge_shifts = merge;
+    auto compiled = compile::compile_source(src, {}, opt);
+    machine::SimMachine m =
+        bench::make_machine(p, machine::CostModel::ipsc860());
+    interp::Init init;
+    init.real["B"] = [](std::span<const rts::Index> g) { return g[0] * 1.0; };
+    auto r = interp::run_compiled(compiled, m, init);
+    messages = r.machine.total_messages();
+    secs = r.machine.exec_time;
+  }
+  state.counters["sim_seconds"] = secs;
+  state.counters["messages"] = static_cast<double>(messages);
+  state.SetLabel(merge ? "shifts merged (one overlap_shift of 3)"
+                       : "naive (two overlap_shifts)");
+}
+BENCHMARK(BM_ShiftUnion)->Arg(0)->Arg(1)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,198 @@
+// Table 3: the five categories of communication-inducing Fortran 90D
+// intrinsic functions.  One representative per category runs on a 16-node
+// iPSC/860 model and reports its virtual time and traffic, demonstrating
+// the run-time support system (§6, ref. [24] "more than 500 parallel
+// run-time support routines").
+//
+//   1. structured comm:   CSHIFT, EOSHIFT
+//   2. reduction:         SUM, MAXVAL, DOT_PRODUCT, MAXLOC
+//   3. multicasting:      SPREAD
+//   4. unstructured:      PACK, UNPACK, RESHAPE, TRANSPOSE
+//   5. special routines:  MATMUL (Fox's algorithm on a square grid)
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+
+#include "comm/grid_comm.hpp"
+#include "machine/topology.hpp"
+#include "rts/dist_array.hpp"
+#include "rts/intrinsics.hpp"
+#include "rts/matmul.hpp"
+#include "rts/reductions.hpp"
+
+namespace {
+
+using namespace f90d;
+using rts::Dad;
+using rts::DimMap;
+using rts::DistArray;
+using rts::DistKind;
+using rts::Index;
+
+struct Sample {
+  double seconds = 0;
+  std::uint64_t messages = 0;
+};
+std::map<std::string, Sample> g_samples;
+
+Dad block1d(Index n, const comm::ProcGrid& grid) {
+  DimMap m;
+  m.kind = DistKind::kBlock;
+  m.grid_dim = 0;
+  m.template_extent = n;
+  return Dad({n}, {m}, grid);
+}
+
+Dad block2d(Index n, const comm::ProcGrid& grid) {
+  DimMap m0;
+  m0.kind = DistKind::kBlock;
+  m0.grid_dim = 0;
+  m0.template_extent = n;
+  DimMap m1 = m0;
+  m1.grid_dim = 1;
+  return Dad({n, n}, {m0, m1}, grid);
+}
+
+/// Run `body` as a node program on a machine of `dims` grid shape; record
+/// virtual time + messages under `label`.
+template <typename F>
+void run_case(benchmark::State& state, const std::string& label,
+              std::vector<int> dims, F&& body) {
+  int p = 1;
+  for (int d : dims) p *= d;
+  for (auto _ : state) {
+    machine::SimMachine m(p, machine::CostModel::ipsc860(),
+                          machine::make_hypercube());
+    auto r = m.run([&](machine::Proc& proc) {
+      comm::GridComm gc(proc, comm::ProcGrid(dims));
+      body(gc);
+    });
+    g_samples[label] = Sample{r.exec_time, r.total_messages()};
+    state.counters["sim_seconds"] = r.exec_time;
+    state.counters["messages"] = static_cast<double>(r.total_messages());
+  }
+}
+
+constexpr Index kN = 1 << 14;   // 1-D problem size
+constexpr Index kM = 256;       // 2-D edge
+
+void BM_Cshift(benchmark::State& state) {
+  run_case(state, "CSHIFT (structured)", {16}, [](comm::GridComm& gc) {
+    DistArray<double> a(block1d(kN, gc.grid()), gc);
+    a.fill_global([](std::span<const Index> g) { return g[0] * 1.0; });
+    auto r = rts::cshift(gc, a, 0, 3);
+    benchmark::DoNotOptimize(r.storage().data());
+  });
+}
+BENCHMARK(BM_Cshift)->Iterations(1);
+
+void BM_Sum(benchmark::State& state) {
+  run_case(state, "SUM (reduction)", {16}, [](comm::GridComm& gc) {
+    DistArray<double> a(block1d(kN, gc.grid()), gc);
+    a.fill_global([](std::span<const Index> g) { return g[0] * 0.5; });
+    double s = rts::global_sum(gc, a);
+    benchmark::ClobberMemory();
+    (void)s;
+  });
+}
+BENCHMARK(BM_Sum)->Iterations(1);
+
+void BM_DotProduct(benchmark::State& state) {
+  run_case(state, "DOT_PRODUCT (reduction)", {16}, [](comm::GridComm& gc) {
+    DistArray<double> a(block1d(kN, gc.grid()), gc);
+    DistArray<double> b(block1d(kN, gc.grid()), gc);
+    a.fill_global([](std::span<const Index> g) { return g[0] * 0.5; });
+    b.fill_global([](std::span<const Index> g) { return 2.0; });
+    double s = rts::dot_product(gc, a, b);
+    benchmark::ClobberMemory();
+    (void)s;
+  });
+}
+BENCHMARK(BM_DotProduct)->Iterations(1);
+
+void BM_Maxloc(benchmark::State& state) {
+  run_case(state, "MAXLOC (reduction)", {16}, [](comm::GridComm& gc) {
+    DistArray<double> a(block1d(kN, gc.grid()), gc);
+    a.fill_global([](std::span<const Index> g) {
+      return static_cast<double>((g[0] * 37) % 1009);
+    });
+    auto r = rts::global_maxloc(gc, a);
+    benchmark::ClobberMemory();
+    (void)r;
+  });
+}
+BENCHMARK(BM_Maxloc)->Iterations(1);
+
+void BM_Spread(benchmark::State& state) {
+  run_case(state, "SPREAD (multicasting)", {16}, [](comm::GridComm& gc) {
+    DistArray<double> a(block1d(1024, gc.grid()), gc);
+    a.fill_global([](std::span<const Index> g) { return g[0] * 1.0; });
+    auto r = rts::spread(gc, a, 1, 64);
+    benchmark::DoNotOptimize(r.storage().data());
+  });
+}
+BENCHMARK(BM_Spread)->Iterations(1);
+
+void BM_Transpose(benchmark::State& state) {
+  run_case(state, "TRANSPOSE (unstructured)", {4, 4}, [](comm::GridComm& gc) {
+    DistArray<double> a(block2d(kM, gc.grid()), gc);
+    a.fill_global([](std::span<const Index> g) {
+      return static_cast<double>(g[0] * kM + g[1]);
+    });
+    auto r = rts::transpose(gc, a);
+    benchmark::DoNotOptimize(r.storage().data());
+  });
+}
+BENCHMARK(BM_Transpose)->Iterations(1);
+
+void BM_Pack(benchmark::State& state) {
+  run_case(state, "PACK (unstructured)", {16}, [](comm::GridComm& gc) {
+    DistArray<double> a(block1d(4096, gc.grid()), gc);
+    DistArray<unsigned char> mask(block1d(4096, gc.grid()), gc);
+    a.fill_global([](std::span<const Index> g) { return g[0] * 1.0; });
+    mask.fill_global([](std::span<const Index> g) {
+      return static_cast<unsigned char>(g[0] % 3 == 0);
+    });
+    const Index cnt = 4096 / 3 + 1;
+    auto r = rts::pack(gc, a, mask, block1d(cnt, gc.grid()));
+    benchmark::DoNotOptimize(r.storage().data());
+  });
+}
+BENCHMARK(BM_Pack)->Iterations(1);
+
+void BM_Matmul(benchmark::State& state) {
+  run_case(state, "MATMUL (special, Fox)", {4, 4}, [](comm::GridComm& gc) {
+    DistArray<double> a(block2d(kM, gc.grid()), gc);
+    DistArray<double> b(block2d(kM, gc.grid()), gc);
+    a.fill_global([](std::span<const Index> g) {
+      return g[0] == g[1] ? 2.0 : 0.1;
+    });
+    b.fill_global([](std::span<const Index> g) {
+      return g[0] == g[1] ? 1.0 : 0.2;
+    });
+    auto c = rts::matmul_dist(gc, a, b);
+    benchmark::DoNotOptimize(c.storage().data());
+  });
+}
+BENCHMARK(BM_Matmul)->Iterations(1);
+
+void print_table() {
+  std::printf("\n=== Table 3: intrinsic function categories, 16-node "
+              "iPSC/860 model ===\n");
+  std::printf("%-28s %14s %10s\n", "intrinsic (category)", "sim_seconds",
+              "messages");
+  for (const auto& [label, s] : g_samples)
+    std::printf("%-28s %14.6f %10llu\n", label.c_str(), s.seconds,
+                static_cast<unsigned long long>(s.messages));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_table();
+  return 0;
+}

@@ -1,0 +1,61 @@
+#pragma once
+// Shared helpers for the benchmark harness: machine builders and the two
+// Gaussian-elimination runners (compiled and hand-written) the evaluation
+// section sweeps.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "apps/gauss_hand.hpp"
+#include "apps/sources.hpp"
+#include "interp/interp.hpp"
+#include "machine/topology.hpp"
+
+namespace f90d::bench {
+
+inline machine::SimMachine make_machine(int p, const machine::CostModel& cm) {
+  return machine::SimMachine(p, cm, machine::make_hypercube());
+}
+
+/// Virtual execution time of the compiled GE program (skeleton mode: loop
+/// bounds, guards and every message are real; element arithmetic is charged
+/// in bulk).
+struct GeRun {
+  double seconds = 0.0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+inline GeRun run_ge_compiled(int n, int p, const machine::CostModel& cm,
+                             bool eliminate_redundant_comm = false) {
+  compile::CodegenOptions opt;
+  opt.eliminate_redundant_comm = eliminate_redundant_comm;
+  auto compiled = compile::compile_source(apps::gauss_source(n, p), {}, opt);
+  machine::SimMachine m = make_machine(p, cm);
+  interp::Init init;
+  init.real["A"] = [n](std::span<const rts::Index> g) {
+    return apps::gauss_matrix_entry(n, g[0], g[1]);
+  };
+  interp::RunOptions ro;
+  ro.skeleton = true;
+  auto r = interp::run_compiled(compiled, m, init, ro);
+  return GeRun{r.machine.exec_time, r.machine.total_messages(),
+               r.machine.total_bytes()};
+}
+
+inline GeRun run_ge_handwritten(int n, int p, const machine::CostModel& cm) {
+  machine::SimMachine m = make_machine(p, cm);
+  auto r = apps::run_gauss_handwritten(m, n, /*verify=*/false);
+  return GeRun{r.run.exec_time, r.run.total_messages(), r.run.total_bytes()};
+}
+
+/// Problem size for the Table-4 / Figure-6 sweeps (paper: 1023).  Override
+/// with F90D_GE_N for quick runs.
+inline int table4_n() {
+  const char* env = std::getenv("F90D_GE_N");
+  return env != nullptr ? std::atoi(env) : 1023;
+}
+
+}  // namespace f90d::bench

@@ -1,0 +1,39 @@
+// The paper's §4 Example 2: a non-canonical lhs from an FFT butterfly.
+// The compiler distributes the iteration space block-wise over the owners
+// of X and stores results with postcomp_write/scatter after the compute
+// phase (Case 3/4 of Figure 3).
+#include <cstdio>
+
+#include "apps/sources.hpp"
+#include "compile/driver.hpp"
+#include "interp/interp.hpp"
+#include "machine/topology.hpp"
+
+int main() {
+  using namespace f90d;
+  const int nx = 64, stages = 6, p = 8;
+
+  auto compiled = compile::compile_source(apps::fft_source(nx, p, stages));
+  std::printf("=== communication plan for the butterfly FORALL ===\n");
+  for (const auto& [kind, count] : compiled.program.action_histogram)
+    std::printf("  %-16s x%d\n", kind.c_str(), count);
+
+  machine::SimMachine m(p, machine::CostModel::ipsc860(),
+                        machine::make_hypercube());
+  interp::Init init;
+  init.real["X"] = [](std::span<const rts::Index> g) { return g[0] + 1.0; };
+  init.real["TERM2"] = [](std::span<const rts::Index> g) { return g[0] * 0.5; };
+  auto r = interp::run_compiled(compiled, m, init);
+
+  std::printf("\n%d butterfly stages over X(%d) on %d processors:\n", stages,
+              nx, p);
+  std::printf("  sim time %.6f s, %llu messages, schedule hits %d\n",
+              r.machine.exec_time,
+              static_cast<unsigned long long>(r.machine.total_messages()),
+              r.schedule_hits);
+  const auto& x = r.real_arrays.at("X");
+  std::printf("  X(1..8) =");
+  for (int i = 0; i < 8; ++i) std::printf(" %g", x[static_cast<size_t>(i)]);
+  std::printf("\n");
+  return 0;
+}

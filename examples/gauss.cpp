@@ -1,0 +1,65 @@
+// Gaussian elimination (paper §8): compiled Fortran 90D vs hand-written
+// Fortran77+MP, both solving the same diagonally dominant system, with the
+// mini Table-4 comparison printed at the end.
+#include <cmath>
+#include <cstdio>
+
+#include "apps/gauss_hand.hpp"
+#include "apps/sources.hpp"
+#include "interp/interp.hpp"
+#include "machine/topology.hpp"
+
+int main() {
+  using namespace f90d;
+  const int n = 64;
+
+  std::printf("Gaussian elimination, %dx%d column-distributed system\n\n", n,
+              n + 1);
+  std::printf("%6s %16s %16s %8s\n", "PEs", "hand-written(s)", "compiled(s)",
+              "ratio");
+  for (int p : {1, 2, 4, 8}) {
+    machine::SimMachine m1(p, machine::CostModel::ipsc860(),
+                           machine::make_hypercube());
+    auto hand = apps::run_gauss_handwritten(m1, n);
+
+    compile::CodegenOptions opt;
+    opt.eliminate_redundant_comm = false;  // the paper's compiled code
+    auto compiled = compile::compile_source(apps::gauss_source(n, p), {}, opt);
+    machine::SimMachine m2(p, machine::CostModel::ipsc860(),
+                           machine::make_hypercube());
+    interp::Init init;
+    init.real["A"] = [n](std::span<const rts::Index> g) {
+      return apps::gauss_matrix_entry(n, g[0], g[1]);
+    };
+    auto result = interp::run_compiled(compiled, m2, init);
+
+    std::printf("%6d %16.4f %16.4f %8.3f\n", p, hand.run.exec_time,
+                result.machine.exec_time,
+                result.machine.exec_time / hand.run.exec_time);
+
+    if (p == 4) {
+      // Verify the compiled solution solves the original system.
+      const auto& a = result.real_arrays.at("A");
+      std::vector<double> x(static_cast<size_t>(n));
+      auto at = [&](int i, int j) {
+        return a[static_cast<size_t>(i * (n + 1) + j)];
+      };
+      for (int i = n - 1; i >= 0; --i) {
+        double s = at(i, n);
+        for (int j = i + 1; j < n; ++j) s -= at(i, j) * x[static_cast<size_t>(j)];
+        x[static_cast<size_t>(i)] = s / at(i, i);
+      }
+      double resid = 0;
+      for (int i = 0; i < n; ++i) {
+        double s = -apps::gauss_matrix_entry(n, i, n);
+        for (int j = 0; j < n; ++j)
+          s += apps::gauss_matrix_entry(n, i, j) * x[static_cast<size_t>(j)];
+        resid = std::max(resid, std::fabs(s));
+      }
+      std::printf("       (P=4 compiled solution residual: %.2e)\n", resid);
+    }
+  }
+  std::printf("\n(the compiled code carries one extra broadcast per step —\n"
+              " the §7 optimization removes it; see the ablation bench)\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// The paper's §4 Example 3: vector-valued subscripts
+//     FORALL (I=1:N) A(U(I)) = B(V(I)) + C(I)
+// compiled to PARTI-style gather/scatter with inspector schedules that are
+// built once and reused across the time loop (§5.3.2, §7).
+#include <cstdio>
+
+#include "apps/sources.hpp"
+#include "compile/driver.hpp"
+#include "interp/interp.hpp"
+#include "machine/topology.hpp"
+
+int main() {
+  using namespace f90d;
+  const int n = 1024, p = 8, steps = 8;
+
+  auto compiled = compile::compile_source(apps::irregular_source(n, p, steps));
+  std::printf("=== communication plan ===\n");
+  for (const auto& [kind, count] : compiled.program.action_histogram)
+    std::printf("  %-16s x%d\n", kind.c_str(), count);
+
+  for (bool reuse : {false, true}) {
+    machine::SimMachine m(p, machine::CostModel::ipsc860(),
+                          machine::make_hypercube());
+    interp::Init init;
+    init.ints["U"] = [n](std::span<const rts::Index> g) {
+      return (g[0] * 7 + 3) % n + 1;
+    };
+    init.ints["V"] = [n](std::span<const rts::Index> g) {
+      return (g[0] * 11 + 5) % n + 1;
+    };
+    init.real["B"] = [](std::span<const rts::Index> g) { return g[0] * 2.0; };
+    init.real["C"] = [](std::span<const rts::Index> g) { return g[0] * 1.0; };
+    interp::RunOptions ro;
+    ro.schedule_cache = reuse;
+    auto r = interp::run_compiled(compiled, m, init, ro);
+    std::printf("\nschedule reuse %-3s: sim %.4f s, %llu messages, "
+                "%d cache hits / %d misses\n",
+                reuse ? "ON" : "OFF", r.machine.exec_time,
+                static_cast<unsigned long long>(r.machine.total_messages()),
+                r.schedule_hits, r.schedule_misses);
+  }
+  std::printf("\n(with reuse ON the inspector runs once; the remaining %d\n"
+              " steps pay only the vectorized executor)\n",
+              steps - 1);
+  return 0;
+}

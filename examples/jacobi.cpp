@@ -1,0 +1,39 @@
+// Jacobi relaxation (paper §4 Example 1, the canonical form): compiled to
+// pure overlap_shift communication on a (BLOCK, BLOCK) grid.  Demonstrates
+// that the same source runs on different processor-grid shapes and machine
+// models by changing one argument.
+#include <cstdio>
+
+#include "apps/sources.hpp"
+#include "compile/driver.hpp"
+#include "interp/interp.hpp"
+#include "machine/topology.hpp"
+
+int main() {
+  using namespace f90d;
+  const int n = 64, iters = 20;
+
+  std::printf("Jacobi %dx%d, %d sweeps: grid shape and machine sweep\n\n", n,
+              n, iters);
+  std::printf("%8s %6s %14s %14s %10s\n", "grid", "procs", "machine",
+              "sim_seconds", "messages");
+  for (const auto& [p, q] : {std::pair{1, 1}, {2, 2}, {4, 2}, {4, 4}}) {
+    for (const machine::CostModel* cm :
+         {&machine::CostModel::ipsc860(), &machine::CostModel::ncube2()}) {
+      auto compiled =
+          compile::compile_source(apps::jacobi_source(n, p, q, iters));
+      machine::SimMachine m(p * q, *cm, machine::make_hypercube());
+      interp::Init init;
+      init.real["A"] = [](std::span<const rts::Index> g) {
+        return static_cast<double>((g[0] * 13 + g[1] * 7) % 11);
+      };
+      auto r = interp::run_compiled(compiled, m, init);
+      std::printf("%5dx%-2d %6d %14s %14.6f %10llu\n", p, q, p * q,
+                  cm->name.c_str(), r.machine.exec_time,
+                  static_cast<unsigned long long>(r.machine.total_messages()));
+    }
+  }
+  std::printf("\n(the compiled code is identical in every row — only the\n"
+              " PROCESSORS shape and the machine cost model change)\n");
+  return 0;
+}

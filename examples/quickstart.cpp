@@ -1,0 +1,50 @@
+// Quickstart: compile a small Fortran 90D/HPF program, inspect the
+// generated Fortran77+MP node program, and execute it on a simulated
+// 4-processor iPSC/860.
+#include <cstdio>
+
+#include "compile/driver.hpp"
+#include "interp/interp.hpp"
+#include "machine/topology.hpp"
+
+int main() {
+  using namespace f90d;
+
+  const char* source = R"(PROGRAM QUICK
+      INTEGER N
+      PARAMETER (N = 16)
+      REAL A(N)
+      REAL B(N)
+C$ PROCESSORS P(4)
+C$ TEMPLATE T(N)
+C$ DISTRIBUTE T(BLOCK)
+C$ ALIGN A(I) WITH T(I)
+C$ ALIGN B(I) WITH T(I)
+      FORALL (I = 1:N-1) A(I) = B(I+1) * 2.0
+      END PROGRAM QUICK
+)";
+
+  // 1. Compile: parse -> sema -> partition -> detect -> generate.
+  compile::Compiled compiled = compile::compile_source(source);
+  std::printf("=== Fortran 77 + MP node program ===\n%s\n",
+              compiled.listing.c_str());
+  std::printf("=== communication actions ===\n");
+  for (const auto& [kind, count] : compiled.program.action_histogram)
+    std::printf("  %-16s x%d\n", kind.c_str(), count);
+
+  // 2. Execute on a simulated 4-node hypercube.
+  machine::SimMachine machine(4, machine::CostModel::ipsc860(),
+                              machine::make_hypercube());
+  interp::Init init;
+  init.real["B"] = [](std::span<const rts::Index> g) { return g[0] + 1.0; };
+  interp::ProgramResult result = interp::run_compiled(compiled, machine, init);
+
+  std::printf("\n=== results ===\n");
+  const auto& a = result.real_arrays.at("A");
+  for (size_t i = 0; i < a.size(); ++i)
+    std::printf("A(%zu) = %g\n", i + 1, a[i]);
+  std::printf("\nvirtual execution time: %.2f us, %llu messages\n",
+              result.machine.exec_time * 1e6,
+              static_cast<unsigned long long>(result.machine.total_messages()));
+  return 0;
+}

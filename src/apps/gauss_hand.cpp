@@ -1,0 +1,151 @@
+#include "apps/gauss_hand.hpp"
+
+#include <cmath>
+#include <mutex>
+
+#include "comm/grid_comm.hpp"
+#include "rts/dist_array.hpp"
+
+namespace f90d::apps {
+
+using rts::Dad;
+using rts::DimMap;
+using rts::DistArray;
+using rts::DistKind;
+using rts::Index;
+
+double gauss_matrix_entry(int n, long long i, long long j) {
+  // Diagonally dominant, deterministic, cheap to evaluate.
+  if (j == n) return 1.0 + static_cast<double>(i % 7);  // rhs column
+  if (i == j) return static_cast<double>(n) + 2.0;
+  return 1.0 / (1.0 + static_cast<double>((i * 31 + j * 17) % 13));
+}
+
+GaussResult run_gauss_handwritten(machine::SimMachine& machine, int n,
+                                  bool verify) {
+  GaussResult result;
+  std::mutex mu;
+
+  result.run = machine.run([&](machine::Proc& proc) {
+    comm::GridComm gc(proc, comm::ProcGrid({machine.nprocs()}));
+
+    // A(n, n+1), rows collapsed, columns BLOCK over the 1-D grid.
+    DimMap rows;
+    rows.kind = DistKind::kCollapsed;
+    rows.template_extent = n;
+    DimMap cols;
+    cols.kind = DistKind::kBlock;
+    cols.grid_dim = 0;
+    cols.template_extent = n + 1;
+    Dad dad({n, n + 1}, {rows, cols}, gc.grid());
+    DistArray<double> a(dad, gc);
+    a.fill_global([&](std::span<const Index> g) {
+      return gauss_matrix_entry(n, g[0], g[1]);
+    });
+
+    std::vector<double> l(static_cast<size_t>(n), 0.0);
+    std::vector<Index> g2(2);
+
+    for (Index k = 0; k < n - 1; ++k) {
+      const int owner = dad.owner_coord(1, k);
+      Index piv = k;
+      // msg = [piv, l(k+1..n-1)], assembled by the owner of column k.
+      std::vector<double> msg;
+      if (gc.coord(0) == owner) {
+        // Pivot search down column k (rows are local).
+        double best = 0.0;
+        for (Index i = k; i < n; ++i) {
+          g2[0] = i;
+          g2[1] = k;
+          const double v = std::fabs(a.at_global(g2));
+          if (v > best) {
+            best = v;
+            piv = i;
+          }
+        }
+        proc.charge_flops(static_cast<double>(n - k));
+        // Swap rows k/piv within column k now so the multipliers are right;
+        // remaining columns swap after the broadcast like everyone else.
+        msg.reserve(static_cast<size_t>(n - k));
+        msg.push_back(static_cast<double>(piv));
+        g2[1] = k;
+        if (piv != k) {
+          g2[0] = k;
+          double& akk = a.at_global(g2);
+          g2[0] = piv;
+          double& apk = a.at_global(g2);
+          std::swap(akk, apk);
+        }
+        g2[0] = k;
+        const double akk = a.at_global(g2);
+        for (Index i = k + 1; i < n; ++i) {
+          g2[0] = i;
+          msg.push_back(a.at_global(g2) / akk);
+          a.at_global(g2) = 0.0;  // reduced matrix: column k is eliminated
+        }
+        proc.charge_flops(4.0 * static_cast<double>(n - 1 - k));
+      }
+      // One broadcast per elimination step: the hand-coded version ships
+      // the pivot index and the multiplier column together.
+      gc.multicast(0, owner, msg);
+      piv = static_cast<Index>(msg[0]);
+      for (Index i = k + 1; i < n; ++i)
+        l[static_cast<size_t>(i)] = msg[static_cast<size_t>(i - k)];
+
+      // Local columns j > k: swap pivot row and update.
+      const Index local_cols = dad.local_extent(1, gc.coord(0));
+      Index updated = 0;
+      for (Index lj = 0; lj < local_cols; ++lj) {
+        const Index j = dad.global_of_local(1, lj, gc.coord(0));
+        if (j <= k) continue;
+        if (piv != k) {
+          g2[1] = j;
+          g2[0] = k;
+          double& r1 = a.at_global(g2);
+          g2[0] = piv;
+          double& r2 = a.at_global(g2);
+          std::swap(r1, r2);
+        }
+        g2[1] = j;
+        g2[0] = k;
+        const double akj = a.at_global(g2);
+        for (Index i = k + 1; i < n; ++i) {
+          g2[0] = i;
+          a.at_global(g2) -= l[static_cast<size_t>(i)] * akj;
+        }
+        ++updated;
+      }
+      proc.charge_flops(2.0 * static_cast<double>(updated) *
+                        static_cast<double>(n - 1 - k));
+      proc.charge_int_ops(4.0 * static_cast<double>(updated) *
+                          static_cast<double>(n - 1 - k));
+    }
+
+    if (verify) {
+      std::vector<double> full = a.gather_global(gc);
+      if (proc.rank() == 0) {
+        std::lock_guard<std::mutex> lock(mu);
+        double below = 0.0;
+        const auto at = [&](Index i, Index j) {
+          return full[static_cast<size_t>(i * (n + 1) + j)];
+        };
+        for (Index i = 1; i < n; ++i)
+          for (Index j = 0; j < i; ++j)
+            below = std::max(below, std::fabs(at(i, j)));
+        result.below_diag_max = below;
+        // Back substitution on the gathered triangular system.
+        std::vector<double> x(static_cast<size_t>(n), 0.0);
+        for (Index i = n - 1; i >= 0; --i) {
+          double s = at(i, n);
+          for (Index j = i + 1; j < n; ++j)
+            s -= at(i, j) * x[static_cast<size_t>(j)];
+          x[static_cast<size_t>(i)] = s / at(i, i);
+        }
+        result.x = std::move(x);
+      }
+    }
+  });
+  return result;
+}
+
+}  // namespace f90d::apps

@@ -1,0 +1,30 @@
+#pragma once
+// Hand-written "Fortran 77 + MP" Gaussian elimination (paper §8.2): the
+// program an expert would write directly against the run-time library.
+// Column-block distribution; per elimination step the owner of column k
+// selects the pivot and broadcasts (pivot row, multiplier column) in one
+// message — avoiding the extra broadcast the compiled code performs.
+#include "machine/sim_machine.hpp"
+
+namespace f90d::apps {
+
+struct GaussResult {
+  machine::RunResult run;
+  /// max |A(i,j)| of the reduced matrix below the diagonal (proc 0's view);
+  /// ~0 indicates a correct elimination.
+  double below_diag_max = 0.0;
+  /// Solution vector (back-substitution on gathered data, proc 0).
+  std::vector<double> x;
+};
+
+/// Run hand-written GE on an n x (n+1) system on the given machine.
+/// The matrix is synthesized from a fixed deterministic formula (same one
+/// the compiled benchmark uses), diagonally dominant so elimination is
+/// stable.  `verify=false` skips the gather/backsubstitution (benchmarks).
+GaussResult run_gauss_handwritten(machine::SimMachine& machine, int n,
+                                  bool verify = true);
+
+/// The deterministic matrix entry generator shared with the compiled runs.
+[[nodiscard]] double gauss_matrix_entry(int n, long long i, long long j);
+
+}  // namespace f90d::apps

@@ -1,0 +1,111 @@
+#include "apps/sources.hpp"
+
+#include "support/diag.hpp"
+
+namespace f90d::apps {
+
+std::string gauss_source(int n, int nprocs, const char* dist) {
+  return strformat(R"(PROGRAM GAUSS
+      INTEGER N
+      PARAMETER (N = %d)
+      REAL A(N, N+1)
+      REAL L(N)
+      REAL TMPR(N+1)
+      INTEGER IM
+      INTEGER K
+C$ PROCESSORS P(%d)
+C$ TEMPLATE TA(N, N+1)
+C$ DISTRIBUTE TA(*, %s)
+C$ ALIGN A(I, J) WITH TA(I, J)
+C$ ALIGN TMPR(J) WITH TA(*, J)
+      DO K = 1, N-1
+        IM = MAXLOC(ABS(A(K:N, K)))
+        IF (IM .NE. K) THEN
+          TMPR(K:N+1) = A(K, K:N+1)
+          A(K, K:N+1) = A(IM, K:N+1)
+          A(IM, K:N+1) = TMPR(K:N+1)
+        END IF
+        L(K+1:N) = A(K+1:N, K) / A(K, K)
+        FORALL (I = K+1:N, J = K+1:N+1) A(I, J) = A(I, J) - L(I) * A(K, J)
+      END DO
+      END PROGRAM GAUSS
+)",
+                   n, nprocs, dist);
+}
+
+std::string jacobi_source(int n, int p, int q, int iters) {
+  return strformat(R"(PROGRAM JACOBI
+      INTEGER N
+      PARAMETER (N = %d)
+      REAL A(N, N)
+      REAL B(N, N)
+      INTEGER IT
+C$ PROCESSORS P(%d, %d)
+C$ TEMPLATE T(N, N)
+C$ DISTRIBUTE T(BLOCK, BLOCK)
+C$ ALIGN A(I, J) WITH T(I, J)
+C$ ALIGN B(I, J) WITH T(I, J)
+      DO IT = 1, %d
+        FORALL (I = 2:N-1, J = 2:N-1)
+          B(I, J) = 0.25 * (A(I-1, J) + A(I+1, J) + A(I, J-1) + A(I, J+1))
+        END FORALL
+        FORALL (I = 2:N-1, J = 2:N-1) A(I, J) = B(I, J)
+      END DO
+      END PROGRAM JACOBI
+)",
+                   n, p, q, iters);
+}
+
+std::string fft_source(int nx, int nprocs, int stages) {
+  // The paper's non-canonical example:
+  //   forall (i=1:incrm, j=1:nx/2)
+  //     x(i+j*incrm*2+incrm) = x(i+j*incrm*2) - term2(i+j*incrm*2+incrm)
+  // wrapped in a stage loop that doubles incrm, as an FFT driver would.
+  return strformat(R"(PROGRAM FFTK
+      INTEGER NX
+      PARAMETER (NX = %d)
+      REAL X(NX)
+      REAL TERM2(NX)
+      INTEGER INCRM
+      INTEGER S
+C$ PROCESSORS P(%d)
+C$ DISTRIBUTE X(BLOCK)
+C$ ALIGN TERM2(I) WITH X(I)
+      INCRM = 1
+      DO S = 1, %d
+        FORALL (I = 1:INCRM, J = 0:NX/(2*INCRM)-1)
+          X(I + J*INCRM*2 + INCRM) = X(I + J*INCRM*2) - &
+              TERM2(I + J*INCRM*2 + INCRM)
+        END FORALL
+        INCRM = INCRM * 2
+      END DO
+      END PROGRAM FFTK
+)",
+                   nx, nprocs, stages);
+}
+
+std::string irregular_source(int n, int nprocs, int steps) {
+  return strformat(R"(PROGRAM IRREG
+      INTEGER N
+      PARAMETER (N = %d)
+      REAL A(N)
+      REAL B(N)
+      REAL C(N)
+      INTEGER U(N)
+      INTEGER V(N)
+      INTEGER IT
+C$ PROCESSORS P(%d)
+C$ TEMPLATE T(N)
+C$ DISTRIBUTE T(BLOCK)
+C$ ALIGN A(I) WITH T(I)
+C$ ALIGN B(I) WITH T(I)
+C$ ALIGN C(I) WITH T(I)
+      DO IT = 1, %d
+        FORALL (I = 1:N) A(U(I)) = B(V(I)) + C(I)
+      END DO
+      END PROGRAM IRREG
+)",
+                   n, nprocs, steps);
+}
+
+}  // namespace f90d::apps

@@ -1,0 +1,30 @@
+#pragma once
+// Embedded Fortran 90D/HPF sources for the paper's workloads:
+//   * Gaussian elimination with partial pivoting (Fortran D/HPF benchmark
+//     suite [29]; the application of §8),
+//   * Jacobi relaxation (the canonical-form Example 1 of §4),
+//   * the FFT butterfly statement (non-canonical Example 2 of §4),
+//   * the irregular gather/scatter kernel (Example 3 of §4).
+// Sizes and processor-grid shapes are parameters so the benchmarks can
+// sweep them, exactly as the evaluation section does.
+#include <string>
+
+namespace f90d::apps {
+
+/// GE on an N x (N+1) REAL system, column distributed: DISTRIBUTE (*, dist)
+/// onto a 1-D grid of `nprocs` (paper Table 4 setup uses BLOCK; CYCLIC
+/// spreads the shrinking active submatrix for better load balance).
+[[nodiscard]] std::string gauss_source(int n, int nprocs,
+                                       const char* dist = "BLOCK");
+
+/// Jacobi relaxation on an N x N grid, (BLOCK, BLOCK) on p x q processors.
+[[nodiscard]] std::string jacobi_source(int n, int p, int q, int iters);
+
+/// One FFT butterfly stage sweep: the non-canonical lhs example.
+[[nodiscard]] std::string fft_source(int nx, int nprocs, int stages);
+
+/// Irregular kernel FORALL(i) A(U(i)) = B(V(i)) + C(i), run `steps` times
+/// (exercises gather/scatter and schedule reuse).
+[[nodiscard]] std::string irregular_source(int n, int nprocs, int steps);
+
+}  // namespace f90d::apps

@@ -1,0 +1,24 @@
+#include "comm/grid_comm.hpp"
+
+namespace f90d::comm {
+
+GridComm::GridComm(machine::Proc& proc, ProcGrid grid)
+    : proc_(&proc), grid_(std::move(grid)) {
+  require(grid_.size() == proc.nprocs(),
+          "logical grid size must equal machine size");
+  my_logical_ = grid_.logical_of_phys(proc.rank());
+  coords_ = grid_.coords_of(my_logical_);
+}
+
+void GridComm::barrier() {
+  std::vector<char> token(1, 0);
+  allreduce(token, [](char a, char b) { return static_cast<char>(a | b); });
+}
+
+int GridComm::line_logical(int dim, int idx) const {
+  std::vector<int> c = coords_;
+  c[static_cast<size_t>(dim)] = idx;
+  return grid_.linear_of(c);
+}
+
+}  // namespace f90d::comm

@@ -1,0 +1,316 @@
+#pragma once
+// The collective communication library (paper §5).
+//
+// The compiler produces calls to these collective routines instead of raw
+// send/receive pairs.  All primitives are *grid-based*: they operate along
+// dimensions of the logical processor grid.  Every processor in the machine
+// must call each primitive at the same program point (loosely synchronous
+// SPMD), even when it contributes no data — this keeps the internal tag
+// counters aligned across processors, exactly like the generated code the
+// paper shows.
+//
+// Structured primitives (paper §5.1):
+//   transfer        single source grid line to single destination grid line
+//   multicast       broadcast along one grid dimension (binomial tree)
+//   shift_exchange  data exchange with the +/-offset neighbour along a dim
+//                   (the run-time layer builds overlap_shift/temporary_shift
+//                   on top of this)
+//   concat          concatenation (allgather) along a dimension / over all
+//   reduce/allreduce/bcast_all/barrier   tree-based support collectives
+#include <cstring>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "comm/proc_grid.hpp"
+#include "machine/sim_machine.hpp"
+#include "support/diag.hpp"
+
+namespace f90d::comm {
+
+class GridComm {
+ public:
+  GridComm(machine::Proc& proc, ProcGrid grid);
+
+  [[nodiscard]] machine::Proc& proc() { return *proc_; }
+  [[nodiscard]] const ProcGrid& grid() const { return grid_; }
+  [[nodiscard]] int my_logical() const { return my_logical_; }
+  [[nodiscard]] const std::vector<int>& my_coords() const { return coords_; }
+  [[nodiscard]] int coord(int dim) const {
+    return coords_[static_cast<size_t>(dim)];
+  }
+  [[nodiscard]] int nprocs() const { return grid_.size(); }
+
+  // --- point-to-point on logical indices ---------------------------------
+  template <typename T>
+  void send_logical(int dest_logical, int tag, std::span<const T> data) {
+    proc_->send(grid_.phys_of(dest_logical), tag, data);
+  }
+  template <typename T>
+  std::vector<T> recv_logical(int src_logical, int tag) {
+    return proc_->template recv_vec<T>(grid_.phys_of(src_logical), tag);
+  }
+
+  // --- structured primitives ----------------------------------------------
+  /// transfer (paper Fig. 4a): every processor with coord[dim]==src_idx
+  /// sends `send_data` to the processor at the same position in the grid
+  /// line coord[dim]==dest_idx.  Returns true (and fills `out`) on receivers.
+  template <typename T>
+  bool transfer(int dim, int src_idx, int dest_idx, std::span<const T> send_data,
+                std::vector<T>& out) {
+    const int tag = fresh_tag();
+    if (src_idx == dest_idx) {  // degenerate: data already in place
+      if (coord(dim) == src_idx) {
+        out.assign(send_data.begin(), send_data.end());
+        return true;
+      }
+      return false;
+    }
+    if (coord(dim) == src_idx) {
+      send_logical<T>(peer_logical(dim, dest_idx), tag, send_data);
+      return false;
+    }
+    if (coord(dim) == dest_idx) {
+      out = recv_logical<T>(peer_logical(dim, src_idx), tag);
+      return true;
+    }
+    return false;
+  }
+
+  /// multicast (paper Fig. 4b): binomial-tree broadcast along `dim` rooted at
+  /// the processors whose coord[dim]==root_idx.  On entry the roots hold the
+  /// payload in `data`; on exit every processor in each grid line holds it.
+  template <typename T>
+  void multicast(int dim, int root_idx, std::vector<T>& data) {
+    const int tag = fresh_tag();
+    const int n = grid_.extent(dim);
+    if (n == 1) return;
+    const int me = coord(dim);
+    const int rel = mod(me - root_idx, n);
+    // First inform everyone of the payload size via the tree as part of the
+    // message itself (vector payloads carry their own length).
+    int recv_from_mask = 0;
+    for (int mask = 1; mask < n; mask <<= 1) {
+      if (rel & mask) {
+        recv_from_mask = mask;
+        break;
+      }
+    }
+    if (rel != 0) {
+      const int src_rel = rel - recv_from_mask;
+      data = recv_logical<T>(line_logical(dim, mod(src_rel + root_idx, n)), tag);
+    }
+    int start_mask = 1;
+    if (rel != 0) start_mask = recv_from_mask;
+    for (int mask = (rel == 0 ? highest_pow2_below(n) : start_mask >> 1);
+         mask >= 1; mask >>= 1) {
+      const int dst_rel = rel + mask;
+      if ((rel & (mask - 1)) == 0 && (rel & mask) == 0 && dst_rel < n) {
+        send_logical<T>(line_logical(dim, mod(dst_rel + root_idx, n)), tag,
+                        std::span<const T>(data));
+      }
+    }
+  }
+
+  /// Broadcast over *all* processors from logical root (used for scalars the
+  /// whole machine needs, e.g. pivot indices).
+  template <typename T>
+  void bcast_all(int root_logical, std::vector<T>& data) {
+    const int tag = fresh_tag();
+    const int n = nprocs();
+    if (n == 1) return;
+    const int rel = mod(my_logical_ - root_logical, n);
+    int recv_from_mask = 0;
+    for (int mask = 1; mask < n; mask <<= 1) {
+      if (rel & mask) {
+        recv_from_mask = mask;
+        break;
+      }
+    }
+    if (rel != 0) {
+      const int src_rel = rel - recv_from_mask;
+      data = recv_logical<T>(mod(src_rel + root_logical, n), tag);
+    }
+    for (int mask = (rel == 0 ? highest_pow2_below(n) : recv_from_mask >> 1);
+         mask >= 1; mask >>= 1) {
+      const int dst_rel = rel + mask;
+      if ((rel & (mask - 1)) == 0 && (rel & mask) == 0 && dst_rel < n) {
+        send_logical<T>(mod(dst_rel + root_logical, n), tag,
+                        std::span<const T>(data));
+      }
+    }
+  }
+
+  /// shift_exchange: send `to_neighbour` to the processor at
+  /// coord[dim]+offset, receive from coord[dim]-offset.  With circular=false
+  /// edge processors send/receive nothing (end-off shift).  Returns the
+  /// received block (empty when nothing arrives).
+  template <typename T>
+  std::vector<T> shift_exchange(int dim, int offset, std::span<const T> to_neighbour,
+                                bool circular) {
+    const int tag = fresh_tag();
+    const int n = grid_.extent(dim);
+    std::vector<T> received;
+    if (offset == 0 || (n == 1 && circular)) {
+      // Zero shift, or a single-processor circle: my own data comes back.
+      received.assign(to_neighbour.begin(), to_neighbour.end());
+      return received;
+    }
+    if (n == 1) return received;  // open shift off a one-processor line
+    const int me = coord(dim);
+    const int dst = circular ? mod(me + offset, n) : me + offset;
+    const int src = circular ? mod(me - offset, n) : me - offset;
+    const bool do_send = circular || (dst >= 0 && dst < n);
+    const bool do_recv = circular || (src >= 0 && src < n);
+    // Even/odd phase ordering keeps the exchange deadlock-free on a blocking
+    // transport and deterministic in virtual time.
+    if (do_send) send_logical<T>(line_logical(dim, mod(dst, n)), tag, to_neighbour);
+    if (do_recv) received = recv_logical<T>(line_logical(dim, mod(src, n)), tag);
+    return received;
+  }
+
+  /// concatenation (paper §5.1): allgather along `dim`, blocks ordered by
+  /// grid coordinate.  Every processor in the line receives the full result.
+  template <typename T>
+  std::vector<T> concat(int dim, std::span<const T> local) {
+    const int n = grid_.extent(dim);
+    // Gather-to-line-root then multicast: O(P) gather + O(log P) broadcast,
+    // matching the paper's "resultant array ends up in all the processors".
+    const int tag = fresh_tag();
+    std::vector<T> all;
+    if (coord(dim) == 0) {
+      all.assign(local.begin(), local.end());
+      for (int i = 1; i < n; ++i) {
+        auto blk = recv_logical<T>(line_logical(dim, i), tag);
+        all.insert(all.end(), blk.begin(), blk.end());
+      }
+    } else {
+      send_logical<T>(line_logical(dim, 0), tag, local);
+    }
+    multicast<T>(dim, 0, all);
+    return all;
+  }
+
+  /// concatenation over all processors (logical order).
+  template <typename T>
+  std::vector<T> concat_all(std::span<const T> local) {
+    const int tag = fresh_tag();
+    std::vector<T> all;
+    if (my_logical_ == 0) {
+      all.assign(local.begin(), local.end());
+      for (int i = 1; i < nprocs(); ++i) {
+        auto blk = recv_logical<T>(i, tag);
+        all.insert(all.end(), blk.begin(), blk.end());
+      }
+    } else {
+      send_logical<T>(0, tag, local);
+    }
+    bcast_all<T>(0, all);
+    return all;
+  }
+
+  /// Tree concatenation over all processors: every processor contributes a
+  /// (possibly empty) block; all end with the combined data.  Block order
+  /// follows the reduction tree, NOT logical rank — callers must tag
+  /// elements if order matters.  O(log P) rounds, unlike the rank-ordered
+  /// concat_all gather.
+  template <typename T>
+  void concat_tree(std::vector<T>& data) {
+    const int tag = fresh_tag();
+    const int n = nprocs();
+    const int rel = my_logical_;
+    for (int mask = 1; mask < n; mask <<= 1) {
+      if (rel & mask) {
+        send_logical<T>(rel - mask, tag, std::span<const T>(data));
+        data.clear();
+        break;
+      }
+      if (rel + mask < n) {
+        auto other = recv_logical<T>(rel + mask, tag);
+        data.insert(data.end(), other.begin(), other.end());
+      }
+    }
+    bcast_all<T>(0, data);
+  }
+
+  /// Element-wise allreduce over all processors with a binary op
+  /// (binomial-tree reduce to logical 0, then tree broadcast — the paper's
+  /// "reduction tree" category).
+  template <typename T, typename Op>
+  void allreduce(std::vector<T>& data, Op op) {
+    reduce_to_root(data, op);
+    bcast_all<T>(0, data);
+  }
+
+  /// Element-wise reduce over all processors; result valid on logical 0.
+  template <typename T, typename Op>
+  void reduce_to_root(std::vector<T>& data, Op op) {
+    const int tag = fresh_tag();
+    const int n = nprocs();
+    const int rel = my_logical_;
+    for (int mask = 1; mask < n; mask <<= 1) {
+      if (rel & mask) {
+        send_logical<T>(rel - mask, tag, std::span<const T>(data));
+        break;
+      }
+      if (rel + mask < n) {
+        auto other = recv_logical<T>(rel + mask, tag);
+        require(other.size() == data.size(), "reduce operands conform");
+        proc_->charge_flops(static_cast<double>(data.size()));
+        for (size_t i = 0; i < data.size(); ++i) data[i] = op(data[i], other[i]);
+      }
+    }
+  }
+
+  /// Element-wise allreduce along one grid dimension only.
+  template <typename T, typename Op>
+  void allreduce_dim(int dim, std::vector<T>& data, Op op) {
+    const int tag = fresh_tag();
+    const int n = grid_.extent(dim);
+    const int rel = coord(dim);
+    for (int mask = 1; mask < n; mask <<= 1) {
+      if (rel & mask) {
+        send_logical<T>(line_logical(dim, rel - mask), tag,
+                        std::span<const T>(data));
+        break;
+      }
+      if (rel + mask < n) {
+        auto other = recv_logical<T>(line_logical(dim, rel + mask), tag);
+        require(other.size() == data.size(), "reduce operands conform");
+        proc_->charge_flops(static_cast<double>(data.size()));
+        for (size_t i = 0; i < data.size(); ++i) data[i] = op(data[i], other[i]);
+      }
+    }
+    multicast<T>(dim, 0, data);
+  }
+
+  /// Barrier over all processors (reduce + broadcast of an empty token).
+  void barrier();
+
+  /// Logical index of the processor in my grid line along `dim` at position
+  /// `idx` (all other coordinates equal to mine).
+  [[nodiscard]] int line_logical(int dim, int idx) const;
+
+  /// Logical index of the processor whose coords equal mine except
+  /// coord[dim]=idx (alias of line_logical, reads better at call sites).
+  [[nodiscard]] int peer_logical(int dim, int idx) const {
+    return line_logical(dim, idx);
+  }
+
+ private:
+  [[nodiscard]] int fresh_tag() { return next_tag_++; }
+  static int mod(int a, int n) { return ((a % n) + n) % n; }
+  static int highest_pow2_below(int n) {
+    int m = 1;
+    while (m * 2 < n) m *= 2;
+    return m;
+  }
+
+  machine::Proc* proc_;
+  ProcGrid grid_;
+  int my_logical_;
+  std::vector<int> coords_;
+  int next_tag_ = 1 << 16;
+};
+
+}  // namespace f90d::comm

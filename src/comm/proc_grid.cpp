@@ -1,0 +1,61 @@
+#include "comm/proc_grid.hpp"
+
+#include <bit>
+
+namespace f90d::comm {
+
+namespace {
+bool is_pow2(int v) { return v > 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+int gray_encode(int v) { return v ^ (v >> 1); }
+
+int gray_decode(int g) {
+  int v = 0;
+  for (; g != 0; g >>= 1) v ^= g;
+  return v;
+}
+
+ProcGrid::ProcGrid(std::vector<int> dims, bool gray_code_embedding)
+    : dims_(std::move(dims)) {
+  require(!dims_.empty(), "processor grid needs at least one dimension");
+  size_ = 1;
+  for (int d : dims_) {
+    require(d >= 1, "processor grid extents must be positive");
+    size_ *= d;
+  }
+  gray_ = gray_code_embedding && is_pow2(size_);
+}
+
+std::vector<int> ProcGrid::coords_of(int linear) const {
+  require(linear >= 0 && linear < size_, "logical index in range");
+  std::vector<int> coords(static_cast<size_t>(ndims()));
+  for (int d = ndims() - 1; d >= 0; --d) {
+    coords[static_cast<size_t>(d)] = linear % dims_[static_cast<size_t>(d)];
+    linear /= dims_[static_cast<size_t>(d)];
+  }
+  return coords;
+}
+
+int ProcGrid::linear_of(const std::vector<int>& coords) const {
+  require(static_cast<int>(coords.size()) == ndims(), "coords rank matches grid");
+  int linear = 0;
+  for (int d = 0; d < ndims(); ++d) {
+    const int c = coords[static_cast<size_t>(d)];
+    require(c >= 0 && c < dims_[static_cast<size_t>(d)], "coord in range");
+    linear = linear * dims_[static_cast<size_t>(d)] + c;
+  }
+  return linear;
+}
+
+int ProcGrid::phys_of(int linear) const {
+  require(linear >= 0 && linear < size_, "logical index in range");
+  return gray_ ? gray_encode(linear) : linear;
+}
+
+int ProcGrid::logical_of_phys(int phys) const {
+  require(phys >= 0 && phys < size_, "physical index in range");
+  return gray_ ? gray_decode(phys) : phys;
+}
+
+}  // namespace f90d::comm

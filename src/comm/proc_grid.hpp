@@ -1,0 +1,50 @@
+#pragma once
+// Stage 3 of the paper's three-stage mapping (Figure 2): the logical
+// processor grid and its embedding onto the physical machine.
+//
+// The logical grid is what `C$ PROCESSORS P(p,q,...)` declares.  Grid
+// coordinates use row-major linearization.  The embedding phi maps a logical
+// linear index to a physical node id; for power-of-two machines we use the
+// binary-reflected Gray code so that grid neighbours are hypercube
+// neighbours (as the iPSC/nCUBE system software did), otherwise the identity.
+#include <vector>
+
+#include "support/diag.hpp"
+
+namespace f90d::comm {
+
+class ProcGrid {
+ public:
+  /// A grid with the given extents (product must equal the machine size).
+  explicit ProcGrid(std::vector<int> dims, bool gray_code_embedding = true);
+
+  [[nodiscard]] int ndims() const { return static_cast<int>(dims_.size()); }
+  [[nodiscard]] int extent(int dim) const { return dims_[static_cast<size_t>(dim)]; }
+  [[nodiscard]] const std::vector<int>& dims() const { return dims_; }
+  [[nodiscard]] int size() const { return size_; }
+
+  /// Logical linear index <-> grid coordinates (row-major).
+  [[nodiscard]] std::vector<int> coords_of(int linear) const;
+  [[nodiscard]] int linear_of(const std::vector<int>& coords) const;
+
+  /// phi: logical linear index -> physical node id.
+  [[nodiscard]] int phys_of(int linear) const;
+  /// phi^-1: physical node id -> logical linear index.
+  [[nodiscard]] int logical_of_phys(int phys) const;
+
+  /// Physical node id of the processor at `coords`.
+  [[nodiscard]] int phys_of_coords(const std::vector<int>& coords) const {
+    return phys_of(linear_of(coords));
+  }
+
+ private:
+  std::vector<int> dims_;
+  int size_;
+  bool gray_;
+};
+
+/// Binary-reflected Gray code and its inverse (public for tests).
+[[nodiscard]] int gray_encode(int v);
+[[nodiscard]] int gray_decode(int g);
+
+}  // namespace f90d::comm

@@ -1,0 +1,190 @@
+#include "compile/affine.hpp"
+
+namespace f90d::compile {
+
+using namespace ast;
+using frontend::Symbol;
+
+AffineSub AffineSub::clone() const {
+  AffineSub c;
+  c.kind = kind;
+  c.coefs = coefs;
+  c.cst = cst;
+  c.vec_array = vec_array;
+  if (runtime) c.runtime = runtime->clone();
+  return c;
+}
+
+namespace {
+
+/// Is this call-looking reference one of the elementwise/value intrinsics?
+bool is_intrinsic_name(const std::string& n) {
+  static const std::set<std::string> kNames = {
+      "ABS", "SQRT", "EXP",  "LOG",  "SIN", "COS",  "MOD",
+      "MIN", "MAX",  "REAL", "INT",  "NINT", "SUM",  "PRODUCT",
+      "MAXVAL", "MINVAL", "COUNT", "ANY", "ALL", "MAXLOC", "MINLOC",
+      "DOT_PRODUCT", "DOTPRODUCT", "CSHIFT", "EOSHIFT", "SPREAD",
+      "TRANSPOSE", "RESHAPE", "PACK", "UNPACK", "MATMUL"};
+  return kNames.count(n) > 0;
+}
+
+AffineSub unknown() {
+  AffineSub a;
+  a.kind = AffineSub::Kind::kUnknown;
+  return a;
+}
+
+void add_runtime(AffineSub& a, ExprPtr term, bool negate) {
+  if (negate) term = make_un(UnOpKind::kNeg, std::move(term));
+  if (!a.runtime) {
+    a.runtime = std::move(term);
+  } else {
+    a.runtime =
+        make_bin(BinOpKind::kAdd, std::move(a.runtime), std::move(term));
+  }
+}
+
+AffineSub analyze(const Expr& e, const std::set<std::string>& vars,
+                  const std::map<std::string, Symbol>& syms);
+
+AffineSub combine_add(AffineSub l, AffineSub r, bool subtract) {
+  if (l.kind != AffineSub::Kind::kAffine || r.kind != AffineSub::Kind::kAffine)
+    return unknown();
+  AffineSub out = std::move(l);
+  for (const auto& [v, c] : r.coefs) out.coefs[v] += subtract ? -c : c;
+  for (auto it = out.coefs.begin(); it != out.coefs.end();) {
+    if (it->second == 0) it = out.coefs.erase(it);
+    else ++it;
+  }
+  out.cst += subtract ? -r.cst : r.cst;
+  if (r.runtime) add_runtime(out, std::move(r.runtime), subtract);
+  out.kind = AffineSub::Kind::kAffine;
+  return out;
+}
+
+AffineSub scale(AffineSub a, long long c) {
+  if (a.kind != AffineSub::Kind::kAffine) return unknown();
+  for (auto& [v, coef] : a.coefs) coef *= c;
+  a.cst *= c;
+  if (a.runtime)
+    a.runtime = make_bin(BinOpKind::kMul, make_int(c), std::move(a.runtime));
+  if (c == 0) {
+    a.coefs.clear();
+    a.runtime.reset();
+  }
+  return a;
+}
+
+AffineSub analyze(const Expr& e, const std::set<std::string>& vars,
+                  const std::map<std::string, Symbol>& syms) {
+  switch (e.kind) {
+    case ExprKind::kIntLit: {
+      AffineSub a;
+      a.kind = AffineSub::Kind::kAffine;
+      a.cst = e.int_value;
+      return a;
+    }
+    case ExprKind::kVarRef: {
+      AffineSub a;
+      a.kind = AffineSub::Kind::kAffine;
+      if (vars.count(e.name)) {
+        a.coefs[e.name] = 1;
+        return a;
+      }
+      auto it = syms.find(e.name);
+      if (it != syms.end() && it->second.is_parameter &&
+          it->second.type == BaseType::kInteger) {
+        a.cst = it->second.int_value;
+        return a;
+      }
+      if (it != syms.end() && !it->second.is_array() &&
+          it->second.type == BaseType::kInteger) {
+        add_runtime(a, e.clone(), false);  // runtime scalar (e.g. DO index)
+        return a;
+      }
+      return unknown();
+    }
+    case ExprKind::kUnOp: {
+      AffineSub inner = analyze(*e.args[0], vars, syms);
+      if (e.un_op == UnOpKind::kPlus) return inner;
+      if (e.un_op == UnOpKind::kNeg) return scale(std::move(inner), -1);
+      return unknown();
+    }
+    case ExprKind::kBinOp: {
+      if (e.bin_op == BinOpKind::kAdd || e.bin_op == BinOpKind::kSub) {
+        return combine_add(analyze(*e.args[0], vars, syms),
+                           analyze(*e.args[1], vars, syms),
+                           e.bin_op == BinOpKind::kSub);
+      }
+      if (e.bin_op == BinOpKind::kMul) {
+        AffineSub l = analyze(*e.args[0], vars, syms);
+        AffineSub r = analyze(*e.args[1], vars, syms);
+        if (l.kind != AffineSub::Kind::kAffine ||
+            r.kind != AffineSub::Kind::kAffine)
+          return unknown();
+        if (l.is_const()) return scale(std::move(r), l.cst);
+        if (r.is_const()) return scale(std::move(l), r.cst);
+        // Products of runtime scalars stay affine *in the forall vars* when
+        // one side has no forall variables at all:  j * (2*incrm) etc.
+        if (l.coefs.empty() && r.coefs.empty()) {
+          AffineSub a;
+          a.kind = AffineSub::Kind::kAffine;
+          add_runtime(a, e.clone(), false);
+          return a;
+        }
+        // var * runtime-scalar: classify unknown (not a Table-1 pattern).
+        return unknown();
+      }
+      return unknown();
+    }
+    case ExprKind::kArrayRef: {
+      if (is_intrinsic_name(e.name)) return unknown();
+      auto it = syms.find(e.name);
+      if (it == syms.end() || !it->second.is_array()) return unknown();
+      if (it->second.type != BaseType::kInteger) return unknown();
+      if (e.args.size() != 1 || !e.args[0]) return unknown();
+      AffineSub inner = analyze(*e.args[0], vars, syms);
+      if (inner.kind != AffineSub::Kind::kAffine) return unknown();
+      AffineSub a;
+      a.kind = AffineSub::Kind::kVector;
+      a.vec_array = e.name;
+      a.coefs = std::move(inner.coefs);
+      a.cst = inner.cst;
+      a.runtime = std::move(inner.runtime);
+      return a;
+    }
+    default:
+      return unknown();
+  }
+}
+
+}  // namespace
+
+AffineSub analyze_subscript(const Expr& e, const std::set<std::string>& vars,
+                            const std::map<std::string, Symbol>& syms) {
+  return analyze(e, vars, syms);
+}
+
+ExprPtr affine_to_expr(const AffineSub& a) {
+  require(a.kind == AffineSub::Kind::kAffine, "affine_to_expr on affine");
+  ExprPtr e;
+  for (const auto& [v, c] : a.coefs) {
+    ExprPtr term = c == 1 ? make_var(v)
+                          : make_bin(BinOpKind::kMul, make_int(c), make_var(v));
+    e = e ? make_bin(BinOpKind::kAdd, std::move(e), std::move(term))
+          : std::move(term);
+  }
+  if (a.runtime) {
+    ExprPtr term = a.runtime->clone();
+    e = e ? make_bin(BinOpKind::kAdd, std::move(e), std::move(term))
+          : std::move(term);
+  }
+  if (a.cst != 0 || !e) {
+    ExprPtr term = make_int(a.cst);
+    e = e ? make_bin(BinOpKind::kAdd, std::move(e), std::move(term))
+          : std::move(term);
+  }
+  return e;
+}
+
+}  // namespace f90d::compile

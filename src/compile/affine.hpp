@@ -1,0 +1,71 @@
+#pragma once
+// Affine subscript analysis.  Every subscript in a normalized FORALL is
+// classified into the shapes Algorithm 1 and Tables 1–2 of the paper
+// distinguish:
+//
+//   affine:   c0 + sum(c_k * i_k) + runtime-scalar terms   (f(i))
+//   vector:   V(affine)                                    (V(i))
+//   unknown:  anything else                                (e.g. MOD(i,2))
+//
+// A "runtime" part collects scalar terms not known at compile time (DO
+// indices, scalar variables), e.g. the `s` in A(i+s) — these select
+// temporary_shift over overlap_shift in Table 1.
+#include <map>
+#include <set>
+#include <string>
+
+#include "frontend/ast.hpp"
+#include "frontend/sema.hpp"
+
+namespace f90d::compile {
+
+struct AffineSub {
+  enum class Kind { kAffine, kVector, kUnknown };
+  Kind kind = Kind::kUnknown;
+
+  /// forall-variable name -> integer coefficient (absent = 0).
+  std::map<std::string, long long> coefs;
+  /// Compile-time constant part, in source (declared-bounds) coordinates.
+  long long cst = 0;
+  /// Extra runtime-scalar part (cloned expression), may be null.
+  ast::ExprPtr runtime;
+  /// kVector: name of the indirection array and its (affine) inner subscript.
+  std::string vec_array;
+
+  [[nodiscard]] bool has_runtime() const { return runtime != nullptr; }
+  /// No forall variables at all: a scalar subscript ("s" or "d" in Table 1).
+  [[nodiscard]] bool is_scalar() const {
+    return kind == Kind::kAffine && coefs.empty();
+  }
+  /// Compile-time constant.
+  [[nodiscard]] bool is_const() const { return is_scalar() && !has_runtime(); }
+  /// Exactly one forall variable; returns its name or empty.
+  [[nodiscard]] std::string single_var() const {
+    return kind == Kind::kAffine && coefs.size() == 1 ? coefs.begin()->first
+                                                      : std::string{};
+  }
+  /// Coefficient of a variable (0 when absent).
+  [[nodiscard]] long long coef(const std::string& v) const {
+    auto it = coefs.find(v);
+    return it == coefs.end() ? 0 : it->second;
+  }
+  /// Render the runtime part for diagnostics/keys ("" when absent).
+  [[nodiscard]] std::string runtime_str() const {
+    return runtime ? ast::to_fortran(*runtime) : std::string{};
+  }
+
+  AffineSub clone() const;
+};
+
+/// Analyze one subscript expression.  `forall_vars` are the iteration
+/// variables of the enclosing (normalized) FORALL; every other integer
+/// scalar becomes part of the runtime term.
+[[nodiscard]] AffineSub analyze_subscript(
+    const ast::Expr& e, const std::set<std::string>& forall_vars,
+    const std::map<std::string, frontend::Symbol>& syms);
+
+/// Rebuild an AST expression equal to the affine form (used by codegen to
+/// materialize subscripts after transformations).
+[[nodiscard]] ast::ExprPtr affine_to_expr(const AffineSub& a);
+
+}  // namespace f90d::compile

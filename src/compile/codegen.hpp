@@ -1,0 +1,32 @@
+#pragma once
+// Code generation (paper §2 "Code Generation", §4 computation partitioning,
+// §5.2 Algorithm 1, §5.3 communication generation).
+//
+// Walks the normalized program and produces the SPMD IR: for every FORALL
+// it decides the computation partitioning (owner computes with set_BOUND
+// masking; block-partitioned iteration space for non-canonical lhs; owner
+// of A(i) for vector-valued lhs), runs Algorithm 1 to tag references with
+// structured/unstructured primitives, and materializes the communication
+// actions around the local loop nest.
+#include <map>
+
+#include "compile/normalize.hpp"
+#include "compile/spmd_ir.hpp"
+#include "mapping/mapping.hpp"
+
+namespace f90d::compile {
+
+struct CodegenOptions {
+  /// §7 optimizations (independently toggleable for the ablation benches).
+  bool eliminate_redundant_comm = true;  ///< drop provably local broadcasts
+  bool merge_shifts = true;              ///< union of overlap shifts
+  bool fuse_multicast_shift = true;      ///< fused multicast_shift primitive
+  bool reuse_schedules = true;           ///< schedule cache keys
+};
+
+[[nodiscard]] SpmdProgram generate(
+    const NormProgram& norm, const mapping::MappingTable& mapping,
+    const std::map<std::string, frontend::Symbol>& syms,
+    const CodegenOptions& options = {});
+
+}  // namespace f90d::compile

@@ -1,0 +1,86 @@
+#include "compile/comm_detect.hpp"
+
+namespace f90d::compile {
+
+const char* to_string(Table1Row r) {
+  switch (r) {
+    case Table1Row::kMulticast: return "multicast";
+    case Table1Row::kOverlapShift: return "overlap_shift";
+    case Table1Row::kTemporaryShift: return "temporary_shift";
+    case Table1Row::kTransfer: return "transfer";
+    case Table1Row::kNoComm: return "no_communication";
+    case Table1Row::kNotStructured: return "not_structured";
+  }
+  return "?";
+}
+
+const char* to_string(Table2Read r) {
+  switch (r) {
+    case Table2Read::kPrecompRead: return "precomp_read";
+    case Table2Read::kGather: return "gather";
+    case Table2Read::kGatherUnknown: return "gather(unknown)";
+  }
+  return "?";
+}
+
+const char* to_string(Table2Write w) {
+  switch (w) {
+    case Table2Write::kPostcompWrite: return "postcomp_write";
+    case Table2Write::kScatter: return "scatter";
+    case Table2Write::kScatterUnknown: return "scatter(unknown)";
+  }
+  return "?";
+}
+
+Table1Row classify_pair(const AffineSub& lhs_sub, const AffineSub& rhs_sub,
+                        bool block_dist) {
+  if (lhs_sub.kind != AffineSub::Kind::kAffine) return Table1Row::kNotStructured;
+  if (rhs_sub.kind != AffineSub::Kind::kAffine) return Table1Row::kNotStructured;
+
+  const bool lhs_scalar = lhs_sub.is_scalar();
+  const bool rhs_scalar = rhs_sub.is_scalar();
+
+  // Row 6: (d, s) — both fixed positions: one grid line talks to another.
+  if (lhs_scalar && rhs_scalar) return Table1Row::kTransfer;
+
+  // The remaining rows need a single-variable lhs subscript.  Composition
+  // with the ALIGN function may add constant offsets (0-based shifts), so
+  // the pattern match works on the *difference* of the two subscripts, not
+  // on absolute canonical form.
+  const std::string v = lhs_sub.single_var();
+  if (v.empty()) return Table1Row::kNotStructured;
+
+  // Row 1: (i, s).
+  if (rhs_scalar) return Table1Row::kMulticast;
+
+  // Rows 2-5, 7: same variable, same coefficient — the difference is a
+  // (possibly runtime) shift along the template dimension.
+  const std::string w = rhs_sub.single_var();
+  if (w != v || rhs_sub.coef(w) != lhs_sub.coef(v))
+    return Table1Row::kNotStructured;
+
+  // Differing runtime parts: the shift amount is only known at run time.
+  if (lhs_sub.runtime_str() != rhs_sub.runtime_str())
+    return Table1Row::kTemporaryShift;  // (i, i+s)
+  const long long dc = rhs_sub.cst - lhs_sub.cst;
+  if (dc == 0) return Table1Row::kNoComm;  // (i, i)
+  // (i, i+c): overlap areas need contiguous BLOCK chunks; the cyclic
+  // variants of Table 1 use temporary shifts.
+  return block_dist ? Table1Row::kOverlapShift : Table1Row::kTemporaryShift;
+}
+
+Table2Read classify_read(const AffineSub& sub) {
+  if (sub.kind == AffineSub::Kind::kVector) return Table2Read::kGather;
+  if (sub.kind == AffineSub::Kind::kAffine && sub.coefs.size() <= 1)
+    return Table2Read::kPrecompRead;  // f(i), invertible single-index affine
+  return Table2Read::kGatherUnknown;
+}
+
+Table2Write classify_write(const AffineSub& sub) {
+  if (sub.kind == AffineSub::Kind::kVector) return Table2Write::kScatter;
+  if (sub.kind == AffineSub::Kind::kAffine && sub.coefs.size() <= 1)
+    return Table2Write::kPostcompWrite;
+  return Table2Write::kScatterUnknown;
+}
+
+}  // namespace f90d::compile

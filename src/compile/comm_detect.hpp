@@ -1,0 +1,58 @@
+#pragma once
+// Communication detection (paper §5.2, Algorithm 1, Tables 1 and 2).
+//
+// The pure classifiers below implement the two tables; the driver that
+// walks a FORALL statement and tags every reference (Algorithm 1) lives in
+// codegen.cpp, which calls these.  Keeping the classifiers standalone lets
+// the test suite and bench_table1/2 exercise the tables row by row.
+#include "compile/affine.hpp"
+#include "rts/dad.hpp"
+
+namespace f90d::compile {
+
+/// Table 1 rows: structured primitives chosen from the relationship between
+/// the lhs and rhs subscripts of a dimension pair aligned to the same
+/// template dimension.  (c: compile-time constant, s/d: scalar.)
+enum class Table1Row {
+  kMulticast,       ///< (i, s)
+  kOverlapShift,    ///< (i, i+c) / (i, i-c)
+  kTemporaryShift,  ///< (i, i+s) / (i, i-s)
+  kTransfer,        ///< (d, s)
+  kNoComm,          ///< (i, i)
+  kNotStructured,   ///< no Table-1 pattern: fall through to Table 2
+};
+
+[[nodiscard]] const char* to_string(Table1Row r);
+
+/// Classify one (lhs_sub, rhs_sub) dimension pair.  Subscripts must already
+/// be composed with their ALIGN functions so that both live in the common
+/// template index domain.  `block_dist` selects the overlap-shift row (the
+/// cyclic variants use temporary shifts, as overlap areas require
+/// contiguous blocks).
+[[nodiscard]] Table1Row classify_pair(const AffineSub& lhs_sub,
+                                      const AffineSub& rhs_sub,
+                                      bool block_dist);
+
+/// Table 2, read side: how an untagged distributed RHS reference is brought
+/// in before the computation.
+enum class Table2Read {
+  kPrecompRead,  ///< f(i): invertible affine — local-only preprocessing
+  kGather,       ///< V(i): vector-valued subscript
+  kGatherUnknown ///< unknown (e.g. i+j): gather parallelizes any forall
+};
+
+[[nodiscard]] const char* to_string(Table2Read r);
+[[nodiscard]] Table2Read classify_read(const AffineSub& sub);
+
+/// Table 2, write side: how a non-canonical LHS is stored after the
+/// computation.
+enum class Table2Write {
+  kPostcompWrite,  ///< f(i)
+  kScatter,        ///< V(i)
+  kScatterUnknown  ///< unknown
+};
+
+[[nodiscard]] const char* to_string(Table2Write w);
+[[nodiscard]] Table2Write classify_write(const AffineSub& sub);
+
+}  // namespace f90d::compile

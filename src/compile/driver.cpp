@@ -1,0 +1,21 @@
+#include "compile/driver.hpp"
+
+#include "frontend/parser.hpp"
+
+namespace f90d::compile {
+
+Compiled compile_source(const std::string& source,
+                        const std::vector<int>& grid_override,
+                        const CodegenOptions& options, int default_nprocs) {
+  ast::Program ast = frontend::parse_program(source);
+  frontend::SemaResult sema = frontend::analyze(std::move(ast));
+  mapping::MappingTable mapping =
+      mapping::build_mapping(sema, grid_override, default_nprocs);
+  NormProgram norm = normalize(sema.program, sema.symbols);
+  SpmdProgram prog = generate(norm, mapping, sema.symbols, options);
+  std::string listing = emit_f77(prog);
+  return Compiled{std::move(sema), std::move(mapping), std::move(prog),
+                  std::move(listing)};
+}
+
+}  // namespace f90d::compile

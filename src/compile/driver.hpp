@@ -1,0 +1,28 @@
+#pragma once
+// The compiler driver: the full Figure-1 pipeline.
+//   Fortran 90D/HPF source
+//     -> lexer & parser -> sema -> partitioning (mapping) -> normalization
+//     -> communication detection & insertion (+ optimizations)
+//     -> SPMD code generation (IR + Fortran77+MP listing)
+#include <string>
+
+#include "compile/codegen.hpp"
+#include "compile/emit_f77.hpp"
+
+namespace f90d::compile {
+
+struct Compiled {
+  frontend::SemaResult sema;       ///< symbols include compiler temporaries
+  mapping::MappingTable mapping;
+  SpmdProgram program;
+  std::string listing;             ///< Fortran77+MP rendering
+};
+
+/// Compile a Fortran 90D/HPF source string for a machine whose logical grid
+/// is given by `grid_override` (empty = use the PROCESSORS directive).
+[[nodiscard]] Compiled compile_source(const std::string& source,
+                                      const std::vector<int>& grid_override = {},
+                                      const CodegenOptions& options = {},
+                                      int default_nprocs = 1);
+
+}  // namespace f90d::compile

@@ -1,0 +1,225 @@
+#include "compile/emit_f77.hpp"
+
+#include <sstream>
+
+namespace f90d::compile {
+
+namespace {
+
+class Emitter {
+ public:
+  explicit Emitter(const SpmdProgram& prog) : prog_(prog) {}
+
+  std::string run() {
+    for (const SpmdStmtPtr& s : prog_.body) emit_stmt(*s);
+    return os_.str();
+  }
+
+ private:
+  void line(const std::string& text) {
+    for (int i = 0; i < indent_; ++i) os_ << "  ";
+    os_ << "      " << text << "\n";
+  }
+  void comment(const std::string& text) {
+    for (int i = 0; i < indent_; ++i) os_ << "  ";
+    os_ << "C     " << text << "\n";
+  }
+
+  static std::string expr_str(const ast::ExprPtr& e) {
+    return e ? ast::to_fortran(*e) : std::string{};
+  }
+
+  std::string sub_str(const AffineSub& s) {
+    if (s.kind == AffineSub::Kind::kVector) return s.vec_array + "(...)";
+    if (s.kind == AffineSub::Kind::kUnknown) return "?";
+    return ast::to_fortran(*affine_to_expr(s));
+  }
+
+  void emit_action(const CommAction& a, const SpmdStmt& n) {
+    const RefInfo& ref = n.refs[static_cast<size_t>(a.ref_id)];
+    std::ostringstream call;
+    if (a.eliminated) {
+      comment("eliminated " + std::string(to_string(a.kind)) + " of " +
+              ref.array + " (" + a.note + ")");
+      return;
+    }
+    switch (a.kind) {
+      case CommKind::kOverlapShift:
+        call << "call overlap_shift(" << ref.array << ", " << ref.array
+             << "_DAD, dim=" << a.array_dim + 1
+             << ", shift=" << a.shift_amount << ")";
+        break;
+      case CommKind::kTemporaryShift:
+        call << "call temporary_shift(" << ref.array << ", " << ref.array
+             << "_DAD, TMP" << a.buffer_id << ")";
+        break;
+      case CommKind::kMulticast: {
+        call << "call multicast(" << ref.array << ", " << ref.array
+             << "_DAD, TMP" << a.buffer_id;
+        for (const auto& [d, sub] : a.root_subs)
+          call << ", source_proc=global_to_proc(" << sub_str(sub) << ")"
+               << ", dim=" << d + 1;
+        call << ")";
+        break;
+      }
+      case CommKind::kTransfer: {
+        call << "call transfer(" << ref.array << ", " << ref.array
+             << "_DAD, TMP" << a.buffer_id;
+        for (const auto& [d, sub] : a.root_subs)
+          call << ", source=global_to_proc(" << sub_str(sub) << ")";
+        for (const auto& [d, sub] : a.dest_subs)
+          call << ", dest=global_to_proc(" << sub_str(sub) << ")";
+        call << ")";
+        break;
+      }
+      case CommKind::kPrecompRead:
+        line("isch" + std::to_string(a.buffer_id) +
+             " = schedule1(receive_list, send_list, local_list, count)");
+        call << "call precomp_read(isch" << a.buffer_id << ", TMP"
+             << a.buffer_id << ", " << ref.array << ")";
+        break;
+      case CommKind::kGather:
+        line("isch" + std::to_string(a.buffer_id) +
+             " = schedule2(receive_list, local_list, count)");
+        call << "call gather(isch" << a.buffer_id << ", TMP" << a.buffer_id
+             << ", " << ref.array << ")";
+        break;
+      case CommKind::kPostcompWrite:
+        line("isch_w = schedule1(receive_list, send_list, local_list, count)");
+        call << "call postcomp_write(isch_w, " << ref.array << ", VAL)";
+        break;
+      case CommKind::kScatter:
+        line("isch_w = schedule3(proc_to, local_to, count)");
+        call << "call scatter(isch_w, " << ref.array << ", VAL)";
+        break;
+      case CommKind::kConcatWrite:
+        call << "call concatenation(" << ref.array << ", VAL)";
+        break;
+      case CommKind::kBcastElement: {
+        call << "call broadcast(" << ref.array << ", " << ref.array
+             << "_DAD, TMP" << a.buffer_id << ", root=global_to_proc(";
+        bool first = true;
+        for (const AffineSub& s : ref.subs) {
+          if (!first) call << ",";
+          call << sub_str(s);
+          first = false;
+        }
+        call << "))";
+        break;
+      }
+    }
+    if (!a.note.empty() && !a.eliminated) comment(a.note);
+    line(call.str());
+  }
+
+  void emit_stmt(const SpmdStmt& s) {
+    switch (s.kind) {
+      case SpmdKind::kForall: {
+        comment("FORALL compiled: " + expr_str(s.lhs) + " = " +
+                expr_str(s.rhs));
+        for (const ProcGuard& g : s.guards)
+          line("if (my_proc(" + std::to_string(g.dim + 1) + ") .ne. " +
+               "global_to_proc(" + const_cast<Emitter*>(this)->sub_str(g.sub) +
+               ")) goto 100");
+        int b = 1;
+        for (const IndexPartition& ip : s.indices) {
+          std::ostringstream sb;
+          sb << "call set_BOUND(lb" << b << ",ub" << b << ",st" << b << ","
+             << expr_str(ip.lo) << "," << expr_str(ip.hi) << ","
+             << (ip.st ? expr_str(ip.st) : "1");
+          if (!ip.array.empty())
+            sb << "," << ip.array << "_DIST," << ip.dim + 1;
+          else if (ip.synth_grid_dim >= 0)
+            sb << ",BLOCK," << ip.synth_grid_dim + 1;
+          sb << ")";
+          line(sb.str());
+          ++b;
+        }
+        for (const CommAction& a : s.pre) emit_action(a, s);
+        b = 1;
+        for (const IndexPartition& ip : s.indices) {
+          line("DO " + ip.var + " = lb" + std::to_string(b) + ", ub" +
+               std::to_string(b) + ", st" + std::to_string(b));
+          ++indent_;
+          ++b;
+        }
+        if (s.mask) {
+          line("IF (" + expr_str(s.mask) + ") THEN");
+          ++indent_;
+        }
+        line(expr_str(s.lhs) + " = " + expr_str(s.rhs));
+        if (s.mask) {
+          --indent_;
+          line("END IF");
+        }
+        for (size_t i = 0; i < s.indices.size(); ++i) {
+          --indent_;
+          line("END DO");
+        }
+        for (const CommAction& a : s.post) emit_action(a, s);
+        if (!s.guards.empty()) line("100  continue");
+        break;
+      }
+      case SpmdKind::kScalarAssign:
+        for (const CommAction& a : s.pre) emit_action(a, s);
+        line(s.target + " = " + expr_str(s.rhs));
+        break;
+      case SpmdKind::kReduce: {
+        comment("reduction " + s.reduce_op + " -> " + s.target);
+        for (const CommAction& a : s.pre) emit_action(a, s);
+        line(s.target + " = " + s.reduce_op + "_local(" + expr_str(s.rhs) +
+             ")");
+        line("call reduce_tree(" + s.target + ", " + s.reduce_op + ")");
+        break;
+      }
+      case SpmdKind::kArrayIntrinsic: {
+        std::ostringstream call;
+        call << "call rt_" << s.intrinsic << "(" << s.dest_array;
+        for (const ast::ExprPtr& a : s.call_args)
+          call << ", " << expr_str(a);
+        call << ")";
+        line(call.str());
+        break;
+      }
+      case SpmdKind::kSeqDo:
+        line("DO " + s.do_var + " = " + expr_str(s.do_lo) + ", " +
+             expr_str(s.do_hi) +
+             (s.do_st ? ", " + expr_str(s.do_st) : std::string{}));
+        ++indent_;
+        for (const SpmdStmtPtr& b2 : s.body) emit_stmt(*b2);
+        --indent_;
+        line("END DO");
+        break;
+      case SpmdKind::kIf:
+        line("IF (" + expr_str(s.mask) + ") THEN");
+        ++indent_;
+        for (const SpmdStmtPtr& b2 : s.body) emit_stmt(*b2);
+        --indent_;
+        if (!s.else_body.empty()) {
+          line("ELSE");
+          ++indent_;
+          for (const SpmdStmtPtr& b2 : s.else_body) emit_stmt(*b2);
+          --indent_;
+        }
+        line("END IF");
+        break;
+      case SpmdKind::kPrint: {
+        std::ostringstream p;
+        p << "if (my_id() .eq. 0) PRINT *";
+        for (const ast::ExprPtr& e : s.items) p << ", " << expr_str(e);
+        line(p.str());
+        break;
+      }
+    }
+  }
+
+  const SpmdProgram& prog_;
+  std::ostringstream os_;
+  int indent_ = 0;
+};
+
+}  // namespace
+
+std::string emit_f77(const SpmdProgram& prog) { return Emitter(prog).run(); }
+
+}  // namespace f90d::compile

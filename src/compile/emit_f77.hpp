@@ -1,0 +1,15 @@
+#pragma once
+// Emission of the "Fortran 77 + MP" node program listing, in the style of
+// the generated-code fragments in paper §5.3 (set_BOUND / set_DAD /
+// transfer / multicast / precomp_read / gather / scatter calls wrapped
+// around local DO loops).  The listing is for human inspection and golden
+// tests; execution happens through the SPMD IR interpreter.
+#include <string>
+
+#include "compile/spmd_ir.hpp"
+
+namespace f90d::compile {
+
+[[nodiscard]] std::string emit_f77(const SpmdProgram& prog);
+
+}  // namespace f90d::compile

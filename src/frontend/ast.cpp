@@ -1,0 +1,154 @@
+#include "frontend/ast.hpp"
+
+#include <sstream>
+
+#include "support/str_util.hpp"
+
+namespace f90d::ast {
+
+const char* to_string(BinOpKind k) {
+  switch (k) {
+    case BinOpKind::kAdd: return "+";
+    case BinOpKind::kSub: return "-";
+    case BinOpKind::kMul: return "*";
+    case BinOpKind::kDiv: return "/";
+    case BinOpKind::kPow: return "**";
+    case BinOpKind::kEq: return ".EQ.";
+    case BinOpKind::kNe: return ".NE.";
+    case BinOpKind::kLt: return ".LT.";
+    case BinOpKind::kLe: return ".LE.";
+    case BinOpKind::kGt: return ".GT.";
+    case BinOpKind::kGe: return ".GE.";
+    case BinOpKind::kAnd: return ".AND.";
+    case BinOpKind::kOr: return ".OR.";
+  }
+  return "?";
+}
+
+const char* to_string(BaseType t) {
+  switch (t) {
+    case BaseType::kInteger: return "INTEGER";
+    case BaseType::kReal: return "REAL";
+    case BaseType::kLogical: return "LOGICAL";
+  }
+  return "?";
+}
+
+ExprPtr Expr::clone() const {
+  auto e = std::make_unique<Expr>(kind);
+  e->loc = loc;
+  e->int_value = int_value;
+  e->real_value = real_value;
+  e->logical_value = logical_value;
+  e->name = name;
+  e->bin_op = bin_op;
+  e->un_op = un_op;
+  e->args.reserve(args.size());
+  for (const ExprPtr& a : args) e->args.push_back(a ? a->clone() : nullptr);
+  return e;
+}
+
+ExprPtr make_int(long long v, SourceLoc loc) {
+  auto e = std::make_unique<Expr>(ExprKind::kIntLit);
+  e->int_value = v;
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr make_real(double v, SourceLoc loc) {
+  auto e = std::make_unique<Expr>(ExprKind::kRealLit);
+  e->real_value = v;
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr make_logical(bool v, SourceLoc loc) {
+  auto e = std::make_unique<Expr>(ExprKind::kLogicalLit);
+  e->logical_value = v;
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr make_var(std::string name, SourceLoc loc) {
+  auto e = std::make_unique<Expr>(ExprKind::kVarRef);
+  e->name = std::move(name);
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr make_array_ref(std::string name, std::vector<ExprPtr> args,
+                       SourceLoc loc) {
+  auto e = std::make_unique<Expr>(ExprKind::kArrayRef);
+  e->name = std::move(name);
+  e->args = std::move(args);
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr make_bin(BinOpKind op, ExprPtr l, ExprPtr r, SourceLoc loc) {
+  auto e = std::make_unique<Expr>(ExprKind::kBinOp);
+  e->bin_op = op;
+  e->args.push_back(std::move(l));
+  e->args.push_back(std::move(r));
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr make_un(UnOpKind op, ExprPtr operand, SourceLoc loc) {
+  auto e = std::make_unique<Expr>(ExprKind::kUnOp);
+  e->un_op = op;
+  e->args.push_back(std::move(operand));
+  e->loc = loc;
+  return e;
+}
+
+std::string to_fortran(const Expr& e) {
+  std::ostringstream os;
+  switch (e.kind) {
+    case ExprKind::kIntLit:
+      os << e.int_value;
+      break;
+    case ExprKind::kRealLit: {
+      std::string s = strformat("%g", e.real_value);
+      if (s.find('.') == std::string::npos && s.find('e') == std::string::npos)
+        s += ".0";
+      os << s;
+      break;
+    }
+    case ExprKind::kLogicalLit:
+      os << (e.logical_value ? ".TRUE." : ".FALSE.");
+      break;
+    case ExprKind::kVarRef:
+      os << e.name;
+      break;
+    case ExprKind::kArrayRef: {
+      os << e.name << "(";
+      for (size_t i = 0; i < e.args.size(); ++i) {
+        if (i) os << ",";
+        os << (e.args[i] ? to_fortran(*e.args[i]) : "");
+      }
+      os << ")";
+      break;
+    }
+    case ExprKind::kTriplet: {
+      if (e.args[0]) os << to_fortran(*e.args[0]);
+      os << ":";
+      if (e.args[1]) os << to_fortran(*e.args[1]);
+      if (e.args.size() > 2 && e.args[2]) os << ":" << to_fortran(*e.args[2]);
+      break;
+    }
+    case ExprKind::kBinOp:
+      os << "(" << to_fortran(*e.args[0]) << to_string(e.bin_op)
+         << to_fortran(*e.args[1]) << ")";
+      break;
+    case ExprKind::kUnOp:
+      os << "("
+         << (e.un_op == UnOpKind::kNeg ? "-"
+                                       : e.un_op == UnOpKind::kNot ? ".NOT." : "+")
+         << to_fortran(*e.args[0]) << ")";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace f90d::ast

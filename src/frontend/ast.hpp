@@ -1,0 +1,198 @@
+#pragma once
+// Abstract syntax tree for the Fortran 90D/HPF subset the compiler accepts.
+//
+// Statement classes (paper §1–2): array assignment (with sections), WHERE,
+// FORALL (statement and construct), sequential DO / IF, PRINT, and the four
+// compiler directives PROCESSORS, TEMPLATE/DECOMPOSITION, ALIGN, DISTRIBUTE.
+// DO/WHILE loops are deliberately *sequential* control flow — the compiler
+// "exploits only the parallelism expressed in the data parallel constructs".
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/diag.hpp"
+
+namespace f90d::ast {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class BinOpKind {
+  kAdd, kSub, kMul, kDiv, kPow,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+enum class UnOpKind { kNeg, kPlus, kNot };
+
+[[nodiscard]] const char* to_string(BinOpKind k);
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind {
+  kIntLit, kRealLit, kLogicalLit,
+  kVarRef,     ///< scalar variable or whole-array reference by name
+  kArrayRef,   ///< NAME(arg, ...) — array element/section or function call
+  kTriplet,    ///< lo:hi:st inside an ArrayRef argument list
+  kBinOp, kUnOp,
+};
+
+struct Expr {
+  ExprKind kind;
+  SourceLoc loc;
+
+  // kIntLit / kRealLit / kLogicalLit
+  long long int_value = 0;
+  double real_value = 0.0;
+  bool logical_value = false;
+
+  // kVarRef / kArrayRef
+  std::string name;
+  std::vector<ExprPtr> args;
+
+  // kTriplet: args[0]=lo, args[1]=hi, args[2]=stride (any may be null)
+  // kBinOp: args[0], args[1];  kUnOp: args[0]
+  BinOpKind bin_op = BinOpKind::kAdd;
+  UnOpKind un_op = UnOpKind::kNeg;
+
+  explicit Expr(ExprKind k) : kind(k) {}
+
+  [[nodiscard]] ExprPtr clone() const;
+};
+
+ExprPtr make_int(long long v, SourceLoc loc = {});
+ExprPtr make_real(double v, SourceLoc loc = {});
+ExprPtr make_logical(bool v, SourceLoc loc = {});
+ExprPtr make_var(std::string name, SourceLoc loc = {});
+ExprPtr make_array_ref(std::string name, std::vector<ExprPtr> args,
+                       SourceLoc loc = {});
+ExprPtr make_bin(BinOpKind op, ExprPtr l, ExprPtr r, SourceLoc loc = {});
+ExprPtr make_un(UnOpKind op, ExprPtr e, SourceLoc loc = {});
+
+/// Render an expression as Fortran source (used by the F77+MP emitter and
+/// diagnostics).
+[[nodiscard]] std::string to_fortran(const Expr& e);
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind {
+  kAssign,   ///< lhs = rhs (scalar, array element, section or whole array)
+  kForall,   ///< FORALL (specs [, mask]) assignment(s)
+  kWhere,    ///< WHERE (mask) ... ELSEWHERE ... END WHERE
+  kDo,       ///< sequential DO var = lo, hi [, st]
+  kIf,       ///< IF (...) THEN ... ELSE ... END IF
+  kPrint,    ///< PRINT *, items
+};
+
+struct ForallSpec {
+  std::string var;
+  ExprPtr lo;
+  ExprPtr hi;
+  ExprPtr st;  ///< null = 1
+};
+
+struct Stmt {
+  StmtKind kind;
+  SourceLoc loc;
+
+  // kAssign
+  ExprPtr lhs;
+  ExprPtr rhs;
+
+  // kForall
+  std::vector<ForallSpec> specs;
+  ExprPtr mask;  ///< also the WHERE/IF condition
+  std::vector<StmtPtr> body;
+  std::vector<StmtPtr> else_body;  ///< ELSEWHERE / ELSE
+
+  // kDo
+  std::string do_var;
+  ExprPtr do_lo, do_hi, do_st;
+
+  // kPrint
+  std::vector<ExprPtr> items;
+
+  explicit Stmt(StmtKind k) : kind(k) {}
+};
+
+// ---------------------------------------------------------------------------
+// Declarations & directives
+// ---------------------------------------------------------------------------
+
+enum class BaseType { kInteger, kReal, kLogical };
+
+[[nodiscard]] const char* to_string(BaseType t);
+
+struct DimBounds {
+  ExprPtr lower;  ///< null = 1
+  ExprPtr upper;
+};
+
+struct VarDecl {
+  BaseType type = BaseType::kReal;
+  std::string name;
+  std::vector<DimBounds> dims;  ///< empty = scalar
+  bool is_parameter = false;
+  ExprPtr init;  ///< PARAMETER value
+  SourceLoc loc;
+};
+
+/// C$ PROCESSORS P(p, q, ...)
+struct ProcessorsDirective {
+  std::string name;
+  std::vector<ExprPtr> extents;
+  SourceLoc loc;
+};
+
+/// C$ TEMPLATE T(n, m) — the paper's DECOMPOSITION (both spellings parse).
+struct TemplateDirective {
+  std::string name;
+  std::vector<ExprPtr> extents;
+  SourceLoc loc;
+};
+
+/// One subscript position of `ALIGN A(I,J) WITH T(...)`: either an affine
+/// expression in a dummy index (stride*dummy + offset) or '*' (replication).
+struct AlignSub {
+  bool star = false;
+  int dummy = -1;           ///< index into the align dummy list, -1 if star
+  long long stride = 1;     ///< a
+  long long offset = 0;     ///< b (in 1-based source coordinates)
+};
+
+/// C$ ALIGN A(I, J) WITH T(J, I+1)
+struct AlignDirective {
+  std::string array;
+  std::vector<std::string> dummies;  ///< the (I, J) names
+  std::string templ;
+  std::vector<AlignSub> subs;        ///< one per template dimension
+  SourceLoc loc;
+};
+
+/// C$ DISTRIBUTE T(BLOCK, CYCLIC) [ONTO P]
+enum class DistSpec { kBlock, kCyclic, kStar };
+struct DistributeDirective {
+  std::string templ;
+  std::vector<DistSpec> specs;
+  std::string onto;  ///< processors arrangement name (may be empty)
+  SourceLoc loc;
+};
+
+struct Program {
+  std::string name;
+  std::vector<VarDecl> decls;
+  std::vector<ProcessorsDirective> processors;
+  std::vector<TemplateDirective> templates;
+  std::vector<AlignDirective> aligns;
+  std::vector<DistributeDirective> distributes;
+  std::vector<StmtPtr> body;
+};
+
+}  // namespace f90d::ast

@@ -1,0 +1,276 @@
+#include "frontend/lexer.hpp"
+
+#include <cctype>
+#include <cstring>
+
+#include "support/str_util.hpp"
+
+namespace f90d::frontend {
+
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) {}
+
+  std::vector<Token> run() {
+    while (!at_end()) {
+      lex_line();
+    }
+    // Terminate a final unterminated line (exactly once).
+    if (out_.empty() || out_.back().kind != TokKind::kEol)
+      push(TokKind::kEol);
+    push(TokKind::kEof);
+    return std::move(out_);
+  }
+
+ private:
+  [[nodiscard]] bool at_end() const { return pos_ >= src_.size(); }
+  [[nodiscard]] char peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+  [[nodiscard]] SourceLoc here() const { return SourceLoc{line_, col_}; }
+
+  void push(TokKind k, std::string text = {}) {
+    Token t;
+    t.kind = k;
+    t.text = std::move(text);
+    t.loc = here();
+    out_.push_back(std::move(t));
+  }
+
+  /// Handle the start of a physical line: directive sentinels and the
+  /// classic `C` full-line comment in column 1.
+  void lex_line() {
+    // Directive sentinels at column 1.
+    if (col_ == 1) {
+      for (const char* s : {"C$", "c$", "!HPF$", "!hpf$", "CHPF$", "chpf$",
+                            "!F90D$", "!f90d$"}) {
+        const size_t n = std::strlen(s);
+        if (src_.compare(pos_, n, s) == 0) {
+          push(TokKind::kDirective);
+          for (size_t i = 0; i < n; ++i) advance();
+          lex_rest_of_line();
+          return;
+        }
+      }
+      // NOTE: the classic fixed-form column-1 'C' comment is NOT supported —
+      // the source subset is free-form and `C = A` must stay a statement.
+    }
+    lex_rest_of_line();
+  }
+
+  void lex_rest_of_line() {
+    bool emitted = false;
+    while (!at_end()) {
+      const char c = peek();
+      if (c == '\n') {
+        advance();
+        if (emitted) push(TokKind::kEol);
+        return;
+      }
+      if (c == ' ' || c == '\t' || c == '\r') {
+        advance();
+        continue;
+      }
+      if (c == '!') {  // comment to end of line
+        while (!at_end() && peek() != '\n') advance();
+        continue;
+      }
+      if (c == '&') {  // continuation: swallow to (and incl.) the newline
+        advance();
+        while (!at_end() && peek() != '\n') {
+          if (peek() == '!') {
+            while (!at_end() && peek() != '\n') advance();
+            break;
+          }
+          if (!std::isspace(static_cast<unsigned char>(peek())))
+            throw ParseError(here(), "text after continuation '&'");
+          advance();
+        }
+        if (!at_end()) advance();  // newline
+        // optional leading '&' on the continued line
+        size_t save = pos_;
+        while (save < src_.size() &&
+               (src_[save] == ' ' || src_[save] == '\t'))
+          ++save;
+        if (save < src_.size() && src_[save] == '&') {
+          while (pos_ <= save) advance();
+        }
+        continue;
+      }
+      emitted = true;
+      lex_token();
+    }
+    if (emitted) push(TokKind::kEol);
+  }
+
+  void lex_token() {
+    const SourceLoc loc = here();
+    const char c = peek();
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      lex_number(loc);
+      return;
+    }
+    if (c == '.') {
+      lex_dot_operator(loc);
+      return;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string word;
+      while (!at_end() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                           peek() == '_'))
+        word += advance();
+      Token t;
+      t.kind = TokKind::kIdent;
+      t.text = to_upper(word);
+      t.loc = loc;
+      out_.push_back(std::move(t));
+      return;
+    }
+    advance();
+    switch (c) {
+      case '(': push(TokKind::kLParen); return;
+      case ')': push(TokKind::kRParen); return;
+      case ',': push(TokKind::kComma); return;
+      case ';': push(TokKind::kSemicolon); return;
+      case ':':
+        if (peek() == ':') {
+          advance();
+          push(TokKind::kColonColon);
+        } else {
+          push(TokKind::kColon);
+        }
+        return;
+      case '=':
+        if (peek() == '=') {
+          advance();
+          push(TokKind::kEq);
+        } else {
+          push(TokKind::kAssign);
+        }
+        return;
+      case '+': push(TokKind::kPlus); return;
+      case '-': push(TokKind::kMinus); return;
+      case '*':
+        if (peek() == '*') {
+          advance();
+          push(TokKind::kPow);
+        } else {
+          push(TokKind::kStar);
+        }
+        return;
+      case '/':
+        if (peek() == '=') {
+          advance();
+          push(TokKind::kNe);
+        } else {
+          push(TokKind::kSlash);
+        }
+        return;
+      case '<':
+        if (peek() == '=') {
+          advance();
+          push(TokKind::kLe);
+        } else {
+          push(TokKind::kLt);
+        }
+        return;
+      case '>':
+        if (peek() == '=') {
+          advance();
+          push(TokKind::kGe);
+        } else {
+          push(TokKind::kGt);
+        }
+        return;
+      default:
+        throw ParseError(loc, strformat("unexpected character '%c'", c));
+    }
+  }
+
+  void lex_number(SourceLoc loc) {
+    std::string num;
+    bool is_real = false;
+    while (!at_end() && std::isdigit(static_cast<unsigned char>(peek())))
+      num += advance();
+    // A '.' starts a fraction unless it introduces a dot-operator (.EQ. etc).
+    if (peek() == '.' && !std::isalpha(static_cast<unsigned char>(peek(1)))) {
+      is_real = true;
+      num += advance();
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek())))
+        num += advance();
+    }
+    if (peek() == 'e' || peek() == 'E' || peek() == 'd' || peek() == 'D') {
+      const char next = peek(1);
+      if (std::isdigit(static_cast<unsigned char>(next)) || next == '+' ||
+          next == '-') {
+        is_real = true;
+        advance();
+        num += 'e';
+        if (peek() == '+' || peek() == '-') num += advance();
+        while (!at_end() && std::isdigit(static_cast<unsigned char>(peek())))
+          num += advance();
+      }
+    }
+    Token t;
+    t.loc = loc;
+    if (is_real) {
+      t.kind = TokKind::kRealLit;
+      t.real_value = std::stod(num);
+    } else {
+      t.kind = TokKind::kIntLit;
+      t.int_value = std::stoll(num);
+    }
+    out_.push_back(std::move(t));
+  }
+
+  void lex_dot_operator(SourceLoc loc) {
+    advance();  // '.'
+    std::string word;
+    while (!at_end() && std::isalpha(static_cast<unsigned char>(peek())))
+      word += advance();
+    if (peek() != '.')
+      throw ParseError(loc, "malformed dot-operator ." + word);
+    advance();
+    const std::string up = to_upper(word);
+    Token t;
+    t.loc = loc;
+    if (up == "AND") t.kind = TokKind::kAnd;
+    else if (up == "OR") t.kind = TokKind::kOr;
+    else if (up == "NOT") t.kind = TokKind::kNot;
+    else if (up == "EQ") t.kind = TokKind::kEq;
+    else if (up == "NE") t.kind = TokKind::kNe;
+    else if (up == "LT") t.kind = TokKind::kLt;
+    else if (up == "LE") t.kind = TokKind::kLe;
+    else if (up == "GT") t.kind = TokKind::kGt;
+    else if (up == "GE") t.kind = TokKind::kGe;
+    else if (up == "TRUE") t.kind = TokKind::kTrue;
+    else if (up == "FALSE") t.kind = TokKind::kFalse;
+    else throw ParseError(loc, "unknown dot-operator ." + up + ".");
+    out_.push_back(std::move(t));
+  }
+
+  const std::string& src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  std::vector<Token> out_;
+};
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& source) { return Lexer(source).run(); }
+
+}  // namespace f90d::frontend

@@ -1,0 +1,37 @@
+#pragma once
+// Lexer for the Fortran 90D/HPF subset.  Free-form source; `!` comments;
+// `&` line continuation; case-insensitive (identifiers are upper-cased);
+// directive lines introduced by C$ / !HPF$ / CHPF$ / !F90D$ become a
+// kDirective token followed by the directive's tokens.
+#include <string>
+#include <vector>
+
+#include "support/diag.hpp"
+
+namespace f90d::frontend {
+
+enum class TokKind {
+  kEof, kEol,
+  kDirective,     ///< start of a directive line (C$ ...)
+  kIdent, kIntLit, kRealLit,
+  kTrue, kFalse,
+  // punctuation / operators
+  kLParen, kRParen, kComma, kColon, kColonColon, kSemicolon,
+  kAssign,   // =
+  kPlus, kMinus, kStar, kSlash, kPow,  // + - * / **
+  kEq, kNe, kLt, kLe, kGt, kGe,        // == /= < <= > >= and .EQ. family
+  kAnd, kOr, kNot,                     // .AND. .OR. .NOT.
+};
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;       ///< upper-cased for identifiers
+  long long int_value = 0;
+  double real_value = 0.0;
+  SourceLoc loc;
+};
+
+/// Tokenize an entire source buffer.  Throws ParseError on bad characters.
+[[nodiscard]] std::vector<Token> lex(const std::string& source);
+
+}  // namespace f90d::frontend

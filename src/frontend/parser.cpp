@@ -1,0 +1,669 @@
+#include "frontend/parser.hpp"
+
+#include <optional>
+
+namespace f90d::frontend {
+
+using namespace ast;
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  Program parse_program() {
+    Program prog;
+    skip_eols();
+    expect_keyword("PROGRAM");
+    prog.name = expect_ident();
+    expect_eol();
+
+    // Declarations and directives come before the first executable
+    // statement, as in Fortran.
+    for (;;) {
+      skip_eols();
+      if (at(TokKind::kDirective)) {
+        parse_directive(prog);
+        continue;
+      }
+      if (at_keyword("INTEGER") || at_keyword("REAL") || at_keyword("LOGICAL")) {
+        parse_type_decl(prog);
+        continue;
+      }
+      if (at_keyword("PARAMETER")) {
+        parse_parameter_stmt(prog);
+        continue;
+      }
+      break;
+    }
+
+    // Executable statements until END.
+    for (;;) {
+      skip_eols();
+      if (at_keyword("END")) {
+        next();
+        if (at_keyword("PROGRAM")) {
+          next();
+          if (at(TokKind::kIdent)) next();
+        }
+        break;
+      }
+      if (at(TokKind::kEof))
+        throw ParseError(peek().loc, "missing END PROGRAM");
+      prog.body.push_back(parse_statement());
+    }
+    return prog;
+  }
+
+  ExprPtr parse_expr_entry() {
+    ExprPtr e = parse_expr();
+    return e;
+  }
+
+ private:
+  // --- token plumbing -------------------------------------------------------
+  [[nodiscard]] const Token& peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  const Token& next() { return toks_[pos_ < toks_.size() - 1 ? pos_++ : pos_]; }
+  [[nodiscard]] bool at(TokKind k) const { return peek().kind == k; }
+  [[nodiscard]] bool at_keyword(const char* kw) const {
+    return peek().kind == TokKind::kIdent && peek().text == kw;
+  }
+  bool accept(TokKind k) {
+    if (at(k)) {
+      next();
+      return true;
+    }
+    return false;
+  }
+  bool accept_keyword(const char* kw) {
+    if (at_keyword(kw)) {
+      next();
+      return true;
+    }
+    return false;
+  }
+  void expect(TokKind k, const char* what) {
+    if (!at(k)) throw ParseError(peek().loc, std::string("expected ") + what);
+    next();
+  }
+  void expect_keyword(const char* kw) {
+    if (!at_keyword(kw))
+      throw ParseError(peek().loc, std::string("expected ") + kw);
+    next();
+  }
+  std::string expect_ident() {
+    if (!at(TokKind::kIdent))
+      throw ParseError(peek().loc, "expected identifier");
+    return next().text;
+  }
+  void expect_eol() {
+    if (at(TokKind::kEof)) return;
+    if (!at(TokKind::kEol) && !at(TokKind::kSemicolon))
+      throw ParseError(peek().loc, "expected end of statement");
+    next();
+  }
+  void skip_eols() {
+    while (at(TokKind::kEol) || at(TokKind::kSemicolon)) next();
+  }
+
+  // --- declarations ---------------------------------------------------------
+  void parse_type_decl(Program& prog) {
+    BaseType type = BaseType::kReal;
+    if (accept_keyword("INTEGER")) type = BaseType::kInteger;
+    else if (accept_keyword("REAL")) type = BaseType::kReal;
+    else if (accept_keyword("LOGICAL")) type = BaseType::kLogical;
+
+    bool is_parameter = false;
+    if (accept(TokKind::kComma)) {
+      expect_keyword("PARAMETER");
+      is_parameter = true;
+    }
+    accept(TokKind::kColonColon);
+
+    for (;;) {
+      VarDecl d;
+      d.type = type;
+      d.is_parameter = is_parameter;
+      d.loc = peek().loc;
+      d.name = expect_ident();
+      if (accept(TokKind::kLParen)) {
+        for (;;) {
+          DimBounds b;
+          ExprPtr first = parse_expr();
+          if (accept(TokKind::kColon)) {
+            b.lower = std::move(first);
+            b.upper = parse_expr();
+          } else {
+            b.upper = std::move(first);
+          }
+          d.dims.push_back(std::move(b));
+          if (!accept(TokKind::kComma)) break;
+        }
+        expect(TokKind::kRParen, ")");
+      }
+      if (accept(TokKind::kAssign)) d.init = parse_expr();
+      prog.decls.push_back(std::move(d));
+      if (!accept(TokKind::kComma)) break;
+    }
+    expect_eol();
+  }
+
+  /// PARAMETER (N = 1023, M = 16): retrofits init/parameter onto existing
+  /// declarations, or creates INTEGER parameters.
+  void parse_parameter_stmt(Program& prog) {
+    expect_keyword("PARAMETER");
+    expect(TokKind::kLParen, "(");
+    for (;;) {
+      const SourceLoc loc = peek().loc;
+      const std::string name = expect_ident();
+      expect(TokKind::kAssign, "=");
+      ExprPtr value = parse_expr();
+      bool found = false;
+      for (VarDecl& d : prog.decls) {
+        if (d.name == name) {
+          d.is_parameter = true;
+          d.init = std::move(value);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        VarDecl d;
+        d.type = BaseType::kInteger;
+        d.name = name;
+        d.is_parameter = true;
+        d.init = std::move(value);
+        d.loc = loc;
+        prog.decls.push_back(std::move(d));
+      }
+      if (!accept(TokKind::kComma)) break;
+    }
+    expect(TokKind::kRParen, ")");
+    expect_eol();
+  }
+
+  // --- directives -----------------------------------------------------------
+  void parse_directive(Program& prog) {
+    expect(TokKind::kDirective, "directive");
+    if (accept_keyword("PROCESSORS")) {
+      ProcessorsDirective d;
+      d.loc = peek().loc;
+      d.name = expect_ident();
+      expect(TokKind::kLParen, "(");
+      for (;;) {
+        d.extents.push_back(parse_expr());
+        if (!accept(TokKind::kComma)) break;
+      }
+      expect(TokKind::kRParen, ")");
+      prog.processors.push_back(std::move(d));
+    } else if (at_keyword("TEMPLATE") || at_keyword("DECOMPOSITION")) {
+      next();
+      TemplateDirective d;
+      d.loc = peek().loc;
+      d.name = expect_ident();
+      expect(TokKind::kLParen, "(");
+      for (;;) {
+        d.extents.push_back(parse_expr());
+        if (!accept(TokKind::kComma)) break;
+      }
+      expect(TokKind::kRParen, ")");
+      prog.templates.push_back(std::move(d));
+    } else if (accept_keyword("ALIGN")) {
+      prog.aligns.push_back(parse_align());
+    } else if (accept_keyword("DISTRIBUTE")) {
+      prog.distributes.push_back(parse_distribute());
+    } else {
+      throw ParseError(peek().loc, "unknown directive " + peek().text);
+    }
+    expect_eol();
+  }
+
+  AlignDirective parse_align() {
+    // ALIGN A(I, J) WITH T(J, I+1)
+    AlignDirective d;
+    d.loc = peek().loc;
+    d.array = expect_ident();
+    if (accept(TokKind::kLParen)) {
+      for (;;) {
+        d.dummies.push_back(expect_ident());
+        if (!accept(TokKind::kComma)) break;
+      }
+      expect(TokKind::kRParen, ")");
+    }
+    expect_keyword("WITH");
+    d.templ = expect_ident();
+    expect(TokKind::kLParen, "(");
+    for (;;) {
+      d.subs.push_back(parse_align_sub(d.dummies));
+      if (!accept(TokKind::kComma)) break;
+    }
+    expect(TokKind::kRParen, ")");
+    return d;
+  }
+
+  /// Template subscript: '*' | [c '*'] dummy [('+'|'-') c] | dummy '*' c ...
+  AlignSub parse_align_sub(const std::vector<std::string>& dummies) {
+    AlignSub sub;
+    if (accept(TokKind::kStar)) {
+      sub.star = true;
+      return sub;
+    }
+    // Accept the affine forms: I, I+c, I-c, c*I, c*I+d, I*c ...
+    long long stride = 1;
+    if (at(TokKind::kIntLit)) {
+      stride = next().int_value;
+      expect(TokKind::kStar, "*");
+    }
+    const SourceLoc loc = peek().loc;
+    const std::string name = expect_ident();
+    int dummy = -1;
+    for (size_t i = 0; i < dummies.size(); ++i)
+      if (dummies[i] == name) dummy = static_cast<int>(i);
+    if (dummy < 0)
+      throw ParseError(loc, "align subscript uses unknown dummy " + name);
+    sub.dummy = dummy;
+    if (accept(TokKind::kStar)) {
+      if (!at(TokKind::kIntLit))
+        throw ParseError(peek().loc, "expected integer stride");
+      stride *= next().int_value;
+    }
+    sub.stride = stride;
+    if (accept(TokKind::kPlus)) {
+      if (!at(TokKind::kIntLit))
+        throw ParseError(peek().loc, "expected integer offset");
+      sub.offset = next().int_value;
+    } else if (accept(TokKind::kMinus)) {
+      if (!at(TokKind::kIntLit))
+        throw ParseError(peek().loc, "expected integer offset");
+      sub.offset = -next().int_value;
+    }
+    return sub;
+  }
+
+  DistributeDirective parse_distribute() {
+    // DISTRIBUTE T(BLOCK, CYCLIC) [ONTO P]
+    DistributeDirective d;
+    d.loc = peek().loc;
+    d.templ = expect_ident();
+    expect(TokKind::kLParen, "(");
+    for (;;) {
+      if (accept(TokKind::kStar)) {
+        d.specs.push_back(DistSpec::kStar);
+      } else {
+        const SourceLoc loc = peek().loc;
+        const std::string kw = expect_ident();
+        if (kw == "BLOCK") d.specs.push_back(DistSpec::kBlock);
+        else if (kw == "CYCLIC") d.specs.push_back(DistSpec::kCyclic);
+        else throw ParseError(loc, "expected BLOCK, CYCLIC or *");
+      }
+      if (!accept(TokKind::kComma)) break;
+    }
+    expect(TokKind::kRParen, ")");
+    if (accept_keyword("ONTO")) d.onto = expect_ident();
+    return d;
+  }
+
+  // --- statements -----------------------------------------------------------
+  StmtPtr parse_statement() {
+    if (at_keyword("FORALL")) return parse_forall();
+    if (at_keyword("WHERE")) return parse_where();
+    if (at_keyword("DO")) return parse_do();
+    if (at_keyword("IF")) return parse_if();
+    if (at_keyword("PRINT")) return parse_print();
+    return parse_assignment();
+  }
+
+  StmtPtr parse_assignment() {
+    auto s = std::make_unique<Stmt>(StmtKind::kAssign);
+    s->loc = peek().loc;
+    s->lhs = parse_designator();
+    expect(TokKind::kAssign, "=");
+    s->rhs = parse_expr();
+    expect_eol();
+    return s;
+  }
+
+  /// An assignment target: NAME or NAME(subscripts-or-sections).
+  ExprPtr parse_designator() {
+    const SourceLoc loc = peek().loc;
+    std::string name = expect_ident();
+    if (!at(TokKind::kLParen)) return make_var(std::move(name), loc);
+    next();
+    std::vector<ExprPtr> args;
+    for (;;) {
+      args.push_back(parse_arg());
+      if (!accept(TokKind::kComma)) break;
+    }
+    expect(TokKind::kRParen, ")");
+    return make_array_ref(std::move(name), std::move(args), loc);
+  }
+
+  StmtPtr parse_forall() {
+    auto s = std::make_unique<Stmt>(StmtKind::kForall);
+    s->loc = peek().loc;
+    expect_keyword("FORALL");
+    expect(TokKind::kLParen, "(");
+    for (;;) {
+      if (at(TokKind::kIdent) && peek(1).kind == TokKind::kAssign) {
+        ForallSpec spec;
+        spec.var = expect_ident();
+        expect(TokKind::kAssign, "=");
+        spec.lo = parse_expr();
+        expect(TokKind::kColon, ":");
+        spec.hi = parse_expr();
+        if (accept(TokKind::kColon)) spec.st = parse_expr();
+        s->specs.push_back(std::move(spec));
+        if (accept(TokKind::kComma)) continue;
+        break;
+      }
+      // Trailing mask expression.
+      s->mask = parse_expr();
+      break;
+    }
+    expect(TokKind::kRParen, ")");
+    if (at(TokKind::kEol) || at(TokKind::kSemicolon)) {
+      // FORALL construct: body of assignments until END FORALL.
+      expect_eol();
+      for (;;) {
+        skip_eols();
+        if (accept_keyword("ENDFORALL")) break;
+        if (at_keyword("END") && peek(1).kind == TokKind::kIdent &&
+            peek(1).text == "FORALL") {
+          next();
+          next();
+          break;
+        }
+        s->body.push_back(parse_assignment());
+      }
+      expect_eol();
+    } else {
+      s->body.push_back(parse_assignment());
+    }
+    return s;
+  }
+
+  StmtPtr parse_where() {
+    auto s = std::make_unique<Stmt>(StmtKind::kWhere);
+    s->loc = peek().loc;
+    expect_keyword("WHERE");
+    expect(TokKind::kLParen, "(");
+    s->mask = parse_expr();
+    expect(TokKind::kRParen, ")");
+    if (!at(TokKind::kEol) && !at(TokKind::kSemicolon)) {
+      s->body.push_back(parse_assignment());
+      return s;
+    }
+    expect_eol();
+    bool in_else = false;
+    for (;;) {
+      skip_eols();
+      if (accept_keyword("ELSEWHERE")) {
+        expect_eol();
+        in_else = true;
+        continue;
+      }
+      if (accept_keyword("ENDWHERE")) break;
+      if (at_keyword("END") && peek(1).kind == TokKind::kIdent &&
+          peek(1).text == "WHERE") {
+        next();
+        next();
+        break;
+      }
+      (in_else ? s->else_body : s->body).push_back(parse_assignment());
+    }
+    expect_eol();
+    return s;
+  }
+
+  StmtPtr parse_do() {
+    auto s = std::make_unique<Stmt>(StmtKind::kDo);
+    s->loc = peek().loc;
+    expect_keyword("DO");
+    s->do_var = expect_ident();
+    expect(TokKind::kAssign, "=");
+    s->do_lo = parse_expr();
+    expect(TokKind::kComma, ",");
+    s->do_hi = parse_expr();
+    if (accept(TokKind::kComma)) s->do_st = parse_expr();
+    expect_eol();
+    for (;;) {
+      skip_eols();
+      if (accept_keyword("ENDDO")) break;
+      if (at_keyword("END") && peek(1).kind == TokKind::kIdent &&
+          peek(1).text == "DO") {
+        next();
+        next();
+        break;
+      }
+      s->body.push_back(parse_statement());
+    }
+    expect_eol();
+    return s;
+  }
+
+  StmtPtr parse_if() {
+    auto s = std::make_unique<Stmt>(StmtKind::kIf);
+    s->loc = peek().loc;
+    expect_keyword("IF");
+    expect(TokKind::kLParen, "(");
+    s->mask = parse_expr();
+    expect(TokKind::kRParen, ")");
+    if (!at_keyword("THEN")) {
+      // One-line IF.
+      s->body.push_back(parse_statement());
+      return s;
+    }
+    next();  // THEN
+    expect_eol();
+    bool in_else = false;
+    for (;;) {
+      skip_eols();
+      if (accept_keyword("ELSE")) {
+        expect_eol();
+        in_else = true;
+        continue;
+      }
+      if (accept_keyword("ENDIF")) break;
+      if (at_keyword("END") && peek(1).kind == TokKind::kIdent &&
+          peek(1).text == "IF") {
+        next();
+        next();
+        break;
+      }
+      (in_else ? s->else_body : s->body).push_back(parse_statement());
+    }
+    expect_eol();
+    return s;
+  }
+
+  StmtPtr parse_print() {
+    auto s = std::make_unique<Stmt>(StmtKind::kPrint);
+    s->loc = peek().loc;
+    expect_keyword("PRINT");
+    expect(TokKind::kStar, "*");
+    while (accept(TokKind::kComma)) s->items.push_back(parse_expr());
+    expect_eol();
+    return s;
+  }
+
+  // --- expressions ----------------------------------------------------------
+  /// Array-reference argument: expression or section triplet.
+  ExprPtr parse_arg() {
+    const SourceLoc loc = peek().loc;
+    ExprPtr lo, hi, st;
+    const bool starts_with_colon = at(TokKind::kColon);
+    if (!starts_with_colon) lo = parse_expr();
+    if (accept(TokKind::kColon)) {
+      if (!at(TokKind::kComma) && !at(TokKind::kRParen) &&
+          !at(TokKind::kColon))
+        hi = parse_expr();
+      if (accept(TokKind::kColon)) st = parse_expr();
+      auto t = std::make_unique<Expr>(ExprKind::kTriplet);
+      t->loc = loc;
+      t->args.push_back(std::move(lo));
+      t->args.push_back(std::move(hi));
+      t->args.push_back(std::move(st));
+      return t;
+    }
+    return lo;
+  }
+
+  ExprPtr parse_expr() { return parse_or(); }
+
+  ExprPtr parse_or() {
+    ExprPtr e = parse_and();
+    while (at(TokKind::kOr)) {
+      const SourceLoc loc = next().loc;
+      e = make_bin(BinOpKind::kOr, std::move(e), parse_and(), loc);
+    }
+    return e;
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr e = parse_not();
+    while (at(TokKind::kAnd)) {
+      const SourceLoc loc = next().loc;
+      e = make_bin(BinOpKind::kAnd, std::move(e), parse_not(), loc);
+    }
+    return e;
+  }
+
+  ExprPtr parse_not() {
+    if (at(TokKind::kNot)) {
+      const SourceLoc loc = next().loc;
+      return make_un(UnOpKind::kNot, parse_not(), loc);
+    }
+    return parse_compare();
+  }
+
+  ExprPtr parse_compare() {
+    ExprPtr e = parse_addsub();
+    for (;;) {
+      BinOpKind op;
+      if (at(TokKind::kEq)) op = BinOpKind::kEq;
+      else if (at(TokKind::kNe)) op = BinOpKind::kNe;
+      else if (at(TokKind::kLt)) op = BinOpKind::kLt;
+      else if (at(TokKind::kLe)) op = BinOpKind::kLe;
+      else if (at(TokKind::kGt)) op = BinOpKind::kGt;
+      else if (at(TokKind::kGe)) op = BinOpKind::kGe;
+      else return e;
+      const SourceLoc loc = next().loc;
+      e = make_bin(op, std::move(e), parse_addsub(), loc);
+    }
+  }
+
+  ExprPtr parse_addsub() {
+    ExprPtr e = parse_muldiv();
+    for (;;) {
+      if (at(TokKind::kPlus)) {
+        const SourceLoc loc = next().loc;
+        e = make_bin(BinOpKind::kAdd, std::move(e), parse_muldiv(), loc);
+      } else if (at(TokKind::kMinus)) {
+        const SourceLoc loc = next().loc;
+        e = make_bin(BinOpKind::kSub, std::move(e), parse_muldiv(), loc);
+      } else {
+        return e;
+      }
+    }
+  }
+
+  ExprPtr parse_muldiv() {
+    ExprPtr e = parse_unary();
+    for (;;) {
+      if (at(TokKind::kStar)) {
+        const SourceLoc loc = next().loc;
+        e = make_bin(BinOpKind::kMul, std::move(e), parse_unary(), loc);
+      } else if (at(TokKind::kSlash)) {
+        const SourceLoc loc = next().loc;
+        e = make_bin(BinOpKind::kDiv, std::move(e), parse_unary(), loc);
+      } else {
+        return e;
+      }
+    }
+  }
+
+  ExprPtr parse_unary() {
+    if (at(TokKind::kMinus)) {
+      const SourceLoc loc = next().loc;
+      return make_un(UnOpKind::kNeg, parse_unary(), loc);
+    }
+    if (at(TokKind::kPlus)) {
+      const SourceLoc loc = next().loc;
+      return make_un(UnOpKind::kPlus, parse_unary(), loc);
+    }
+    return parse_power();
+  }
+
+  ExprPtr parse_power() {
+    ExprPtr base = parse_primary();
+    if (at(TokKind::kPow)) {
+      const SourceLoc loc = next().loc;
+      // Right-associative.
+      return make_bin(BinOpKind::kPow, std::move(base), parse_unary(), loc);
+    }
+    return base;
+  }
+
+  ExprPtr parse_primary() {
+    const Token& t = peek();
+    switch (t.kind) {
+      case TokKind::kIntLit: {
+        next();
+        return make_int(t.int_value, t.loc);
+      }
+      case TokKind::kRealLit: {
+        next();
+        return make_real(t.real_value, t.loc);
+      }
+      case TokKind::kTrue: {
+        next();
+        return make_logical(true, t.loc);
+      }
+      case TokKind::kFalse: {
+        next();
+        return make_logical(false, t.loc);
+      }
+      case TokKind::kLParen: {
+        next();
+        ExprPtr e = parse_expr();
+        expect(TokKind::kRParen, ")");
+        return e;
+      }
+      case TokKind::kIdent: {
+        std::string name = next().text;
+        if (!at(TokKind::kLParen)) return make_var(std::move(name), t.loc);
+        next();
+        std::vector<ExprPtr> args;
+        if (!at(TokKind::kRParen)) {
+          for (;;) {
+            args.push_back(parse_arg());
+            if (!accept(TokKind::kComma)) break;
+          }
+        }
+        expect(TokKind::kRParen, ")");
+        return make_array_ref(std::move(name), std::move(args), t.loc);
+      }
+      default:
+        throw ParseError(t.loc, "unexpected token in expression");
+    }
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+ast::Program parse_program(const std::string& source) {
+  return Parser(lex(source)).parse_program();
+}
+
+ast::ExprPtr parse_expression(const std::string& source) {
+  return Parser(lex(source)).parse_expr_entry();
+}
+
+}  // namespace f90d::frontend

@@ -1,0 +1,22 @@
+#pragma once
+// Recursive-descent parser producing an ast::Program.
+//
+// The paper's prototype used a ParaSoft Fortran 90 front end (proprietary);
+// this is our substitute.  It accepts the statement classes the compiler
+// handles — array assignment, WHERE, FORALL, DO, IF, PRINT — plus the
+// Fortran D directives PROCESSORS, TEMPLATE/DECOMPOSITION, ALIGN,
+// DISTRIBUTE, in both `C$` and `!HPF$` spellings.
+#include <string>
+
+#include "frontend/ast.hpp"
+#include "frontend/lexer.hpp"
+
+namespace f90d::frontend {
+
+/// Parse a whole program unit.  Throws ParseError on malformed input.
+[[nodiscard]] ast::Program parse_program(const std::string& source);
+
+/// Parse a single expression (testing hook).
+[[nodiscard]] ast::ExprPtr parse_expression(const std::string& source);
+
+}  // namespace f90d::frontend

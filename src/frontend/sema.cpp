@@ -1,0 +1,335 @@
+#include "frontend/sema.hpp"
+
+#include <cmath>
+#include <set>
+
+namespace f90d::frontend {
+
+using namespace ast;
+
+long long eval_int_const(const Expr& e,
+                         const std::map<std::string, Symbol>& syms) {
+  switch (e.kind) {
+    case ExprKind::kIntLit:
+      return e.int_value;
+    case ExprKind::kVarRef: {
+      auto it = syms.find(e.name);
+      if (it != syms.end() && it->second.is_parameter &&
+          it->second.type == BaseType::kInteger)
+        return it->second.int_value;
+      throw SemaError(e.loc, e.name + " is not an integer constant");
+    }
+    case ExprKind::kUnOp: {
+      const long long v = eval_int_const(*e.args[0], syms);
+      switch (e.un_op) {
+        case UnOpKind::kNeg: return -v;
+        case UnOpKind::kPlus: return v;
+        default: throw SemaError(e.loc, "non-arithmetic constant expression");
+      }
+    }
+    case ExprKind::kBinOp: {
+      const long long a = eval_int_const(*e.args[0], syms);
+      const long long b = eval_int_const(*e.args[1], syms);
+      switch (e.bin_op) {
+        case BinOpKind::kAdd: return a + b;
+        case BinOpKind::kSub: return a - b;
+        case BinOpKind::kMul: return a * b;
+        case BinOpKind::kDiv:
+          if (b == 0) throw SemaError(e.loc, "division by zero in constant");
+          return a / b;
+        case BinOpKind::kPow: {
+          long long r = 1;
+          for (long long i = 0; i < b; ++i) r *= a;
+          return r;
+        }
+        default:
+          throw SemaError(e.loc, "non-arithmetic constant expression");
+      }
+    }
+    default:
+      throw SemaError(e.loc, "expression is not an integer constant");
+  }
+}
+
+namespace {
+
+class Analyzer {
+ public:
+  explicit Analyzer(Program prog) : prog_(std::move(prog)) {}
+
+  SemaResult run() {
+    collect_decls();
+    collect_templates();
+    attach_directives();
+    for (const StmtPtr& s : prog_.body) check_stmt(*s);
+
+    SemaResult result;
+    result.symbols = std::move(syms_);
+    result.templates = std::move(templates_);
+    result.processors = std::move(procs_);
+    result.program = std::move(prog_);
+    return result;
+  }
+
+ private:
+  void collect_decls() {
+    for (VarDecl& d : prog_.decls) {
+      if (syms_.count(d.name))
+        throw SemaError(d.loc, "redeclaration of " + d.name);
+      Symbol s;
+      s.type = d.type;
+      s.is_parameter = d.is_parameter;
+      // Parameters must be foldable before arrays use them in bounds, and
+      // decls appear in order, so fold eagerly.
+      if (d.is_parameter) {
+        require(d.init != nullptr, "parameter with initializer");
+        if (d.type == BaseType::kInteger) {
+          s.int_value = eval_int_const(*d.init, syms_);
+        } else if (d.type == BaseType::kReal) {
+          s.real_value = eval_real_const(*d.init);
+        } else {
+          throw SemaError(d.loc, "LOGICAL parameters are not supported");
+        }
+      }
+      for (const DimBounds& b : d.dims) {
+        const long long lo = b.lower ? eval_int_const(*b.lower, syms_) : 1;
+        const long long hi = eval_int_const(*b.upper, syms_);
+        if (hi < lo)
+          throw SemaError(d.loc, "empty dimension in declaration of " + d.name);
+        s.lower.push_back(lo);
+        s.extent.push_back(hi - lo + 1);
+      }
+      syms_.emplace(d.name, std::move(s));
+    }
+  }
+
+  double eval_real_const(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kRealLit: return e.real_value;
+      case ExprKind::kIntLit: return static_cast<double>(e.int_value);
+      case ExprKind::kVarRef: {
+        auto it = syms_.find(e.name);
+        if (it != syms_.end() && it->second.is_parameter) {
+          return it->second.type == BaseType::kInteger
+                     ? static_cast<double>(it->second.int_value)
+                     : it->second.real_value;
+        }
+        throw SemaError(e.loc, e.name + " is not a constant");
+      }
+      case ExprKind::kUnOp: {
+        const double v = eval_real_const(*e.args[0]);
+        return e.un_op == UnOpKind::kNeg ? -v : v;
+      }
+      case ExprKind::kBinOp: {
+        const double a = eval_real_const(*e.args[0]);
+        const double b = eval_real_const(*e.args[1]);
+        switch (e.bin_op) {
+          case BinOpKind::kAdd: return a + b;
+          case BinOpKind::kSub: return a - b;
+          case BinOpKind::kMul: return a * b;
+          case BinOpKind::kDiv: return a / b;
+          case BinOpKind::kPow: return std::pow(a, b);
+          default: break;
+        }
+        throw SemaError(e.loc, "non-arithmetic constant expression");
+      }
+      default:
+        throw SemaError(e.loc, "expression is not a constant");
+    }
+  }
+
+  void collect_templates() {
+    if (prog_.processors.size() > 1)
+      throw SemaError(prog_.processors[1].loc,
+                      "multiple PROCESSORS directives");
+    if (!prog_.processors.empty()) {
+      ProcessorsInfo p;
+      p.name = prog_.processors[0].name;
+      for (const ExprPtr& e : prog_.processors[0].extents)
+        p.extents.push_back(static_cast<int>(eval_int_const(*e, syms_)));
+      procs_ = std::move(p);
+    }
+    for (const TemplateDirective& t : prog_.templates) {
+      if (templates_.count(t.name))
+        throw SemaError(t.loc, "duplicate template " + t.name);
+      TemplateInfo info;
+      info.name = t.name;
+      for (const ExprPtr& e : t.extents)
+        info.extents.push_back(eval_int_const(*e, syms_));
+      info.dist.assign(info.extents.size(), DistSpec::kStar);
+      templates_.emplace(t.name, std::move(info));
+    }
+  }
+
+  void attach_directives() {
+    for (const DistributeDirective& d : prog_.distributes) {
+      auto it = templates_.find(d.templ);
+      if (it != templates_.end()) {
+        TemplateInfo& t = it->second;
+        if (d.specs.size() != t.extents.size())
+          throw SemaError(d.loc, "DISTRIBUTE rank mismatch for " + d.templ);
+        t.dist = d.specs;
+        t.distributed = true;
+        continue;
+      }
+      // Distributing an array directly: the array doubles as its template.
+      auto sit = syms_.find(d.templ);
+      if (sit == syms_.end())
+        throw SemaError(d.loc, "DISTRIBUTE of unknown name " + d.templ);
+      Symbol& s = sit->second;
+      if (static_cast<size_t>(s.rank()) != d.specs.size())
+        throw SemaError(d.loc, "DISTRIBUTE rank mismatch for array " + d.templ);
+      s.direct_dist = &d;
+      // Register an implicit template named after the array.
+      TemplateInfo info;
+      info.name = d.templ;
+      info.extents = s.extent;
+      info.dist = d.specs;
+      info.distributed = true;
+      templates_.emplace(d.templ, std::move(info));
+    }
+    for (const AlignDirective& a : prog_.aligns) {
+      auto sit = syms_.find(a.array);
+      if (sit == syms_.end())
+        throw SemaError(a.loc, "ALIGN of undeclared array " + a.array);
+      Symbol& s = sit->second;
+      if (!s.is_array())
+        throw SemaError(a.loc, a.array + " is not an array");
+      if (a.dummies.size() != static_cast<size_t>(s.rank()))
+        throw SemaError(a.loc, "ALIGN dummy count mismatch for " + a.array);
+      auto tit = templates_.find(a.templ);
+      if (tit == templates_.end())
+        throw SemaError(a.loc, "ALIGN with unknown template " + a.templ);
+      if (a.subs.size() != tit->second.extents.size())
+        throw SemaError(a.loc, "ALIGN template rank mismatch for " + a.templ);
+      // Every dummy must appear at most once across subscripts.
+      std::set<int> used;
+      for (const AlignSub& sub : a.subs) {
+        if (sub.star) continue;
+        if (used.count(sub.dummy))
+          throw SemaError(a.loc, "ALIGN dummy used twice");
+        used.insert(sub.dummy);
+      }
+      s.align = &a;
+    }
+  }
+
+  // --- statement checking ---------------------------------------------------
+  void declare_index(const std::string& name, SourceLoc loc) {
+    auto it = syms_.find(name);
+    if (it != syms_.end()) {
+      if (it->second.is_array())
+        throw SemaError(loc, name + " is an array, not an index");
+      return;
+    }
+    Symbol s;
+    s.type = BaseType::kInteger;
+    s.is_index = true;
+    syms_.emplace(name, std::move(s));
+  }
+
+  void check_stmt(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kAssign:
+        check_expr(*s.lhs);
+        check_expr(*s.rhs);
+        break;
+      case StmtKind::kForall:
+        for (const ForallSpec& spec : s.specs) {
+          declare_index(spec.var, s.loc);
+          check_expr(*spec.lo);
+          check_expr(*spec.hi);
+          if (spec.st) check_expr(*spec.st);
+        }
+        if (s.mask) check_expr(*s.mask);
+        for (const StmtPtr& b : s.body) check_stmt(*b);
+        break;
+      case StmtKind::kWhere:
+        check_expr(*s.mask);
+        for (const StmtPtr& b : s.body) check_stmt(*b);
+        for (const StmtPtr& b : s.else_body) check_stmt(*b);
+        break;
+      case StmtKind::kDo:
+        declare_index(s.do_var, s.loc);
+        check_expr(*s.do_lo);
+        check_expr(*s.do_hi);
+        if (s.do_st) check_expr(*s.do_st);
+        for (const StmtPtr& b : s.body) check_stmt(*b);
+        break;
+      case StmtKind::kIf:
+        check_expr(*s.mask);
+        for (const StmtPtr& b : s.body) check_stmt(*b);
+        for (const StmtPtr& b : s.else_body) check_stmt(*b);
+        break;
+      case StmtKind::kPrint:
+        for (const ExprPtr& e : s.items) check_expr(*e);
+        break;
+    }
+  }
+
+  void check_expr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kVarRef: {
+        if (!syms_.count(e.name))
+          throw SemaError(e.loc, "undeclared name " + e.name);
+        break;
+      }
+      case ExprKind::kArrayRef: {
+        if (is_intrinsic(e.name)) {
+          for (const ExprPtr& a : e.args)
+            if (a) check_expr(*a);
+          break;
+        }
+        auto it = syms_.find(e.name);
+        if (it == syms_.end())
+          throw SemaError(e.loc, "undeclared name " + e.name);
+        if (!it->second.is_array())
+          throw SemaError(e.loc, e.name + " is not an array");
+        if (e.args.size() != static_cast<size_t>(it->second.rank()))
+          throw SemaError(e.loc,
+                          strformat("rank mismatch in reference to %s "
+                                    "(%d subscripts, rank %d)",
+                                    e.name.c_str(),
+                                    static_cast<int>(e.args.size()),
+                                    it->second.rank()));
+        for (const ExprPtr& a : e.args)
+          if (a) check_expr(*a);
+        break;
+      }
+      case ExprKind::kTriplet:
+        for (const ExprPtr& a : e.args)
+          if (a) check_expr(*a);
+        break;
+      case ExprKind::kBinOp:
+      case ExprKind::kUnOp:
+        for (const ExprPtr& a : e.args)
+          if (a) check_expr(*a);
+        break;
+      default:
+        break;
+    }
+  }
+
+  [[nodiscard]] static bool is_intrinsic(const std::string& name) {
+    static const std::set<std::string> kIntrinsics = {
+        "SUM",     "PRODUCT", "MAXVAL",  "MINVAL",    "COUNT",  "ANY",
+        "ALL",     "MAXLOC",  "MINLOC",  "DOTPRODUCT", "DOT_PRODUCT",
+        "CSHIFT",  "EOSHIFT", "SPREAD",  "TRANSPOSE", "RESHAPE", "PACK",
+        "UNPACK",  "MATMUL",  "ABS",     "SQRT",      "EXP",    "LOG",
+        "SIN",     "COS",     "MOD",     "MIN",       "MAX",    "REAL",
+        "INT",     "NINT",
+    };
+    return kIntrinsics.count(name) > 0;
+  }
+
+  Program prog_;
+  std::map<std::string, Symbol> syms_;
+  std::map<std::string, TemplateInfo> templates_;
+  std::optional<ProcessorsInfo> procs_;
+};
+
+}  // namespace
+
+SemaResult analyze(Program program) { return Analyzer(std::move(program)).run(); }
+
+}  // namespace f90d::frontend

@@ -1,0 +1,58 @@
+#pragma once
+// Semantic analysis: symbol table construction, parameter (constant)
+// folding, declaration/shape checking, and directive validation.  The
+// result feeds the mapping module (which turns directives into DADs) and
+// the compilation pipeline.
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "frontend/ast.hpp"
+
+namespace f90d::frontend {
+
+struct Symbol {
+  ast::BaseType type = ast::BaseType::kReal;
+  bool is_parameter = false;
+  bool is_index = false;  ///< implicitly declared FORALL/DO index
+  std::vector<long long> lower;   ///< declared lower bound per dim (1-based)
+  std::vector<long long> extent;  ///< extent per dim
+  long long int_value = 0;        ///< parameter value (integers)
+  double real_value = 0.0;        ///< parameter value (reals)
+  const ast::AlignDirective* align = nullptr;
+  /// Direct distribution (array used as its own template), if any.
+  const ast::DistributeDirective* direct_dist = nullptr;
+
+  [[nodiscard]] bool is_array() const { return !extent.empty(); }
+  [[nodiscard]] int rank() const { return static_cast<int>(extent.size()); }
+};
+
+struct TemplateInfo {
+  std::string name;
+  std::vector<long long> extents;
+  std::vector<ast::DistSpec> dist;  ///< per template dim; sized at rank
+  bool distributed = false;         ///< a DISTRIBUTE directive names it
+};
+
+struct ProcessorsInfo {
+  std::string name;
+  std::vector<int> extents;
+};
+
+struct SemaResult {
+  ast::Program program;
+  std::map<std::string, Symbol> symbols;
+  std::map<std::string, TemplateInfo> templates;
+  std::optional<ProcessorsInfo> processors;
+};
+
+/// Analyze a parsed program.  Throws SemaError on semantic violations.
+[[nodiscard]] SemaResult analyze(ast::Program program);
+
+/// Fold an expression to an integer constant using parameter values.
+/// Throws SemaError when not constant.
+[[nodiscard]] long long eval_int_const(const ast::Expr& e,
+                                       const std::map<std::string, Symbol>& syms);
+
+}  // namespace f90d::frontend

@@ -1,0 +1,1316 @@
+#include "interp/interp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <sstream>
+
+#include "comm/grid_comm.hpp"
+#include "parti/schedule.hpp"
+#include "parti/schedule_cache.hpp"
+#include "rts/dist_array.hpp"
+#include "rts/intrinsics.hpp"
+#include "rts/matmul.hpp"
+#include "rts/reductions.hpp"
+#include "rts/remap.hpp"
+#include "rts/set_bound.hpp"
+#include "rts/shift_ops.hpp"
+
+namespace f90d::interp {
+
+using namespace compile;
+using ast::BinOpKind;
+using ast::Expr;
+using ast::ExprKind;
+using ast::ExprPtr;
+using ast::UnOpKind;
+using frontend::Symbol;
+using rts::Dad;
+using rts::DistArray;
+using rts::DistKind;
+
+namespace {
+
+// --- dynamic values ----------------------------------------------------------
+
+struct Value {
+  enum class K { kD, kI, kB } k = K::kD;
+  double d = 0;
+  long long i = 0;
+  bool b = false;
+
+  static Value real(double v) { return Value{K::kD, v, 0, false}; }
+  static Value integer(long long v) { return Value{K::kI, 0, v, false}; }
+  static Value logical(bool v) { return Value{K::kB, 0, 0, v}; }
+
+  [[nodiscard]] double as_d() const {
+    switch (k) {
+      case K::kD: return d;
+      case K::kI: return static_cast<double>(i);
+      case K::kB: return b ? 1.0 : 0.0;
+    }
+    return 0;
+  }
+  [[nodiscard]] long long as_i() const {
+    switch (k) {
+      case K::kD: return static_cast<long long>(d);
+      case K::kI: return i;
+      case K::kB: return b ? 1 : 0;
+    }
+    return 0;
+  }
+  [[nodiscard]] bool as_b() const {
+    switch (k) {
+      case K::kD: return d != 0.0;
+      case K::kI: return i != 0;
+      case K::kB: return b;
+    }
+    return false;
+  }
+};
+
+/// One local iteration range of a forall variable (uniform stride).
+struct VarRange {
+  Index val0 = 0;   ///< first value (source coordinates)
+  Index step = 1;
+  Index count = 0;
+};
+
+struct Shared {
+  std::mutex mu;
+  ProgramResult result;
+  /// Program-only clock/stats snapshots, taken before the (instrumentation)
+  /// result-gathering phase so timings exclude it.
+  std::vector<double> clock_snapshot;
+  std::vector<machine::ProcStats> stats_snapshot;
+};
+
+struct Buf {
+  std::vector<double> dvals;
+  std::vector<long long> ivals;
+  Value scalar;
+};
+
+Index trip_count(Index lo, Index hi, Index st) {
+  if (st > 0) return hi < lo ? 0 : (hi - lo) / st + 1;
+  return hi > lo ? 0 : (lo - hi) / (-st) + 1;
+}
+
+// --- node program -------------------------------------------------------------
+
+class Node {
+ public:
+  Node(const Compiled& c, machine::Proc& proc, const Init& init,
+       const RunOptions& opt, Shared& shared)
+      : c_(c),
+        proc_(proc),
+        gc_(proc, c.mapping.grid),
+        init_(init),
+        opt_(opt),
+        shared_(shared) {
+    cache_.set_enabled(opt_.schedule_cache);
+    allocate_arrays();
+    bufs_.resize(static_cast<size_t>(c_.program.buffer_count));
+  }
+
+  void run() {
+    for (const SpmdStmtPtr& s : c_.program.body) exec(*s);
+    {
+      // Snapshot the node program's virtual time and traffic before the
+      // verification gathers below add theirs.
+      std::lock_guard<std::mutex> lock(shared_.mu);
+      shared_.clock_snapshot[static_cast<size_t>(proc_.rank())] = proc_.clock();
+      shared_.stats_snapshot[static_cast<size_t>(proc_.rank())] = proc_.stats();
+    }
+    collect_results();
+  }
+
+ private:
+  // --- environment ------------------------------------------------------------
+  const Symbol& sym(const std::string& n) const { return c_.sema.symbols.at(n); }
+
+  void allocate_arrays() {
+    for (const auto& [name, dad0] : c_.mapping.dads) {
+      Dad dad = dad0;
+      auto ov = c_.program.overlaps.find(name);
+      if (ov != c_.program.overlaps.end()) {
+        for (int d = 0; d < dad.rank(); ++d) {
+          dad.dim(d).overlap_lo = ov->second[static_cast<size_t>(d)].first;
+          dad.dim(d).overlap_hi = ov->second[static_cast<size_t>(d)].second;
+        }
+      }
+      dads_.emplace(name, dad);
+      const Symbol& s = sym(name);
+      switch (s.type) {
+        case ast::BaseType::kReal: {
+          auto [it, ok] = dar_.emplace(name, DistArray<double>(dad, gc_));
+          auto f = init_.real.find(name);
+          if (f != init_.real.end())
+            it->second.fill_global([&](std::span<const Index> g) {
+              return f->second(g);
+            });
+          break;
+        }
+        case ast::BaseType::kInteger: {
+          auto [it, ok] = iar_.emplace(name, DistArray<long long>(dad, gc_));
+          auto f = init_.ints.find(name);
+          if (f != init_.ints.end())
+            it->second.fill_global([&](std::span<const Index> g) {
+              return f->second(g);
+            });
+          break;
+        }
+        case ast::BaseType::kLogical: {
+          auto [it, ok] = lar_.emplace(name, DistArray<unsigned char>(dad, gc_));
+          auto f = init_.logical.find(name);
+          if (f != init_.logical.end())
+            it->second.fill_global([&](std::span<const Index> g) {
+              return static_cast<unsigned char>(f->second(g) ? 1 : 0);
+            });
+          break;
+        }
+      }
+    }
+    for (const auto& [name, s] : c_.sema.symbols) {
+      if (s.is_array()) continue;
+      Value v;
+      if (s.is_parameter) {
+        v = s.type == ast::BaseType::kInteger ? Value::integer(s.int_value)
+                                              : Value::real(s.real_value);
+      } else {
+        v = s.type == ast::BaseType::kInteger ? Value::integer(0)
+                                              : Value::real(0.0);
+        auto f = init_.scalars.find(name);
+        if (f != init_.scalars.end())
+          v = s.type == ast::BaseType::kInteger
+                  ? Value::integer(static_cast<long long>(f->second))
+                  : Value::real(f->second);
+      }
+      scalars_.emplace(name, v);
+    }
+  }
+
+  [[nodiscard]] long long lower_of(const std::string& n, int d) const {
+    return sym(n).lower[static_cast<size_t>(d)];
+  }
+
+  Value read_element(const std::string& name, std::span<const Index> g,
+                     bool ghost) {
+    try {
+      return read_element_inner(name, g, ghost);
+    } catch (const Error& e) {
+      std::string idx;
+      for (Index v : g) idx += std::to_string(v) + ",";
+      throw Error("reading " + name + "(" + idx + "): " + e.what());
+    }
+  }
+
+  Value read_element_inner(const std::string& name, std::span<const Index> g,
+                           bool ghost) {
+    const Symbol& s = sym(name);
+    switch (s.type) {
+      case ast::BaseType::kReal: {
+        auto& a = dar_.at(name);
+        return Value::real(ghost ? a.at_global_ghost(g) : a.at_global(g));
+      }
+      case ast::BaseType::kInteger: {
+        auto& a = iar_.at(name);
+        return Value::integer(ghost ? a.at_global_ghost(g) : a.at_global(g));
+      }
+      case ast::BaseType::kLogical: {
+        auto& a = lar_.at(name);
+        return Value::logical((ghost ? a.at_global_ghost(g) : a.at_global(g)) !=
+                              0);
+      }
+    }
+    return Value::real(0);
+  }
+
+  void write_element(const std::string& name, std::span<const Index> g,
+                     const Value& v) {
+    const Symbol& s = sym(name);
+    switch (s.type) {
+      case ast::BaseType::kReal:
+        dar_.at(name).at_global(g) = v.as_d();
+        break;
+      case ast::BaseType::kInteger:
+        iar_.at(name).at_global(g) = v.as_i();
+        break;
+      case ast::BaseType::kLogical:
+        lar_.at(name).at_global(g) =
+            static_cast<unsigned char>(v.as_b() ? 1 : 0);
+        break;
+    }
+  }
+
+  // --- expression evaluation -----------------------------------------------------
+  Value eval(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIntLit: return Value::integer(e.int_value);
+      case ExprKind::kRealLit: return Value::real(e.real_value);
+      case ExprKind::kLogicalLit: return Value::logical(e.logical_value);
+      case ExprKind::kVarRef: {
+        auto fit = frame_.find(e.name);
+        if (fit != frame_.end()) return Value::integer(fit->second);
+        auto sit = scalars_.find(e.name);
+        require(sit != scalars_.end(), "scalar variable bound");
+        return sit->second;
+      }
+      case ExprKind::kUnOp: {
+        Value v = eval(*e.args[0]);
+        switch (e.un_op) {
+          case UnOpKind::kNeg:
+            return v.k == Value::K::kI ? Value::integer(-v.as_i())
+                                       : Value::real(-v.as_d());
+          case UnOpKind::kPlus: return v;
+          case UnOpKind::kNot: return Value::logical(!v.as_b());
+        }
+        return v;
+      }
+      case ExprKind::kBinOp: return eval_bin(e);
+      case ExprKind::kArrayRef: return eval_ref(e);
+      default:
+        throw RtsError("cannot evaluate expression kind");
+    }
+  }
+
+  Value eval_bin(const Expr& e) {
+    const Value l = eval(*e.args[0]);
+    // Short-circuit logicals.
+    if (e.bin_op == BinOpKind::kAnd)
+      return Value::logical(l.as_b() && eval(*e.args[1]).as_b());
+    if (e.bin_op == BinOpKind::kOr)
+      return Value::logical(l.as_b() || eval(*e.args[1]).as_b());
+    const Value r = eval(*e.args[1]);
+    const bool both_int = l.k == Value::K::kI && r.k == Value::K::kI;
+    switch (e.bin_op) {
+      case BinOpKind::kAdd:
+        return both_int ? Value::integer(l.i + r.i) : Value::real(l.as_d() + r.as_d());
+      case BinOpKind::kSub:
+        return both_int ? Value::integer(l.i - r.i) : Value::real(l.as_d() - r.as_d());
+      case BinOpKind::kMul:
+        return both_int ? Value::integer(l.i * r.i) : Value::real(l.as_d() * r.as_d());
+      case BinOpKind::kDiv:
+        if (both_int) return Value::integer(r.i == 0 ? 0 : l.i / r.i);
+        return Value::real(l.as_d() / r.as_d());
+      case BinOpKind::kPow:
+        if (both_int) {
+          long long acc = 1;
+          for (long long k = 0; k < r.i; ++k) acc *= l.i;
+          return Value::integer(acc);
+        }
+        return Value::real(std::pow(l.as_d(), r.as_d()));
+      case BinOpKind::kEq: return Value::logical(l.as_d() == r.as_d());
+      case BinOpKind::kNe: return Value::logical(l.as_d() != r.as_d());
+      case BinOpKind::kLt: return Value::logical(l.as_d() < r.as_d());
+      case BinOpKind::kLe: return Value::logical(l.as_d() <= r.as_d());
+      case BinOpKind::kGt: return Value::logical(l.as_d() > r.as_d());
+      case BinOpKind::kGe: return Value::logical(l.as_d() >= r.as_d());
+      default:
+        throw RtsError("unsupported binary operator");
+    }
+  }
+
+  Value eval_ref(const Expr& e) {
+    // Elementwise intrinsics.
+    if (!c_.sema.symbols.count(e.name) ||
+        !c_.sema.symbols.at(e.name).is_array())
+      return eval_intrinsic(e);
+
+    auto rit = ref_of_.find(&e);
+    const RefInfo* ref = rit == ref_of_.end() ? nullptr : rit->second;
+    const Access access = ref ? ref->access : Access::kDirect;
+    switch (access) {
+      case Access::kDirect: {
+        eval_subs(e, gidx_scratch_);
+        return read_element(e.name, gidx_scratch_, /*ghost=*/true);
+      }
+      case Access::kIterBuf: {
+        const Buf& b = bufs_[static_cast<size_t>(ref->buffer_id)];
+        const Symbol& s = sym(e.name);
+        if (s.type == ast::BaseType::kInteger)
+          return Value::integer(b.ivals[static_cast<size_t>(flat_iter_)]);
+        return Value::real(b.dvals[static_cast<size_t>(flat_iter_)]);
+      }
+      case Access::kSlabBuf: {
+        const Buf& b = bufs_[static_cast<size_t>(ref->buffer_id)];
+        Index idx = 0;
+        for (const std::string& v : ref->slab_vars) {
+          const auto& vb = var_state_.at(v);
+          idx = idx * vb.count + vb.counter;
+        }
+        const Symbol& s = sym(e.name);
+        if (s.type == ast::BaseType::kInteger)
+          return Value::integer(b.ivals[static_cast<size_t>(idx)]);
+        return Value::real(b.dvals[static_cast<size_t>(idx)]);
+      }
+      case Access::kScalarSlot:
+        return bufs_[static_cast<size_t>(ref->buffer_id)].scalar;
+    }
+    return Value::real(0);
+  }
+
+  Value eval_intrinsic(const Expr& e) {
+    auto arg = [&](size_t k) { return eval(*e.args[k]); };
+    const std::string& n = e.name;
+    if (n == "ABS") {
+      Value v = arg(0);
+      return v.k == Value::K::kI ? Value::integer(std::llabs(v.i))
+                                 : Value::real(std::fabs(v.as_d()));
+    }
+    if (n == "SQRT") return Value::real(std::sqrt(arg(0).as_d()));
+    if (n == "EXP") return Value::real(std::exp(arg(0).as_d()));
+    if (n == "LOG") return Value::real(std::log(arg(0).as_d()));
+    if (n == "SIN") return Value::real(std::sin(arg(0).as_d()));
+    if (n == "COS") return Value::real(std::cos(arg(0).as_d()));
+    if (n == "MOD") {
+      Value a = arg(0), b = arg(1);
+      if (a.k == Value::K::kI && b.k == Value::K::kI)
+        return Value::integer(b.i == 0 ? 0 : a.i % b.i);
+      return Value::real(std::fmod(a.as_d(), b.as_d()));
+    }
+    if (n == "MIN" || n == "MAX") {
+      Value acc = arg(0);
+      for (size_t k = 1; k < e.args.size(); ++k) {
+        Value v = arg(k);
+        const bool take = n == "MIN" ? v.as_d() < acc.as_d()
+                                     : v.as_d() > acc.as_d();
+        if (take) acc = v;
+      }
+      return acc;
+    }
+    if (n == "REAL") return Value::real(arg(0).as_d());
+    if (n == "INT") return Value::integer(arg(0).as_i());
+    if (n == "NINT")
+      return Value::integer(static_cast<long long>(std::llround(arg(0).as_d())));
+    throw RtsError("unsupported intrinsic in node program: " + n);
+  }
+
+  /// Evaluate the subscripts of an array reference into 0-based global
+  /// indices.
+  void eval_subs(const Expr& ref, std::vector<Index>& out) {
+    out.resize(ref.args.size());
+    for (size_t d = 0; d < ref.args.size(); ++d) {
+      const Index val = eval(*ref.args[d]).as_i();
+      out[d] = val - lower_of(ref.name, static_cast<int>(d));
+    }
+  }
+
+  // --- iteration machinery ----------------------------------------------------
+  struct VarState {
+    Index value = 0;
+    Index counter = 0;
+    Index count = 0;
+  };
+
+  /// Ranges a given processor (grid coords) iterates for the statement, or
+  /// nullopt when guards mask it out.
+  std::optional<std::vector<VarRange>> ranges_for_coords(
+      const SpmdStmt& s, const std::vector<int>& coords) {
+    for (const ProcGuard& g : s.guards) {
+      const Dad& dad = dads_.at(g.array);
+      const Index val =
+          eval(*affine_to_expr(g.sub)).as_i() - lower_of(g.array, g.dim);
+      const int owner = dad.owner_coord(g.dim, val);
+      const int gd = dad.dim(g.dim).grid_dim;
+      if (coords[static_cast<size_t>(gd)] != owner) return std::nullopt;
+    }
+    std::vector<VarRange> out;
+    for (const IndexPartition& ip : s.indices) {
+      const Index lo = eval(*ip.lo).as_i();
+      const Index hi = eval(*ip.hi).as_i();
+      const Index st = ip.st ? eval(*ip.st).as_i() : 1;
+      VarRange r;
+      if (!ip.array.empty()) {
+        const Dad& dad = dads_.at(ip.array);
+        const long long lower = lower_of(ip.array, ip.dim);
+        const int gd = dad.dim(ip.dim).grid_dim;
+        const int coord = coords[static_cast<size_t>(gd)];
+        const rts::LocalRange lr =
+            rts::set_bound(dad, ip.dim, coord, lo - lower, hi - lower, st);
+        if (lr.empty) {
+          r.count = 0;
+        } else {
+          r.count = lr.count();
+          r.val0 = dad.global_of_local(ip.dim, lr.lb, coord) + lower;
+          r.step = r.count > 1 ? dad.global_of_local(ip.dim, lr.lb + lr.st,
+                                                     coord) +
+                                     lower - r.val0
+                               : st;
+        }
+      } else if (ip.synth_grid_dim >= 0) {
+        const Index total = trip_count(lo, hi, st);
+        const Index p = c_.mapping.grid.extent(ip.synth_grid_dim);
+        const Index chunk = (total + p - 1) / p;
+        const int coord = coords[static_cast<size_t>(ip.synth_grid_dim)];
+        const Index first = static_cast<Index>(coord) * chunk;
+        const Index last = std::min(first + chunk, total);
+        r.count = std::max<Index>(0, last - first);
+        r.val0 = lo + first * st;
+        r.step = st;
+      } else {
+        r.count = trip_count(lo, hi, st);
+        r.val0 = lo;
+        r.step = st;
+      }
+      out.push_back(r);
+    }
+    return out;
+  }
+
+  /// Iterate a range vector in spec order, invoking f() per iteration with
+  /// frame_/var_state_/flat_iter_ set.
+  template <typename F>
+  void iterate(const SpmdStmt& s, const std::vector<VarRange>& ranges, F&& f) {
+    const size_t nv = ranges.size();
+    for (const VarRange& r : ranges)
+      if (r.count == 0) return;
+    std::vector<VarState> st(nv);
+    for (size_t k = 0; k < nv; ++k) {
+      st[k].value = ranges[k].val0;
+      st[k].count = ranges[k].count;
+      st[k].counter = 0;
+    }
+    for (size_t k = 0; k < nv; ++k) {
+      frame_[s.indices[k].var] = st[k].value;
+      var_state_[s.indices[k].var] = st[k];
+    }
+    flat_iter_ = 0;
+    for (;;) {
+      f();
+      ++flat_iter_;
+      // Odometer: last variable fastest (matches buffer packing order).
+      size_t k = nv;
+      while (k > 0) {
+        --k;
+        VarState& v = st[k];
+        if (++v.counter < v.count) {
+          v.value += ranges[k].step;
+          frame_[s.indices[k].var] = v.value;
+          var_state_[s.indices[k].var] = v;
+          break;
+        }
+        v.counter = 0;
+        v.value = ranges[k].val0;
+        frame_[s.indices[k].var] = v.value;
+        var_state_[s.indices[k].var] = v;
+        if (k == 0) {
+          cleanup_frame(s);
+          return;
+        }
+      }
+    }
+  }
+
+  void cleanup_frame(const SpmdStmt& s) {
+    for (const IndexPartition& ip : s.indices) {
+      frame_.erase(ip.var);
+      var_state_.erase(ip.var);
+    }
+  }
+
+  // --- statements ----------------------------------------------------------------
+  void exec(const SpmdStmt& s) {
+    try {
+      exec_inner(s);
+    } catch (const Error& e) {
+      if (s.kind == SpmdKind::kSeqDo || s.kind == SpmdKind::kIf) throw;
+      throw Error(strformat("at source line %d (stmt kind %d): %s", s.loc.line,
+                            static_cast<int>(s.kind), e.what()));
+    }
+  }
+
+  void exec_inner(const SpmdStmt& s) {
+    switch (s.kind) {
+      case SpmdKind::kForall: exec_forall(s); break;
+      case SpmdKind::kScalarAssign: exec_scalar_assign(s); break;
+      case SpmdKind::kReduce: exec_reduce(s); break;
+      case SpmdKind::kArrayIntrinsic: exec_array_intrinsic(s); break;
+      case SpmdKind::kSeqDo: {
+        const Index lo = eval(*s.do_lo).as_i();
+        const Index hi = eval(*s.do_hi).as_i();
+        const Index st = s.do_st ? eval(*s.do_st).as_i() : 1;
+        for (Index v = lo; st > 0 ? v <= hi : v >= hi; v += st) {
+          scalars_[s.do_var] = Value::integer(v);
+          for (const SpmdStmtPtr& b : s.body) exec(*b);
+        }
+        break;
+      }
+      case SpmdKind::kIf: {
+        if (eval(*s.mask).as_b()) {
+          for (const SpmdStmtPtr& b : s.body) exec(*b);
+        } else {
+          for (const SpmdStmtPtr& b : s.else_body) exec(*b);
+        }
+        break;
+      }
+      case SpmdKind::kPrint: {
+        if (proc_.rank() != 0) break;
+        std::ostringstream os;
+        bind_refs(s);
+        for (const ExprPtr& e : s.items) {
+          Value v = eval(*e);
+          os << " " << (v.k == Value::K::kI
+                            ? std::to_string(v.as_i())
+                            : strformat("%g", v.as_d()));
+        }
+        std::lock_guard<std::mutex> lock(shared_.mu);
+        shared_.result.printed.push_back(os.str());
+        break;
+      }
+    }
+  }
+
+  void bind_refs(const SpmdStmt& s) {
+    ref_of_.clear();
+    for (const RefInfo& r : s.refs)
+      if (r.expr != nullptr) ref_of_.emplace(r.expr, &r);
+  }
+
+  void exec_forall(const SpmdStmt& s) {
+    bind_refs(s);
+    auto my_ranges = ranges_for_coords(s, gc_.my_coords());
+
+    // Pre-communication: collective — every processor participates even
+    // when guarded out of the local loop.
+    run_pre_actions(s, my_ranges);
+
+    Index iters = 0;
+    std::vector<double> values;   // buffered lhs values
+    std::vector<Index> dest_ids;  // buffered lhs destinations
+    const bool need_iteration =
+        s.lhs_buffered || stmt_has_iterbuf(s) || !opt_.skeleton;
+
+    if (my_ranges) {
+      if (!need_iteration) {
+        // Skeleton fast path: bulk cost, no per-element interpretation.
+        iters = 1;
+        for (const VarRange& r : *my_ranges) iters *= r.count;
+        if (iters < 0) iters = 0;
+      } else {
+        iterate(s, *my_ranges, [&]() {
+          ++iters;
+          if (s.mask && !opt_.skeleton && !eval(*s.mask).as_b()) {
+            if (s.lhs_buffered) {
+              // Keep slots aligned with iteration order for executors.
+              eval_subs(*s.lhs, gidx_scratch_);
+              dest_ids.push_back(flat_global_of(s.refs[0].array, gidx_scratch_));
+              values.push_back(read_back(s, gidx_scratch_));
+            }
+            return;
+          }
+          const Value v =
+              opt_.skeleton ? Value::real(0.0) : eval(*s.rhs);
+          if (s.lhs_buffered) {
+            eval_subs(*s.lhs, gidx_scratch_);
+            dest_ids.push_back(flat_global_of(s.refs[0].array, gidx_scratch_));
+            values.push_back(v.as_d());
+          } else {
+            eval_subs(*s.lhs, gidx_scratch_);
+            write_element(s.refs[0].array, gidx_scratch_, v);
+          }
+        });
+      }
+    }
+    proc_.charge_flops(static_cast<double>(iters) * s.flops_per_iter);
+    proc_.charge_int_ops(static_cast<double>(iters) * 4.0);
+
+    run_post_actions(s, values, dest_ids);
+  }
+
+  /// Re-read the current lhs element (masked iterations keep old values in
+  /// the buffered-write path).
+  double read_back(const SpmdStmt& s, const std::vector<Index>& g) {
+    const std::string& name = s.refs[0].array;
+    // The element may live remotely for buffered writes; a masked slot will
+    // simply rewrite whatever value the owner already has, so send 0 when
+    // not locally available (the combine overwrite is benign only when the
+    // owner re-receives its own value; to stay safe, read ghost when owned).
+    auto& dad = dads_.at(name);
+    std::vector<int> coords = gc_.my_coords();
+    bool owned = true;
+    for (int d = 0; d < dad.rank(); ++d) {
+      const rts::DimMap& m = dad.dim(d);
+      if (m.kind == DistKind::kCollapsed) continue;
+      owned = owned && dad.owner_coord(d, g[static_cast<size_t>(d)]) ==
+                           coords[static_cast<size_t>(m.grid_dim)];
+    }
+    if (!owned) return 0.0;
+    return read_element(name, g, false).as_d();
+  }
+
+  [[nodiscard]] bool stmt_has_iterbuf(const SpmdStmt& s) const {
+    for (const CommAction& a : s.pre) {
+      if (a.eliminated) continue;
+      if (a.kind == CommKind::kPrecompRead || a.kind == CommKind::kGather ||
+          a.kind == CommKind::kTemporaryShift)
+        return true;
+    }
+    return false;
+  }
+
+  Index flat_global_of(const std::string& name, std::span<const Index> g) {
+    const Dad& dad = dads_.at(name);
+    Index flat = 0;
+    for (int d = 0; d < dad.rank(); ++d)
+      flat = flat * dad.extent(d) + g[static_cast<size_t>(d)];
+    return flat;
+  }
+
+  // --- communication actions --------------------------------------------------
+  void run_pre_actions(const SpmdStmt& s,
+                       const std::optional<std::vector<VarRange>>& my_ranges) {
+    // Dependency order: ghost fills / broadcasts / slabs first, then
+    // iteration buffers by descending ref id (inner indirection arrays
+    // resolve before the references that subscript with them).
+    std::vector<const CommAction*> order;
+    for (const CommAction& a : s.pre)
+      if (!a.eliminated) order.push_back(&a);
+    std::stable_sort(order.begin(), order.end(),
+                     [](const CommAction* x, const CommAction* y) {
+                       auto cls = [](CommKind k) {
+                         return k == CommKind::kPrecompRead ||
+                                        k == CommKind::kGather ||
+                                        k == CommKind::kTemporaryShift
+                                    ? 1
+                                    : 0;
+                       };
+                       if (cls(x->kind) != cls(y->kind))
+                         return cls(x->kind) < cls(y->kind);
+                       return x->ref_id > y->ref_id;
+                     });
+    for (const CommAction* a : order) run_action(s, *a, my_ranges);
+  }
+
+  void run_action(const SpmdStmt& s, const CommAction& a,
+                  const std::optional<std::vector<VarRange>>& my_ranges) {
+    const RefInfo& ref = s.refs[static_cast<size_t>(a.ref_id)];
+    switch (a.kind) {
+      case CommKind::kOverlapShift: {
+        const Symbol& sm = sym(ref.array);
+        if (sm.type == ast::BaseType::kReal)
+          rts::overlap_shift(gc_, dar_.at(ref.array), a.array_dim,
+                             static_cast<int>(a.shift_amount));
+        else if (sm.type == ast::BaseType::kInteger)
+          rts::overlap_shift(gc_, iar_.at(ref.array), a.array_dim,
+                             static_cast<int>(a.shift_amount));
+        else
+          rts::overlap_shift(gc_, lar_.at(ref.array), a.array_dim,
+                             static_cast<int>(a.shift_amount));
+        break;
+      }
+      case CommKind::kBcastElement: {
+        // Owner (canonical line) broadcasts one element to all.
+        const Dad& dad = dads_.at(ref.array);
+        std::vector<Index> g(ref.subs.size());
+        for (size_t d = 0; d < ref.subs.size(); ++d)
+          g[d] = eval(*ref.expr->args[d]).as_i() -
+                 lower_of(ref.array, static_cast<int>(d));
+        const std::vector<int> zeros(
+            static_cast<size_t>(c_.mapping.grid.ndims()), 0);
+        const int root = dad.owner_logical(g, zeros);
+        std::vector<double> data;
+        if (gc_.my_logical() == root)
+          data.push_back(read_element(ref.array, g, false).as_d());
+        gc_.bcast_all(root, data);
+        Buf& b = bufs_[static_cast<size_t>(a.buffer_id)];
+        b.scalar = sym(ref.array).type == ast::BaseType::kInteger
+                       ? Value::integer(static_cast<long long>(data.at(0)))
+                       : Value::real(data.at(0));
+        break;
+      }
+      case CommKind::kMulticast:
+      case CommKind::kTransfer:
+        run_slab_action(s, a, ref);
+        break;
+      case CommKind::kPrecompRead:
+      case CommKind::kTemporaryShift:
+      case CommKind::kGather:
+        run_read_buffer_action(s, a, ref, my_ranges);
+        break;
+      default:
+        throw RtsError("unexpected pre-action");
+    }
+  }
+
+  /// Multicast / transfer: the owning grid line packs the slab the
+  /// iterating processors need and sends it along the grid (tree broadcast
+  /// for multicast, line-to-line copy for transfer).
+  void run_slab_action(const SpmdStmt& s, const CommAction& a,
+                       const RefInfo& ref) {
+    const Dad& dad = dads_.at(ref.array);
+    // Am I on the source line for every communicated dimension?
+    bool on_root = true;
+    std::vector<std::pair<int, int>> comm_dims;  // (grid_dim, root coord)
+    for (const auto& [d, sub] : a.root_subs) {
+      const Index val =
+          eval(*affine_to_expr(sub)).as_i() - lower_of(ref.array, d);
+      const int owner = dad.owner_coord(d, val);
+      const int gd = dad.dim(d).grid_dim;
+      comm_dims.emplace_back(gd, owner);
+      on_root = on_root && gc_.coord(gd) == owner;
+    }
+
+    // The slab covers the iterating ranges of the slab variables; those
+    // ranges are identical on the source line and the destination(s).
+    std::vector<VarRange> slab_ranges;
+    std::vector<std::string> slab_vars = ref.slab_vars;
+    {
+      auto all = ranges_for_coords_no_guards(s, gc_.my_coords());
+      for (const std::string& v : slab_vars)
+        for (size_t k = 0; k < s.indices.size(); ++k)
+          if (s.indices[k].var == v) slab_ranges.push_back(all[k]);
+    }
+    Index slab_size = 1;
+    for (const VarRange& r : slab_ranges) slab_size *= r.count;
+
+    std::vector<double> slab;
+    if (on_root && slab_size > 0) {
+      slab.reserve(static_cast<size_t>(slab_size));
+      pack_slab(ref, slab_vars, slab_ranges, 0, slab);
+    }
+
+    if (a.kind == CommKind::kMulticast) {
+      for (const auto& [gd, owner] : comm_dims) gc_.multicast(gd, owner, slab);
+    } else {
+      // transfer: source line -> destination line given by the lhs pair.
+      for (size_t k = 0; k < comm_dims.size(); ++k) {
+        const auto& [gd, owner] = comm_dims[k];
+        int dest_coord = owner;
+        if (k < a.dest_subs.size()) {
+          const auto& [ld, dsub] = a.dest_subs[k];
+          const Dad& ldad = dads_.at(s.refs[0].array);
+          const Index dval = eval(*affine_to_expr(dsub)).as_i() -
+                             lower_of(s.refs[0].array, ld);
+          dest_coord = ldad.owner_coord(ld, dval);
+        }
+        std::vector<double> out;
+        const bool received =
+            gc_.transfer(gd, owner, dest_coord, std::span<const double>(slab),
+                         out);
+        if (received) slab = std::move(out);
+        else if (gc_.coord(gd) != owner) slab.clear();
+      }
+    }
+    Buf& b = bufs_[static_cast<size_t>(a.buffer_id)];
+    b.dvals = std::move(slab);
+  }
+
+  /// Recursively pack the slab in slab-variable order (last var fastest,
+  /// matching the SlabBuf read index).
+  void pack_slab(const RefInfo& ref, const std::vector<std::string>& vars,
+                 const std::vector<VarRange>& ranges, size_t k,
+                 std::vector<double>& out) {
+    if (k == vars.size()) {
+      eval_subs(*ref.expr, gidx_scratch_);
+      out.push_back(read_element(ref.array, gidx_scratch_, true).as_d());
+      return;
+    }
+    VarState st;
+    st.count = ranges[k].count;
+    for (Index i = 0; i < ranges[k].count; ++i) {
+      st.value = ranges[k].val0 + i * ranges[k].step;
+      st.counter = i;
+      frame_[vars[k]] = st.value;
+      var_state_[vars[k]] = st;
+      pack_slab(ref, vars, ranges, k + 1, out);
+    }
+    frame_.erase(vars[k]);
+    var_state_.erase(vars[k]);
+  }
+
+  std::vector<VarRange> ranges_for_coords_no_guards(const SpmdStmt& s,
+                                                    const std::vector<int>& c) {
+    SpmdStmt tmp(SpmdKind::kForall);  // shallow guard-free view
+    auto r = ranges_for_coords_impl(s, c);
+    (void)tmp;
+    return r;
+  }
+
+  std::vector<VarRange> ranges_for_coords_impl(const SpmdStmt& s,
+                                               const std::vector<int>& coords) {
+    std::optional<std::vector<VarRange>> r;
+    // Reuse ranges_for_coords but skip the guard rejection.
+    std::vector<VarRange> out;
+    for (const IndexPartition& ip : s.indices) {
+      const Index lo = eval(*ip.lo).as_i();
+      const Index hi = eval(*ip.hi).as_i();
+      const Index st = ip.st ? eval(*ip.st).as_i() : 1;
+      VarRange vr;
+      if (!ip.array.empty()) {
+        const Dad& dad = dads_.at(ip.array);
+        const long long lower = lower_of(ip.array, ip.dim);
+        const int gd = dad.dim(ip.dim).grid_dim;
+        const int coord = coords[static_cast<size_t>(gd)];
+        const rts::LocalRange lr =
+            rts::set_bound(dad, ip.dim, coord, lo - lower, hi - lower, st);
+        if (!lr.empty) {
+          vr.count = lr.count();
+          vr.val0 = dad.global_of_local(ip.dim, lr.lb, coord) + lower;
+          vr.step = vr.count > 1 ? dad.global_of_local(ip.dim, lr.lb + lr.st,
+                                                       coord) +
+                                       lower - vr.val0
+                                 : st;
+        }
+      } else if (ip.synth_grid_dim >= 0) {
+        const Index total = trip_count(lo, hi, st);
+        const Index p = c_.mapping.grid.extent(ip.synth_grid_dim);
+        const Index chunk = (total + p - 1) / p;
+        const int coord = coords[static_cast<size_t>(ip.synth_grid_dim)];
+        const Index first = static_cast<Index>(coord) * chunk;
+        const Index last = std::min(first + chunk, total);
+        vr.count = std::max<Index>(0, last - first);
+        vr.val0 = lo + first * st;
+        vr.step = st;
+      } else {
+        vr.count = trip_count(lo, hi, st);
+        vr.val0 = lo;
+        vr.step = st;
+      }
+      out.push_back(vr);
+    }
+    (void)r;
+    return out;
+  }
+
+  /// Schedule-based read buffers (precomp_read / temporary_shift / gather).
+  void run_read_buffer_action(
+      const SpmdStmt& s, const CommAction& a, const RefInfo& ref,
+      const std::optional<std::vector<VarRange>>& my_ranges) {
+    const Dad& dad = dads_.at(ref.array);
+    // My needs, in iteration order.
+    std::vector<Index> needs;
+    if (my_ranges) {
+      iterate(s, *my_ranges, [&]() {
+        eval_subs(*ref.expr, gidx_scratch_);
+        needs.push_back(flat_global_of(ref.array, gidx_scratch_));
+      });
+    }
+
+    parti::SchedulePtr sched;
+    const std::string key = runtime_key(s, a);
+    auto build = [&]() -> parti::SchedulePtr {
+      if (a.kind == CommKind::kGather) return parti::schedule2(gc_, dad, needs);
+      // schedule1: compute any peer's needs locally.
+      auto needs_of_peer = [&](int q, std::vector<Index>& out) {
+        const std::vector<int> qc = c_.mapping.grid.coords_of(q);
+        auto qr = ranges_for_coords(s, qc);
+        if (!qr) return;
+        iterate(s, *qr, [&]() {
+          eval_subs(*ref.expr, gidx_scratch_);
+          out.push_back(flat_global_of(ref.array, gidx_scratch_));
+        });
+      };
+      return parti::schedule1_read(gc_, dad, needs, needs_of_peer);
+    };
+    if (!key.empty() && opt_.schedule_cache) {
+      sched = cache_.get_or_build(key, build);
+    } else {
+      sched = build();
+    }
+
+    Buf& b = bufs_[static_cast<size_t>(a.buffer_id)];
+    const Symbol& sm = sym(ref.array);
+    if (sm.type == ast::BaseType::kInteger)
+      b.ivals = parti::execute_read(gc_, *sched, iar_.at(ref.array));
+    else
+      b.dvals = parti::execute_read(gc_, *sched, dar_.at(ref.array));
+  }
+
+  /// Runtime schedule key: static key + evaluated scalars it references.
+  std::string runtime_key(const SpmdStmt& s, const CommAction& a) {
+    if (a.sched_key.empty()) return {};
+    std::ostringstream os;
+    os << a.sched_key << "@";
+    // Append the values of every scalar variable used in bounds/subscripts.
+    std::set<std::string> names;
+    auto walk = [&](const Expr& e, auto&& self) -> void {
+      if (e.kind == ExprKind::kVarRef && scalars_.count(e.name))
+        names.insert(e.name);
+      for (const ExprPtr& x : e.args)
+        if (x) self(*x, self);
+    };
+    for (const IndexPartition& ip : s.indices) {
+      walk(*ip.lo, walk);
+      walk(*ip.hi, walk);
+      if (ip.st) walk(*ip.st, walk);
+    }
+    const RefInfo& ref = s.refs[static_cast<size_t>(a.ref_id)];
+    for (const ExprPtr& x : ref.expr->args)
+      if (x) walk(*x, walk);
+    for (const std::string& nm : names)
+      os << nm << "=" << scalars_.at(nm).as_i() << ";";
+    return os.str();
+  }
+
+  // --- post actions ----------------------------------------------------------
+  void run_post_actions(const SpmdStmt& s, const std::vector<double>& values,
+                        const std::vector<Index>& dest_ids) {
+    for (const CommAction& a : s.post) {
+      if (a.eliminated) continue;
+      const RefInfo& lhs = s.refs[0];
+      const Dad& dad = dads_.at(lhs.array);
+      switch (a.kind) {
+        case CommKind::kConcatWrite: {
+          // Tree-combined concatenation, run-length encoded: iteration
+          // spaces are mostly contiguous, so destinations compress to a few
+          // (start, count) runs and the payload is ~one double per value —
+          // the same wire cost as the hand-written broadcast of the data.
+          // Block layout: [nruns, (start, count)*, values...] per
+          // contributor; self-delimiting so tree-combining order is free.
+          std::vector<double> blk;
+          {
+            std::vector<std::pair<Index, Index>> runs;
+            for (size_t k = 0; k < dest_ids.size(); ++k) {
+              if (!runs.empty() &&
+                  runs.back().first + runs.back().second == dest_ids[k]) {
+                ++runs.back().second;
+              } else {
+                runs.emplace_back(dest_ids[k], 1);
+              }
+            }
+            blk.reserve(1 + 2 * runs.size() + values.size());
+            blk.push_back(static_cast<double>(runs.size()));
+            for (const auto& [start, count] : runs) {
+              blk.push_back(static_cast<double>(start));
+              blk.push_back(static_cast<double>(count));
+            }
+            blk.insert(blk.end(), values.begin(), values.end());
+            if (values.empty()) blk.clear();  // nothing to contribute
+          }
+          gc_.concat_tree<double>(blk);
+          std::vector<Index> g;
+          size_t pos = 0;
+          while (pos < blk.size()) {
+            const size_t nruns = static_cast<size_t>(blk[pos++]);
+            std::vector<std::pair<Index, Index>> runs(nruns);
+            for (size_t rr = 0; rr < nruns; ++rr) {
+              runs[rr].first = static_cast<Index>(blk[pos]);
+              runs[rr].second = static_cast<Index>(blk[pos + 1]);
+              pos += 2;
+            }
+            for (const auto& [start, count] : runs) {
+              for (Index k = 0; k < count; ++k) {
+                rts::unflatten_global(dad, start + k, g);
+                write_element(lhs.array, g, Value::real(blk[pos++]));
+              }
+            }
+          }
+          break;
+        }
+        case CommKind::kPostcompWrite:
+        case CommKind::kScatter: {
+          parti::SchedulePtr sched;
+          const std::string key = runtime_key(s, a);
+          auto build = [&]() -> parti::SchedulePtr {
+            if (a.kind == CommKind::kScatter)
+              return parti::schedule3(gc_, dad, dest_ids);
+            auto dests_of_peer = [&](int q, std::vector<Index>& out) {
+              const std::vector<int> qc = c_.mapping.grid.coords_of(q);
+              auto qr = ranges_for_coords(s, qc);
+              if (!qr) return;
+              iterate(s, *qr, [&]() {
+                eval_subs(*s.lhs, gidx_scratch_);
+                out.push_back(flat_global_of(lhs.array, gidx_scratch_));
+              });
+            };
+            return parti::schedule1_write(gc_, dad, dest_ids, dests_of_peer);
+          };
+          if (!key.empty() && opt_.schedule_cache)
+            sched = cache_.get_or_build(key, build);
+          else
+            sched = build();
+          const Symbol& sm = sym(lhs.array);
+          if (sm.type == ast::BaseType::kInteger) {
+            std::vector<long long> iv(values.size());
+            for (size_t k = 0; k < values.size(); ++k)
+              iv[k] = static_cast<long long>(values[k]);
+            parti::execute_write(gc_, *sched, iar_.at(lhs.array),
+                                 std::span<const long long>(iv));
+          } else {
+            parti::execute_write(gc_, *sched, dar_.at(lhs.array),
+                                 std::span<const double>(values));
+          }
+          break;
+        }
+        default:
+          throw RtsError("unexpected post-action");
+      }
+    }
+  }
+
+  // --- scalar assignment / reduction ------------------------------------------
+  void exec_scalar_assign(const SpmdStmt& s) {
+    bind_refs(s);
+    std::optional<std::vector<VarRange>> none;
+    for (const CommAction& a : s.pre)
+      if (!a.eliminated) run_action(s, a, none);
+    const Value v = eval(*s.rhs);
+    const Symbol& sm = sym(s.target);
+    scalars_[s.target] = sm.type == ast::BaseType::kInteger
+                             ? Value::integer(v.as_i())
+                             : (sm.type == ast::BaseType::kLogical
+                                    ? Value::logical(v.as_b())
+                                    : Value::real(v.as_d()));
+    proc_.charge_flops(count_scalar_flops(*s.rhs));
+  }
+
+  static double count_scalar_flops(const Expr& e) {
+    double n = e.kind == ExprKind::kBinOp ? 1 : 0;
+    for (const ExprPtr& a : e.args)
+      if (a) n += count_scalar_flops(*a);
+    return n;
+  }
+
+  void exec_reduce(const SpmdStmt& s) {
+    bind_refs(s);
+    auto my_ranges = ranges_for_coords(s, gc_.my_coords());
+    std::optional<std::vector<VarRange>> ranges_for_actions = my_ranges;
+    for (const CommAction& a : s.pre)
+      if (!a.eliminated) run_action(s, a, ranges_for_actions);
+
+    const std::string& op = s.reduce_op;
+    const bool want_loc = op == "MAXLOC" || op == "MINLOC";
+    const bool is_max = op == "MAXVAL" || op == "MAXLOC" || op == "ANY" ||
+                        op == "COUNT" || op == "SUM" || op == "PRODUCT";
+    (void)is_max;
+
+    double acc;
+    if (op == "SUM" || op == "COUNT") acc = 0;
+    else if (op == "PRODUCT") acc = 1;
+    else if (op == "MAXVAL" || op == "MAXLOC") acc = -1e300;
+    else if (op == "MINVAL" || op == "MINLOC") acc = 1e300;
+    else if (op == "ANY") acc = 0;
+    else if (op == "ALL") acc = 1;
+    else throw RtsError("unsupported reduction " + op);
+    Index loc = 0;
+    bool have_loc = false;
+
+    Index iters = 0;
+    if (my_ranges) {
+      if (opt_.skeleton) {
+        Index total = 1;
+        for (const VarRange& r : *my_ranges) total *= r.count;
+        iters = std::max<Index>(total, 0);
+        if (want_loc && !(*my_ranges).empty() && (*my_ranges)[0].count > 0) {
+          loc = (*my_ranges)[0].val0;
+          have_loc = true;
+        }
+      } else {
+        // MAXLOC/MINLOC stay well-defined even when every value is NaN
+        // (comparisons all false): fall back to the first index.
+        if (want_loc && !(*my_ranges).empty() && (*my_ranges)[0].count > 0) {
+          loc = (*my_ranges)[0].val0;
+          have_loc = true;
+        }
+        iterate(s, *my_ranges, [&]() {
+          ++iters;
+          if (s.mask && !eval(*s.mask).as_b()) return;
+          const double v = eval(*s.rhs).as_d();
+          if (op == "SUM") acc += v;
+          else if (op == "PRODUCT") acc *= v;
+          else if (op == "COUNT") acc += v != 0 ? 1 : 0;
+          else if (op == "ANY") acc = (acc != 0 || v != 0) ? 1 : 0;
+          else if (op == "ALL") acc = (acc != 0 && v != 0) ? 1 : 0;
+          else if (op == "MAXVAL" || op == "MAXLOC") {
+            if (v > acc) {
+              acc = v;
+              loc = frame_.at(s.indices[0].var);
+              have_loc = true;
+            }
+          } else if (op == "MINVAL" || op == "MINLOC") {
+            if (v < acc) {
+              acc = v;
+              loc = frame_.at(s.indices[0].var);
+              have_loc = true;
+            }
+          }
+        });
+      }
+    }
+    proc_.charge_flops(static_cast<double>(iters) * s.flops_per_iter);
+
+    // Reduction tree (paper Table 3 category 2).
+    if (want_loc) {
+      struct VL {
+        double v;
+        Index loc;
+        unsigned char valid;
+      };
+      std::vector<VL> box{
+          {acc, loc, static_cast<unsigned char>(have_loc ? 1 : 0)}};
+      const bool mx = op == "MAXLOC";
+      gc_.allreduce(box, [mx](const VL& x, const VL& y) {
+        if (!x.valid) return y;
+        if (!y.valid) return x;
+        if (mx ? (x.v > y.v) : (x.v < y.v)) return x;
+        if (mx ? (y.v > x.v) : (y.v < x.v)) return y;
+        return x.loc <= y.loc ? x : y;
+      });
+      scalars_[s.target] = Value::integer(box[0].valid ? box[0].loc : 0);
+      return;
+    }
+    std::vector<double> box{acc};
+    if (op == "SUM" || op == "COUNT")
+      gc_.allreduce(box, [](double x, double y) { return x + y; });
+    else if (op == "PRODUCT")
+      gc_.allreduce(box, [](double x, double y) { return x * y; });
+    else if (op == "MAXVAL")
+      gc_.allreduce(box, [](double x, double y) { return std::max(x, y); });
+    else if (op == "MINVAL")
+      gc_.allreduce(box, [](double x, double y) { return std::min(x, y); });
+    else if (op == "ANY")
+      gc_.allreduce(box, [](double x, double y) { return x != 0 || y != 0 ? 1.0 : 0.0; });
+    else if (op == "ALL")
+      gc_.allreduce(box, [](double x, double y) { return x != 0 && y != 0 ? 1.0 : 0.0; });
+    const Symbol& sm = sym(s.target);
+    scalars_[s.target] = sm.type == ast::BaseType::kInteger
+                             ? Value::integer(static_cast<long long>(box[0]))
+                             : Value::real(box[0]);
+  }
+
+  // --- whole-array intrinsics ---------------------------------------------------
+  void exec_array_intrinsic(const SpmdStmt& s) {
+    auto array_arg = [&](size_t k) -> const std::string& {
+      require(k < s.call_args.size() &&
+                  s.call_args[k]->kind == ExprKind::kVarRef,
+              "array intrinsic argument is a whole array name");
+      return s.call_args[k]->name;
+    };
+    auto int_arg = [&](size_t k) { return eval(*s.call_args[k]).as_i(); };
+
+    DistArray<double>* dest = &dar_.at(s.dest_array);
+    DistArray<double> result = [&]() -> DistArray<double> {
+      if (s.intrinsic == "CSHIFT") {
+        const Index sh = int_arg(1);
+        const int dim =
+            s.call_args.size() > 2 ? static_cast<int>(int_arg(2)) - 1 : 0;
+        return rts::cshift(gc_, dar_.at(array_arg(0)), dim, sh);
+      }
+      if (s.intrinsic == "EOSHIFT") {
+        const Index sh = int_arg(1);
+        const double boundary =
+            s.call_args.size() > 2 ? eval(*s.call_args[2]).as_d() : 0.0;
+        const int dim =
+            s.call_args.size() > 3 ? static_cast<int>(int_arg(3)) - 1 : 0;
+        return rts::eoshift(gc_, dar_.at(array_arg(0)), dim, sh, boundary);
+      }
+      if (s.intrinsic == "SPREAD") {
+        const int dim = static_cast<int>(int_arg(1)) - 1;
+        const Index nc = int_arg(2);
+        return rts::spread(gc_, dar_.at(array_arg(0)), dim, nc);
+      }
+      if (s.intrinsic == "TRANSPOSE")
+        return rts::transpose(gc_, dar_.at(array_arg(0)));
+      if (s.intrinsic == "MATMUL")
+        return rts::matmul_dist(gc_, dar_.at(array_arg(0)),
+                                dar_.at(array_arg(1)));
+      if (s.intrinsic == "RESHAPE")
+        return rts::reshape(gc_, dar_.at(array_arg(0)), dest->dad());
+      if (s.intrinsic == "PACK")
+        return rts::pack(gc_, dar_.at(array_arg(0)), lar_.at(array_arg(1)),
+                         dest->dad());
+      if (s.intrinsic == "UNPACK")
+        return rts::unpack(gc_, dar_.at(array_arg(0)), lar_.at(array_arg(1)),
+                           dar_.at(array_arg(2)));
+      throw RtsError("unsupported array intrinsic " + s.intrinsic);
+    }();
+
+    // Route the result into the destination's own mapping.
+    if (result.dad().same_mapping(dest->dad())) {
+      result.for_each_owned([&](const std::vector<Index>& g, double& v) {
+        dest->at_global(g) = v;
+      });
+    } else {
+      DistArray<double> re = rts::redistribute(gc_, result, dest->dad());
+      re.for_each_owned([&](const std::vector<Index>& g, double& v) {
+        dest->at_global(g) = v;
+      });
+    }
+  }
+
+  // --- result collection -----------------------------------------------------
+  void collect_results() {
+    if (opt_.skeleton) {
+      if (proc_.rank() == 0) {
+        std::lock_guard<std::mutex> lock(shared_.mu);
+        for (const auto& [name, v] : scalars_)
+          shared_.result.scalars[name] = v.as_d();
+        shared_.result.schedule_hits = cache_.hits();
+        shared_.result.schedule_misses = cache_.misses();
+      }
+      return;
+    }
+    // Collective gathers must run on every processor.
+    for (auto& [name, arr] : dar_) {
+      auto full = arr.gather_global(gc_);
+      if (proc_.rank() == 0) {
+        std::lock_guard<std::mutex> lock(shared_.mu);
+        shared_.result.real_arrays[name] = std::move(full);
+      }
+    }
+    for (auto& [name, arr] : iar_) {
+      auto full = arr.gather_global(gc_);
+      if (proc_.rank() == 0) {
+        std::lock_guard<std::mutex> lock(shared_.mu);
+        shared_.result.int_arrays[name] = std::move(full);
+      }
+    }
+    if (proc_.rank() == 0) {
+      std::lock_guard<std::mutex> lock(shared_.mu);
+      for (const auto& [name, v] : scalars_)
+        shared_.result.scalars[name] = v.as_d();
+      shared_.result.schedule_hits = cache_.hits();
+      shared_.result.schedule_misses = cache_.misses();
+    }
+  }
+
+  const Compiled& c_;
+  machine::Proc& proc_;
+  comm::GridComm gc_;
+  const Init& init_;
+  RunOptions opt_;
+  Shared& shared_;
+
+  std::map<std::string, Dad> dads_;
+  std::map<std::string, DistArray<double>> dar_;
+  std::map<std::string, DistArray<long long>> iar_;
+  std::map<std::string, DistArray<unsigned char>> lar_;
+  std::map<std::string, Value> scalars_;
+  std::vector<Buf> bufs_;
+  parti::ScheduleCache cache_;
+
+  std::map<std::string, Index> frame_;
+  std::map<std::string, VarState> var_state_;
+  Index flat_iter_ = 0;
+  std::map<const Expr*, const RefInfo*> ref_of_;
+  std::vector<Index> gidx_scratch_;
+};
+
+}  // namespace
+
+ProgramResult run_compiled(const compile::Compiled& compiled,
+                           machine::SimMachine& machine, const Init& init,
+                           const RunOptions& options) {
+  require(machine.nprocs() == compiled.mapping.grid.size(),
+          "machine size matches the compiled processor grid");
+  Shared shared;
+  shared.clock_snapshot.assign(static_cast<size_t>(machine.nprocs()), 0.0);
+  shared.stats_snapshot.assign(static_cast<size_t>(machine.nprocs()),
+                               machine::ProcStats{});
+  machine::RunResult mr = machine.run([&](machine::Proc& proc) {
+    Node node(compiled, proc, init, options, shared);
+    node.run();
+  });
+  // Report program-only timing/traffic (excluding result gathering).
+  mr.proc_times = shared.clock_snapshot;
+  mr.stats = shared.stats_snapshot;
+  mr.exec_time = 0.0;
+  for (double t : mr.proc_times) mr.exec_time = std::max(mr.exec_time, t);
+  shared.result.machine = std::move(mr);
+  return std::move(shared.result);
+}
+
+}  // namespace f90d::interp

@@ -1,0 +1,60 @@
+#pragma once
+// The SPMD node-program executor.  Runs the compiled IR on every simulated
+// processor — the moral equivalent of compiling the emitted Fortran77+MP
+// with a node compiler and running it on the 1993 machines.
+//
+// Two execution modes:
+//  * full:      every element is computed; results are gathered for
+//               verification against sequential oracles.
+//  * skeleton:  cost-faithful execution for the big benchmark sizes — loop
+//               bounds, guards and every communication action run for real
+//               (messages carry their true sizes), but per-element
+//               arithmetic is charged in bulk instead of interpreted.
+//               FORALLs with owner-computes lhs and no schedule-based
+//               actions skip iteration entirely.
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "compile/driver.hpp"
+#include "machine/sim_machine.hpp"
+
+namespace f90d::interp {
+
+using rts::Index;
+
+struct RunOptions {
+  bool skeleton = false;
+  bool schedule_cache = true;
+};
+
+/// Per-array initializers: global (0-based) indices -> value.
+struct Init {
+  std::map<std::string, std::function<double(std::span<const Index>)>> real;
+  std::map<std::string, std::function<long long(std::span<const Index>)>> ints;
+  std::map<std::string, std::function<bool(std::span<const Index>)>> logical;
+  std::map<std::string, double> scalars;
+};
+
+struct ProgramResult {
+  machine::RunResult machine;
+  /// Final global contents (row-major) of every REAL/INTEGER array,
+  /// gathered from processor 0's perspective (skipped in skeleton mode).
+  std::map<std::string, std::vector<double>> real_arrays;
+  std::map<std::string, std::vector<long long>> int_arrays;
+  std::map<std::string, double> scalars;
+  std::vector<std::string> printed;
+  int schedule_hits = 0;
+  int schedule_misses = 0;
+};
+
+/// Execute the compiled program on `machine`.  Collective: the machine size
+/// must equal the compiled logical grid size.
+[[nodiscard]] ProgramResult run_compiled(const compile::Compiled& compiled,
+                                         machine::SimMachine& machine,
+                                         const Init& init = {},
+                                         const RunOptions& options = {});
+
+}  // namespace f90d::interp

@@ -1,0 +1,64 @@
+#include "machine/cost_model.hpp"
+
+namespace f90d::machine {
+
+// Calibration notes (see DESIGN.md S11):
+//  - iPSC/860 time_per_flop: Table 4 reports 623 s for sequential GE on a
+//    1023x1024 matrix; GE is ~(2/3)N^3 ~= 7.1e8 flops -> ~0.85 us/flop for
+//    scalar f77 code (far below the i860's peak, as was typical).
+//  - iPSC/860 alpha ~75 us, sustained bandwidth ~2.8 MB/s
+//    (beta ~0.36 us/byte) match published iPSC/860 measurements.
+//  - nCUBE/2: ~3x slower scalar node, alpha ~160 us, ~2.2 MB/s links.
+const CostModel& CostModel::ipsc860() {
+  static const CostModel m{
+      .name = "iPSC/860",
+      .time_per_flop = 0.85e-6,
+      .time_per_int_op = 0.10e-6,
+      .msg_latency = 75e-6,
+      .time_per_byte = 0.36e-6,
+      .time_per_hop = 11e-6,
+      .time_per_copy_byte = 0.05e-6,
+  };
+  return m;
+}
+
+const CostModel& CostModel::ncube2() {
+  static const CostModel m{
+      .name = "nCUBE/2",
+      .time_per_flop = 2.4e-6,
+      .time_per_int_op = 0.30e-6,
+      .msg_latency = 160e-6,
+      .time_per_byte = 0.45e-6,
+      .time_per_hop = 35e-6,
+      .time_per_copy_byte = 0.12e-6,
+  };
+  return m;
+}
+
+const CostModel& CostModel::workstation_net() {
+  static const CostModel m{
+      .name = "workstation-net",
+      .time_per_flop = 0.40e-6,
+      .time_per_int_op = 0.05e-6,
+      .msg_latency = 1500e-6,
+      .time_per_byte = 0.90e-6,
+      .time_per_hop = 0.0,
+      .time_per_copy_byte = 0.03e-6,
+  };
+  return m;
+}
+
+const CostModel& CostModel::ideal() {
+  static const CostModel m{
+      .name = "ideal",
+      .time_per_flop = 0.0,
+      .time_per_int_op = 0.0,
+      .msg_latency = 0.0,
+      .time_per_byte = 0.0,
+      .time_per_hop = 0.0,
+      .time_per_copy_byte = 0.0,
+  };
+  return m;
+}
+
+}  // namespace f90d::machine

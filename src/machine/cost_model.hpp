@@ -1,0 +1,48 @@
+#pragma once
+// Per-machine virtual-time cost models.
+//
+// The paper evaluated on a 16-node Intel iPSC/860 and a 16-node nCUBE/2
+// (plus networks of workstations via Express).  Those machines are gone;
+// we substitute a simulator whose cost model follows the classic Hockney
+// formulation the Fortran D group itself used for communication-cost
+// estimation:
+//
+//   t_msg(bytes, hops) = latency + bytes * time_per_byte
+//                        + max(0, hops-1) * time_per_hop
+//   t_compute          = flops * time_per_flop + int_ops * time_per_int_op
+//
+// Constants are calibrated so that sequential Gaussian elimination on a
+// 1023x1024 matrix lands in the same regime as the paper's Table 4
+// (623 s on one i860 running scalar f77 code) and so that the nCUBE/2 is
+// uniformly slower than the iPSC/860 as in Figure 5.
+#include <string>
+
+namespace f90d::machine {
+
+struct CostModel {
+  std::string name;
+  double time_per_flop;    ///< seconds per floating-point operation
+  double time_per_int_op;  ///< seconds per integer/addressing operation
+  double msg_latency;      ///< alpha: message startup cost (seconds)
+  double time_per_byte;    ///< beta: transfer cost per byte (seconds)
+  double time_per_hop;     ///< extra cost per hop beyond the first
+  double time_per_copy_byte;  ///< local memory copy (packing) per byte
+
+  /// Cost of one point-to-point message of `bytes` over `hops` links.
+  [[nodiscard]] double message_time(std::size_t bytes, int hops) const {
+    const double extra_hops = hops > 1 ? static_cast<double>(hops - 1) : 0.0;
+    return msg_latency + static_cast<double>(bytes) * time_per_byte +
+           extra_hops * time_per_hop;
+  }
+
+  /// Intel iPSC/860 hypercube (per-node i860 @40MHz, ~2.8 MB/s links).
+  static const CostModel& ipsc860();
+  /// nCUBE/2 hypercube (slower scalar nodes, ~2.2 MB/s DMA links).
+  static const CostModel& ncube2();
+  /// Network of workstations over Ethernet (Express portability target).
+  static const CostModel& workstation_net();
+  /// Zero-cost communication; used by tests that check semantics only.
+  static const CostModel& ideal();
+};
+
+}  // namespace f90d::machine

@@ -1,0 +1,47 @@
+#include "machine/mailbox.hpp"
+
+#include <algorithm>
+
+namespace f90d::machine {
+
+namespace {
+bool matches(const Message& m, int src, int tag) {
+  return (src == kAnySource || m.src == src) && (tag == kAnyTag || m.tag == tag);
+}
+}  // namespace
+
+void Mailbox::push(Message m) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    q_.push_back(std::move(m));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::pop_match(int src, int tag) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    const auto it = std::find_if(q_.begin(), q_.end(), [&](const Message& m) {
+      return matches(m, src, tag);
+    });
+    if (it != q_.end()) {
+      Message out = std::move(*it);
+      q_.erase(it);
+      return out;
+    }
+    cv_.wait(lock);
+  }
+}
+
+bool Mailbox::probe(int src, int tag) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::any_of(q_.begin(), q_.end(),
+                     [&](const Message& m) { return matches(m, src, tag); });
+}
+
+std::size_t Mailbox::size() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return q_.size();
+}
+
+}  // namespace f90d::machine

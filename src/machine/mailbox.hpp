@@ -1,0 +1,35 @@
+#pragma once
+// Per-processor mailbox with (source, tag) matching, in the style of the
+// Express / early-MPI receive semantics the paper's communication library
+// was built on.  Thread-safe: producers are other processor threads.
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "machine/message.hpp"
+
+namespace f90d::machine {
+
+class Mailbox {
+ public:
+  /// Deposit a message (called from the sender's thread).
+  void push(Message m);
+
+  /// Block until a message matching (src, tag) is available and remove it.
+  /// kAnySource / kAnyTag act as wildcards.  Messages that match are
+  /// delivered in the order they were pushed (per matching subset).
+  Message pop_match(int src, int tag);
+
+  /// Non-blocking probe: true if a matching message is queued.
+  [[nodiscard]] bool probe(int src, int tag);
+
+  /// Number of queued messages (diagnostics).
+  [[nodiscard]] std::size_t size();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> q_;
+};
+
+}  // namespace f90d::machine

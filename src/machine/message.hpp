@@ -1,0 +1,23 @@
+#pragma once
+// A message in flight between two simulated processors.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace f90d::machine {
+
+struct Message {
+  int src = -1;
+  int tag = 0;
+  /// Virtual time at which the message becomes available at the receiver.
+  double arrival = 0.0;
+  std::vector<std::byte> payload;
+
+  [[nodiscard]] std::size_t bytes() const { return payload.size(); }
+};
+
+/// Wildcard for Mailbox matching.
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+}  // namespace f90d::machine

@@ -1,0 +1,131 @@
+#include "machine/sim_machine.hpp"
+
+#include <cstring>
+#include <exception>
+#include <mutex>
+#include <numeric>
+#include <thread>
+
+#include "support/diag.hpp"
+
+namespace f90d::machine {
+
+int Proc::nprocs() const { return machine_->nprocs(); }
+const CostModel& Proc::cost() const { return machine_->cost(); }
+
+void Proc::charge_flops(double n) {
+  const double t = n * cost().time_per_flop;
+  clock_ += t;
+  stats_.compute_time += t;
+}
+
+void Proc::charge_int_ops(double n) {
+  const double t = n * cost().time_per_int_op;
+  clock_ += t;
+  stats_.compute_time += t;
+}
+
+void Proc::charge_copy(double bytes) {
+  const double t = bytes * cost().time_per_copy_byte;
+  clock_ += t;
+  stats_.compute_time += t;
+}
+
+void Proc::charge_time(double seconds) {
+  clock_ += seconds;
+  stats_.compute_time += seconds;
+}
+
+void Proc::send_bytes(int dest, int tag, const void* data, std::size_t bytes) {
+  require(dest >= 0 && dest < nprocs(), "send: destination rank in range");
+  Message m;
+  m.src = rank_;
+  m.tag = tag;
+  m.payload.resize(bytes);
+  if (bytes > 0) std::memcpy(m.payload.data(), data, bytes);
+
+  // Injection: the sender is busy for latency + bytes*beta (blocking send,
+  // as on the iPSC/860's store-and-forward style NX layer).
+  const double inject =
+      cost().msg_latency + static_cast<double>(bytes) * cost().time_per_byte;
+  clock_ += inject;
+  stats_.comm_time += inject;
+
+  // Wire delay beyond the first hop.
+  const int hops = machine_->topology().hops(rank_, dest);
+  const double extra =
+      hops > 1 ? static_cast<double>(hops - 1) * cost().time_per_hop : 0.0;
+  m.arrival = clock_ + extra;
+
+  stats_.messages_sent += 1;
+  stats_.bytes_sent += bytes;
+  machine_->mailbox(dest).push(std::move(m));
+}
+
+Message Proc::recv(int src, int tag) {
+  Message m = machine_->mailbox(rank_).pop_match(src, tag);
+  if (m.arrival > clock_) {
+    stats_.comm_time += m.arrival - clock_;
+    clock_ = m.arrival;
+  }
+  stats_.messages_received += 1;
+  return m;
+}
+
+std::uint64_t RunResult::total_messages() const {
+  return std::accumulate(stats.begin(), stats.end(), std::uint64_t{0},
+                         [](std::uint64_t acc, const ProcStats& s) {
+                           return acc + s.messages_sent;
+                         });
+}
+
+std::uint64_t RunResult::total_bytes() const {
+  return std::accumulate(stats.begin(), stats.end(), std::uint64_t{0},
+                         [](std::uint64_t acc, const ProcStats& s) {
+                           return acc + s.bytes_sent;
+                         });
+}
+
+SimMachine::SimMachine(int nprocs, const CostModel& cost,
+                       std::unique_ptr<Topology> topology)
+    : nprocs_(nprocs), cost_(cost), topology_(std::move(topology)) {
+  require(nprocs >= 1, "machine needs at least one processor");
+  require(topology_ != nullptr, "machine needs a topology");
+  mailboxes_.reserve(static_cast<size_t>(nprocs));
+  for (int i = 0; i < nprocs; ++i)
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+RunResult SimMachine::run(const NodeProgram& program) {
+  RunResult result;
+  result.proc_times.assign(static_cast<size_t>(nprocs_), 0.0);
+  result.stats.assign(static_cast<size_t>(nprocs_), ProcStats{});
+
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(nprocs_));
+  for (int r = 0; r < nprocs_; ++r) {
+    threads.emplace_back([&, r]() {
+      Proc proc(*this, r);
+      try {
+        program(proc);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      result.proc_times[static_cast<size_t>(r)] = proc.clock();
+      result.stats[static_cast<size_t>(r)] = proc.stats();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+
+  result.exec_time = 0.0;
+  for (double t : result.proc_times) result.exec_time = std::max(result.exec_time, t);
+  return result;
+}
+
+}  // namespace f90d::machine

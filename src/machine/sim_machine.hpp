@@ -1,0 +1,133 @@
+#pragma once
+// The simulated distributed-memory MIMD machine.
+//
+// Each simulated processor is an OS thread executing the same node program
+// (SPMD).  Concurrency and message matching are real; *time* is virtual:
+// every processor carries a clock that advances with charged computation and
+// with message costs from the CostModel.  A message carries its send
+// timestamp; the receive completes at
+//     max(receiver clock, send_completion + (hops-1)*time_per_hop).
+// The execution time of a run is the maximum final clock over processors,
+// which is exactly what the paper's wall-clock measurements report for its
+// loosely synchronous programs.
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "machine/cost_model.hpp"
+#include "machine/mailbox.hpp"
+#include "machine/topology.hpp"
+
+namespace f90d::machine {
+
+class SimMachine;
+
+/// Per-processor message-traffic statistics (for experiment analysis).
+struct ProcStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_received = 0;
+  double compute_time = 0.0;  ///< time charged to local computation
+  double comm_time = 0.0;     ///< time charged to communication (send+wait)
+};
+
+/// Handle through which a node program interacts with its processor.
+class Proc {
+ public:
+  Proc(SimMachine& m, int rank) : machine_(&m), rank_(rank) {}
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int nprocs() const;
+  [[nodiscard]] double clock() const { return clock_; }
+  [[nodiscard]] const CostModel& cost() const;
+  [[nodiscard]] SimMachine& machine() { return *machine_; }
+  [[nodiscard]] const ProcStats& stats() const { return stats_; }
+
+  // --- virtual time -------------------------------------------------------
+  /// Charge `n` floating-point operations of local computation.
+  void charge_flops(double n);
+  /// Charge `n` integer / addressing / loop-control operations.
+  void charge_int_ops(double n);
+  /// Charge a local memory copy of `bytes` (message packing, array copies).
+  void charge_copy(double bytes);
+  /// Charge raw seconds (used by the runtime for modeled costs).
+  void charge_time(double seconds);
+
+  // --- message passing ----------------------------------------------------
+  /// Blocking, typed send.  Advances the sender's clock by the injection
+  /// cost; the message arrives at `dest` after the wire delay.
+  void send_bytes(int dest, int tag, const void* data, std::size_t bytes);
+
+  template <typename T>
+  void send(int dest, int tag, std::span<const T> data) {
+    send_bytes(dest, tag, data.data(), data.size_bytes());
+  }
+  template <typename T>
+  void send_value(int dest, int tag, const T& v) {
+    send_bytes(dest, tag, &v, sizeof(T));
+  }
+
+  /// Blocking receive matching (src, tag); advances the clock to the
+  /// message arrival time.
+  Message recv(int src, int tag);
+
+  template <typename T>
+  std::vector<T> recv_vec(int src, int tag) {
+    Message m = recv(src, tag);
+    std::vector<T> out(m.payload.size() / sizeof(T));
+    std::memcpy(out.data(), m.payload.data(), out.size() * sizeof(T));
+    return out;
+  }
+  template <typename T>
+  T recv_value(int src, int tag) {
+    Message m = recv(src, tag);
+    T v{};
+    std::memcpy(&v, m.payload.data(), sizeof(T));
+    return v;
+  }
+
+ private:
+  SimMachine* machine_;
+  int rank_;
+  double clock_ = 0.0;
+  ProcStats stats_{};
+};
+
+/// Result of running one SPMD program on the machine.
+struct RunResult {
+  double exec_time = 0.0;              ///< max final clock over processors
+  std::vector<double> proc_times;      ///< final clock per processor
+  std::vector<ProcStats> stats;        ///< per-processor traffic stats
+
+  [[nodiscard]] std::uint64_t total_messages() const;
+  [[nodiscard]] std::uint64_t total_bytes() const;
+};
+
+class SimMachine {
+ public:
+  using NodeProgram = std::function<void(Proc&)>;
+
+  SimMachine(int nprocs, const CostModel& cost,
+             std::unique_ptr<Topology> topology);
+
+  [[nodiscard]] int nprocs() const { return nprocs_; }
+  [[nodiscard]] const CostModel& cost() const { return cost_; }
+  [[nodiscard]] const Topology& topology() const { return *topology_; }
+  [[nodiscard]] Mailbox& mailbox(int rank) { return *mailboxes_[rank]; }
+
+  /// Run `program` on every processor; joins all threads.  Exceptions thrown
+  /// by any node program are re-thrown here (first one wins).
+  RunResult run(const NodeProgram& program);
+
+ private:
+  int nprocs_;
+  CostModel cost_;
+  std::unique_ptr<Topology> topology_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+};
+
+}  // namespace f90d::machine

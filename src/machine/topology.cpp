@@ -1,0 +1,24 @@
+#include "machine/topology.hpp"
+
+#include <bit>
+#include <cstdlib>
+
+namespace f90d::machine {
+
+int Hypercube::hops(int a, int b) const {
+  return std::popcount(static_cast<unsigned>(a) ^ static_cast<unsigned>(b));
+}
+
+int Mesh2D::hops(int a, int b) const {
+  const int ax = a % width_, ay = a / width_;
+  const int bx = b % width_, by = b / width_;
+  return std::abs(ax - bx) + std::abs(ay - by);
+}
+
+std::unique_ptr<Topology> make_hypercube() { return std::make_unique<Hypercube>(); }
+std::unique_ptr<Topology> make_crossbar() { return std::make_unique<Crossbar>(); }
+std::unique_ptr<Topology> make_mesh2d(int width) {
+  return std::make_unique<Mesh2D>(width);
+}
+
+}  // namespace f90d::machine

@@ -1,0 +1,46 @@
+#pragma once
+// Interconnect topologies.  The logical processor grid (src/comm) is mapped
+// onto physical nodes through a Topology; hop counts feed the cost model.
+#include <memory>
+#include <string>
+
+namespace f90d::machine {
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+  /// Number of links traversed by a message from physical node a to b.
+  [[nodiscard]] virtual int hops(int a, int b) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Binary hypercube: hops = Hamming distance of node ids (iPSC/860, nCUBE/2).
+class Hypercube final : public Topology {
+ public:
+  [[nodiscard]] int hops(int a, int b) const override;
+  [[nodiscard]] std::string name() const override { return "hypercube"; }
+};
+
+/// Full crossbar: every pair one hop (workstation LAN, modern fabrics).
+class Crossbar final : public Topology {
+ public:
+  [[nodiscard]] int hops(int a, int b) const override { return a == b ? 0 : 1; }
+  [[nodiscard]] std::string name() const override { return "crossbar"; }
+};
+
+/// 2-D mesh of given width (row-major node numbering), Manhattan routing.
+class Mesh2D final : public Topology {
+ public:
+  explicit Mesh2D(int width) : width_(width) {}
+  [[nodiscard]] int hops(int a, int b) const override;
+  [[nodiscard]] std::string name() const override { return "mesh2d"; }
+
+ private:
+  int width_;
+};
+
+std::unique_ptr<Topology> make_hypercube();
+std::unique_ptr<Topology> make_crossbar();
+std::unique_ptr<Topology> make_mesh2d(int width);
+
+}  // namespace f90d::machine

@@ -1,0 +1,132 @@
+#include "mapping/mapping.hpp"
+
+namespace f90d::mapping {
+
+using frontend::SemaResult;
+using frontend::Symbol;
+using frontend::TemplateInfo;
+using rts::Dad;
+using rts::DimMap;
+using rts::DistKind;
+using rts::Index;
+
+namespace {
+
+DistKind to_kind(ast::DistSpec s) {
+  switch (s) {
+    case ast::DistSpec::kBlock: return DistKind::kBlock;
+    case ast::DistSpec::kCyclic: return DistKind::kCyclic;
+    case ast::DistSpec::kStar: return DistKind::kCollapsed;
+  }
+  return DistKind::kCollapsed;
+}
+
+}  // namespace
+
+MappingTable build_mapping(const SemaResult& sema,
+                           const std::vector<int>& grid_override,
+                           int default_nprocs) {
+  // --- the logical grid -----------------------------------------------------
+  std::vector<int> grid_dims;
+  if (!grid_override.empty()) {
+    grid_dims = grid_override;
+  } else if (sema.processors) {
+    grid_dims = sema.processors->extents;
+  } else {
+    grid_dims = {default_nprocs};
+  }
+  comm::ProcGrid grid(grid_dims);
+
+  MappingTable table{grid, {}, {}};
+
+  // --- assign grid dimensions to distributed template dims -------------------
+  // Distributed dims of each template consume grid dims left-to-right; a
+  // template distributed over fewer dims than the grid leaves the remaining
+  // grid dims as replication dims for its arrays.
+  for (const auto& [name, tinfo] : sema.templates) {
+    std::vector<int> assignment(tinfo.extents.size(), -1);
+    int next_grid_dim = 0;
+    for (size_t td = 0; td < tinfo.dist.size(); ++td) {
+      if (tinfo.dist[td] == ast::DistSpec::kStar) continue;
+      if (next_grid_dim >= grid.ndims())
+        throw SemaError(SourceLoc{},
+                        "template " + name +
+                            " distributes more dimensions than the "
+                            "processor grid provides");
+      assignment[td] = next_grid_dim++;
+    }
+    table.template_grid_dims.emplace(name, std::move(assignment));
+  }
+
+  // --- per-array DADs ---------------------------------------------------------
+  for (const auto& [name, sym] : sema.symbols) {
+    if (!sym.is_array()) continue;
+    std::vector<Index> extents(sym.extent.begin(), sym.extent.end());
+
+    // Arrays without directives (and parameters) are replicated.
+    const bool directed = sym.align != nullptr || sym.direct_dist != nullptr;
+    if (!directed) {
+      table.dads.emplace(name, Dad::replicated(extents, grid));
+      continue;
+    }
+
+    std::vector<DimMap> dims(extents.size());
+    if (sym.direct_dist != nullptr) {
+      // The array is its own template: identity alignment.
+      const TemplateInfo& tinfo = sema.templates.at(name);
+      const auto& assignment = table.template_grid_dims.at(name);
+      for (size_t d = 0; d < extents.size(); ++d) {
+        DimMap& m = dims[d];
+        m.kind = to_kind(tinfo.dist[d]);
+        m.template_extent = tinfo.extents[d];
+        if (m.kind != DistKind::kCollapsed) {
+          m.grid_dim = assignment[d];
+          m.align_stride = 1;
+          // 0-based: t0 = g0 (identity on the array's own index space).
+          m.align_offset = 0;
+        }
+      }
+    } else {
+      const ast::AlignDirective& a = *sym.align;
+      const TemplateInfo& tinfo = sema.templates.at(a.templ);
+      const auto& assignment = table.template_grid_dims.at(a.templ);
+      // Walk template subscript positions; each names an array dummy.
+      for (size_t td = 0; td < a.subs.size(); ++td) {
+        const ast::AlignSub& sub = a.subs[td];
+        if (sub.star) continue;  // replication along this template dim
+        const int ad = sub.dummy;
+        DimMap& m = dims[static_cast<size_t>(ad)];
+        m.kind = to_kind(tinfo.dist[td]);
+        m.template_extent = tinfo.extents[td];
+        if (m.kind == DistKind::kCollapsed) continue;
+        m.grid_dim = assignment[td];
+        // Source coordinates are 1-based on both sides:
+        //   t = stride * g + offset,  t0 = t - 1,  g0 = g - lower.
+        //   t0 = stride * g0 + (stride * lower + offset - 1)
+        m.align_stride = sub.stride;
+        m.align_offset = sub.stride * sym.lower[static_cast<size_t>(ad)] +
+                         sub.offset - 1;
+        // Validate the aligned image fits in the template.
+        const Index g_last = extents[static_cast<size_t>(ad)] - 1;
+        const Index t_first = m.align_stride > 0
+                                  ? m.align_offset
+                                  : m.align_stride * g_last + m.align_offset;
+        const Index t_last = m.align_stride > 0
+                                 ? m.align_stride * g_last + m.align_offset
+                                 : m.align_offset;
+        if (t_first < 0 || t_last >= m.template_extent)
+          throw SemaError(a.loc, "ALIGN image of " + name +
+                                     " exceeds template " + a.templ);
+      }
+      // Collapsed dims not mentioned in the align keep whole extents.
+      for (size_t d = 0; d < dims.size(); ++d) {
+        if (dims[d].template_extent == 0)
+          dims[d].template_extent = extents[d];
+      }
+    }
+    table.dads.emplace(name, Dad(extents, dims, grid));
+  }
+  return table;
+}
+
+}  // namespace f90d::mapping

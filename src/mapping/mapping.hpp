@@ -1,0 +1,44 @@
+#pragma once
+// Compilation of the distribution directives (paper §3, Figure 2): turns
+// the analyzed PROCESSORS / TEMPLATE / ALIGN / DISTRIBUTE directives into a
+// logical processor grid and one DAD per distributed array.
+//
+//   stage 1: ALIGN  -> per-dimension (stride, offset) onto the template,
+//            converting the 1-based source coordinates to the 0-based
+//            run-time index space;
+//   stage 2: DISTRIBUTE -> BLOCK/CYCLIC DimMaps onto grid dimensions
+//            (distributed template dims are assigned grid dims in order);
+//   stage 3: the grid's Gray-code embedding onto the physical machine
+//            (comm::ProcGrid handles phi/phi^-1).
+//
+// Arrays with no directives are replicated.  The processor-grid extents can
+// be overridden (keeping the source untouched) so experiments can sweep the
+// machine size, as Table 4 does with 1..16 processors.
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "comm/proc_grid.hpp"
+#include "frontend/sema.hpp"
+#include "rts/dad.hpp"
+
+namespace f90d::mapping {
+
+struct MappingTable {
+  comm::ProcGrid grid;
+  /// One descriptor per declared array (replicated if undirected).
+  std::map<std::string, rts::Dad> dads;
+  /// Template-dim -> grid-dim assignment per template (for diagnostics).
+  std::map<std::string, std::vector<int>> template_grid_dims;
+};
+
+/// Build the mapping table.  `grid_override`, when non-empty, replaces the
+/// PROCESSORS extents (its product must be the machine size).  With no
+/// PROCESSORS directive and no override, a 1-D grid of `default_nprocs` is
+/// assumed.
+[[nodiscard]] MappingTable build_mapping(const frontend::SemaResult& sema,
+                                         const std::vector<int>& grid_override = {},
+                                         int default_nprocs = 1);
+
+}  // namespace f90d::mapping

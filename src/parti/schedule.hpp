@@ -1,0 +1,215 @@
+#pragma once
+// PARTI-style inspector/executor runtime for unstructured communication
+// (paper §5.1, §5.3.2; the original was the ICASE PARTI library [21]).
+//
+// A Schedule captures a reusable communication pattern:
+//   * read side (precomp_read / gather): which of my owned source elements
+//     each peer needs (push lists) and where arriving elements land in my
+//     iteration-ordered temporary buffer (slot lists);
+//   * write side (postcomp_write / scatter): which of my computed values go
+//     to each peer (position lists) and where arriving values are stored in
+//     my owned part of the destination array (placement lists).
+//
+// Three inspectors, as in the paper:
+//   schedule1 — send and receive lists computable with *local* preprocessing
+//               only (invertible affine subscript f(i)); used by
+//               precomp_read / postcomp_write.
+//   schedule2 — receivers know their needs but senders must learn them via
+//               a fan-in communication step; used by gather.
+//   schedule3 — senders know destinations; one id-list exchange tells the
+//               receivers where to place values; used by scatter.
+//
+// "The same schedule can be reused repeatedly to carry out a particular
+//  pattern of data exchange ... the cost of generating the schedules can be
+//  amortized" — see ScheduleCache.
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/grid_comm.hpp"
+#include "rts/dist_array.hpp"
+#include "rts/remap.hpp"
+
+namespace f90d::parti {
+
+using rts::Index;
+
+struct Schedule {
+  int nprocs = 0;
+
+  // --- read side (values flow owner -> requester) -------------------------
+  /// Global flat ids of my owned source elements each peer asked for, in
+  /// the peer's iteration order.
+  std::vector<std::vector<Index>> push_gidx;
+  /// For elements I receive from each peer: slots in my temporary buffer.
+  std::vector<std::vector<Index>> slot_of;
+  /// Size of my temporary buffer (= number of iterations I execute).
+  Index tmp_size = 0;
+
+  // --- write side (values flow computer -> owner) --------------------------
+  /// Positions (into my iteration-ordered value vector) to ship per peer.
+  std::vector<std::vector<Index>> send_pos;
+  /// Global flat ids where arriving values are stored, per peer.
+  std::vector<std::vector<Index>> place_gidx;
+
+  /// Number of messages the inspector itself exchanged (0 for schedule1).
+  int inspector_messages = 0;
+};
+
+using SchedulePtr = std::shared_ptr<const Schedule>;
+
+/// schedule1, read flavour (precomp_read): every list is computed locally.
+/// `my_needs`: global flat ids of `source_dad` elements my iterations read,
+/// in iteration order.  `needs_of_peer(p, out)`: the same list for any peer
+/// p, computable locally because the subscript is invertible — each
+/// processor derives both its receive and its send lists without
+/// communication (paper: "require preprocessing that involves local
+/// computations [17]").
+SchedulePtr schedule1_read(
+    comm::GridComm& gc, const rts::Dad& source_dad,
+    const std::vector<Index>& my_needs,
+    const std::function<void(int, std::vector<Index>&)>& needs_of_peer);
+
+/// schedule1, write flavour (postcomp_write): `my_dests` gives, per local
+/// iteration, the global flat id of the destination element; `dests_of_peer`
+/// computes the same for any peer locally.
+SchedulePtr schedule1_write(
+    comm::GridComm& gc, const rts::Dad& dest_dad,
+    const std::vector<Index>& my_dests,
+    const std::function<void(int, std::vector<Index>&)>& dests_of_peer);
+
+/// schedule2 (gather): only receivers know their needs (vector-valued or
+/// unknown subscripts); a fan-in request exchange builds the send lists.
+SchedulePtr schedule2(comm::GridComm& gc, const rts::Dad& source_dad,
+                      const std::vector<Index>& my_needs);
+
+/// schedule3 (scatter): only senders know the destinations; one id-list
+/// exchange records placement lists on the owners.
+SchedulePtr schedule3(comm::GridComm& gc, const rts::Dad& dest_dad,
+                      const std::vector<Index>& my_dests);
+
+/// Executor, read side: returns my iteration-ordered temporary buffer
+/// tmp[k] = source(need k).  Used by precomp_read and gather.
+template <typename T>
+std::vector<T> execute_read(comm::GridComm& gc, const Schedule& sched,
+                            rts::DistArray<T>& source);
+
+/// Executor, write side: ships values[k] (my iteration order) to the owners
+/// of the destination elements recorded in the schedule.  `combine` merges
+/// into the array (overwrite by default).  Used by postcomp_write, scatter.
+template <typename T>
+void execute_write(comm::GridComm& gc, const Schedule& sched,
+                   rts::DistArray<T>& dest, std::span<const T> values);
+
+/// Paper-named wrappers.
+template <typename T>
+std::vector<T> precomp_read(comm::GridComm& gc, const Schedule& sched,
+                            rts::DistArray<T>& source) {
+  return execute_read(gc, sched, source);
+}
+template <typename T>
+std::vector<T> gather(comm::GridComm& gc, const Schedule& sched,
+                      rts::DistArray<T>& source) {
+  return execute_read(gc, sched, source);
+}
+template <typename T>
+void postcomp_write(comm::GridComm& gc, const Schedule& sched,
+                    rts::DistArray<T>& dest, std::span<const T> values) {
+  execute_write(gc, sched, dest, values);
+}
+template <typename T>
+void scatter(comm::GridComm& gc, const Schedule& sched,
+             rts::DistArray<T>& dest, std::span<const T> values) {
+  execute_write(gc, sched, dest, values);
+}
+
+// --- executor definitions ---------------------------------------------------
+
+template <typename T>
+std::vector<T> execute_read(comm::GridComm& gc, const Schedule& sched,
+                            rts::DistArray<T>& source) {
+  const int p = gc.nprocs();
+  const int me = gc.my_logical();
+  require(sched.nprocs == p, "schedule built for this machine size");
+  std::vector<T> tmp(static_cast<size_t>(sched.tmp_size), T{});
+  std::vector<Index> g;
+
+  auto value_at = [&](Index flat) -> T {
+    rts::unflatten_global(source.dad(), flat, g);
+    return source.at_global(g);
+  };
+
+  // Local traffic: elements I both own and need.
+  {
+    const auto& ids = sched.push_gidx[static_cast<size_t>(me)];
+    const auto& slots = sched.slot_of[static_cast<size_t>(me)];
+    require(ids.size() == slots.size(), "self push/slot lists conform");
+    for (size_t j = 0; j < ids.size(); ++j)
+      tmp[static_cast<size_t>(slots[j])] = value_at(ids[j]);
+    gc.proc().charge_copy(static_cast<double>(ids.size() * sizeof(T)));
+  }
+
+  constexpr int kTag = 8101;
+  std::vector<T> out_buf;
+  for (int step = 1; step < p; ++step) {
+    const int to = (me + step) % p;
+    const auto& ids = sched.push_gidx[static_cast<size_t>(to)];
+    out_buf.clear();
+    out_buf.reserve(ids.size());
+    for (Index flat : ids) out_buf.push_back(value_at(flat));
+    gc.send_logical<T>(to, kTag + step, std::span<const T>(out_buf));
+  }
+  for (int step = 1; step < p; ++step) {
+    const int from = (me - step % p + p) % p;
+    auto incoming = gc.recv_logical<T>(from, kTag + step);
+    const auto& slots = sched.slot_of[static_cast<size_t>(from)];
+    require(incoming.size() == slots.size(), "gather payload matches schedule");
+    for (size_t j = 0; j < incoming.size(); ++j)
+      tmp[static_cast<size_t>(slots[j])] = incoming[j];
+  }
+  return tmp;
+}
+
+template <typename T>
+void execute_write(comm::GridComm& gc, const Schedule& sched,
+                   rts::DistArray<T>& dest, std::span<const T> values) {
+  const int p = gc.nprocs();
+  const int me = gc.my_logical();
+  require(sched.nprocs == p, "schedule built for this machine size");
+  std::vector<Index> g;
+
+  auto place = [&](Index flat, const T& v) {
+    rts::unflatten_global(dest.dad(), flat, g);
+    dest.at_global(g) = v;
+  };
+
+  {
+    const auto& pos = sched.send_pos[static_cast<size_t>(me)];
+    const auto& ids = sched.place_gidx[static_cast<size_t>(me)];
+    require(pos.size() == ids.size(), "self pos/place lists conform");
+    for (size_t j = 0; j < pos.size(); ++j)
+      place(ids[j], values[static_cast<size_t>(pos[j])]);
+    gc.proc().charge_copy(static_cast<double>(pos.size() * sizeof(T)));
+  }
+
+  constexpr int kTag = 8201;
+  std::vector<T> out_buf;
+  for (int step = 1; step < p; ++step) {
+    const int to = (me + step) % p;
+    const auto& pos = sched.send_pos[static_cast<size_t>(to)];
+    out_buf.clear();
+    out_buf.reserve(pos.size());
+    for (Index k : pos) out_buf.push_back(values[static_cast<size_t>(k)]);
+    gc.send_logical<T>(to, kTag + step, std::span<const T>(out_buf));
+  }
+  for (int step = 1; step < p; ++step) {
+    const int from = (me - step % p + p) % p;
+    auto incoming = gc.recv_logical<T>(from, kTag + step);
+    const auto& ids = sched.place_gidx[static_cast<size_t>(from)];
+    require(incoming.size() == ids.size(), "scatter payload matches schedule");
+    for (size_t j = 0; j < incoming.size(); ++j) place(ids[j], incoming[j]);
+  }
+}
+
+}  // namespace f90d::parti

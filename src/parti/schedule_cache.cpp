@@ -1,0 +1,27 @@
+#include "parti/schedule_cache.hpp"
+
+namespace f90d::parti {
+
+SchedulePtr ScheduleCache::get_or_build(
+    const std::string& key, const std::function<SchedulePtr()>& build) {
+  if (!enabled_) {
+    ++misses_;
+    return build();
+  }
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  SchedulePtr s = build();
+  map_.emplace(key, s);
+  return s;
+}
+
+void ScheduleCache::clear() {
+  map_.clear();
+  hits_ = misses_ = 0;
+}
+
+}  // namespace f90d::parti

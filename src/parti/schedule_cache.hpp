@@ -1,0 +1,44 @@
+#pragma once
+// Schedule reuse (paper §5.3.2, §7 optimization 3):
+//
+// "The schedule isch can also be used to carry out identical patterns of
+//  data exchanges on several different but identically distributed arrays
+//  ... the cost of generating the schedules can be amortized by only
+//  executing it once ... if the compiler recognizes that the same schedule
+//  can be reused, it does not generate code for scheduling but it passes a
+//  pointer to the already existing schedule."
+//
+// Each simulated processor carries one cache in its node-program scope; the
+// key combines the source/destination DAD signature with a description of
+// the access pattern (the compiler emits it; see compile/codegen).
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "parti/schedule.hpp"
+
+namespace f90d::parti {
+
+class ScheduleCache {
+ public:
+  /// Look up `key`; on miss run `build` and memoize its result.
+  SchedulePtr get_or_build(const std::string& key,
+                           const std::function<SchedulePtr()>& build);
+
+  [[nodiscard]] int hits() const { return hits_; }
+  [[nodiscard]] int misses() const { return misses_; }
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  void clear();
+
+  /// Globally disable caching (ablation benchmarks).
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+ private:
+  std::unordered_map<std::string, SchedulePtr> map_;
+  int hits_ = 0;
+  int misses_ = 0;
+  bool enabled_ = true;
+};
+
+}  // namespace f90d::parti

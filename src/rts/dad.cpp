@@ -1,0 +1,208 @@
+#include "rts/dad.hpp"
+
+#include <sstream>
+
+namespace f90d::rts {
+
+const char* to_string(DistKind k) {
+  switch (k) {
+    case DistKind::kBlock: return "BLOCK";
+    case DistKind::kCyclic: return "CYCLIC";
+    case DistKind::kCollapsed: return "*";
+  }
+  return "?";
+}
+
+Dad Dad::replicated(std::vector<Index> extents, const comm::ProcGrid& grid) {
+  std::vector<DimMap> dims(extents.size());
+  for (size_t d = 0; d < extents.size(); ++d) {
+    dims[d].kind = DistKind::kCollapsed;
+    dims[d].template_extent = extents[d];
+  }
+  return Dad(std::move(extents), std::move(dims), grid);
+}
+
+Dad::Dad(std::vector<Index> extents, std::vector<DimMap> dims,
+         comm::ProcGrid grid)
+    : extents_(std::move(extents)), dims_(std::move(dims)), grid_(std::move(grid)) {
+  require(extents_.size() == dims_.size(), "DAD rank consistent");
+  std::vector<bool> used(static_cast<size_t>(grid_.ndims()), false);
+  for (size_t d = 0; d < dims_.size(); ++d) {
+    const DimMap& m = dims_[d];
+    if (m.kind != DistKind::kCollapsed) {
+      require(m.grid_dim >= 0 && m.grid_dim < grid_.ndims(),
+              "distributed dimension maps to a grid dimension");
+      require(m.template_extent > 0, "template extent positive");
+      require(m.align_stride != 0, "alignment stride non-zero");
+      if (m.kind == DistKind::kCyclic) {
+        require(m.align_stride == 1,
+                "cyclic distribution requires unit alignment stride");
+      }
+      used[static_cast<size_t>(m.grid_dim)] = true;
+    }
+  }
+  for (int gd = 0; gd < grid_.ndims(); ++gd)
+    if (!used[static_cast<size_t>(gd)]) replicated_grid_dims_.push_back(gd);
+}
+
+bool Dad::fully_replicated() const {
+  for (const DimMap& m : dims_)
+    if (m.kind != DistKind::kCollapsed) return false;
+  return true;
+}
+
+Index Dad::global_size() const {
+  Index n = 1;
+  for (Index e : extents_) n *= e;
+  return n;
+}
+
+Index Dad::block_chunk(int d) const {
+  const DimMap& m = dim(d);
+  const Index p = grid_.extent(m.grid_dim);
+  return (m.template_extent + p - 1) / p;
+}
+
+int Dad::owner_coord(int d, Index g) const {
+  const DimMap& m = dim(d);
+  if (m.kind == DistKind::kCollapsed) return 0;
+  const Index t = m.align_stride * g + m.align_offset;
+  require(t >= 0 && t < m.template_extent, "aligned index within template");
+  if (m.kind == DistKind::kBlock) return static_cast<int>(t / block_chunk(d));
+  return static_cast<int>(t % grid_.extent(m.grid_dim));  // cyclic
+}
+
+Index Dad::local_of_global(int d, Index g) const {
+  const DimMap& m = dim(d);
+  if (m.kind == DistKind::kCollapsed) return g;
+  const Index t = m.align_stride * g + m.align_offset;
+  if (m.kind == DistKind::kBlock) {
+    const Index chunk = block_chunk(d);
+    const Index t_start = (t / chunk) * chunk;  // first template cell in block
+    // Local position = count of aligned array cells in [t_start, t].
+    // With stride a, aligned cells are t' = a*g' + b; the first g' whose
+    // aligned cell falls at or after t_start:
+    const Index a = m.align_stride, b = m.align_offset;
+    if (a == 1) return t - std::max(t_start, b);
+    if (a > 0) {
+      Index g_first = (t_start - b + a - 1) / a;  // ceil((t_start-b)/a)
+      if (g_first < 0) g_first = 0;
+      return g - g_first;
+    }
+    // a < 0: aligned cells descend; count from the top of the block.
+    const Index t_end = std::min(t_start + chunk - 1, m.template_extent - 1);
+    Index g_first = (b - t_end - a - 1) / (-a);  // smallest g with t <= t_end
+    if (g_first < 0) g_first = 0;
+    return g - g_first;
+  }
+  // Cyclic (align_stride == 1 enforced): round-robin position.
+  return t / grid_.extent(m.grid_dim);
+}
+
+Index Dad::global_of_local(int d, Index l, int coord) const {
+  const DimMap& m = dim(d);
+  if (m.kind == DistKind::kCollapsed) return l;
+  const Index a = m.align_stride, b = m.align_offset;
+  if (m.kind == DistKind::kBlock) {
+    const Index chunk = block_chunk(d);
+    const Index t_start = static_cast<Index>(coord) * chunk;
+    if (a == 1) return std::max(t_start, b) - b + l;
+    if (a > 0) {
+      Index g_first = (t_start - b + a - 1) / a;
+      if (g_first < 0) g_first = 0;
+      return g_first + l;
+    }
+    const Index t_end =
+        std::min(t_start + chunk - 1, m.template_extent - 1);
+    Index g_first = (b - t_end - a - 1) / (-a);
+    if (g_first < 0) g_first = 0;
+    return g_first + l;
+  }
+  // Cyclic: t = coord + l*P, g = t - b.
+  return static_cast<Index>(coord) +
+         l * grid_.extent(m.grid_dim) - b;
+}
+
+Index Dad::local_extent(int d, int coord) const {
+  const DimMap& m = dim(d);
+  if (m.kind == DistKind::kCollapsed) return extent(d);
+  // Count global indices g in [0, extent) owned by `coord`.
+  const Index n = extent(d);
+  if (n == 0) return 0;
+  if (m.kind == DistKind::kBlock) {
+    // Owned template range [lo, hi].
+    const Index chunk = block_chunk(d);
+    const Index t_lo = static_cast<Index>(coord) * chunk;
+    const Index t_hi = std::min(t_lo + chunk - 1, m.template_extent - 1);
+    if (t_lo > t_hi) return 0;
+    const Index a = m.align_stride, b = m.align_offset;
+    if (a > 0) {
+      Index g_lo = (t_lo - b + a - 1) / a;   // ceil
+      Index g_hi = (t_hi - b) / a;           // floor
+      g_lo = std::max<Index>(g_lo, 0);
+      g_hi = std::min<Index>(g_hi, n - 1);
+      return g_hi >= g_lo ? g_hi - g_lo + 1 : 0;
+    }
+    Index g_lo = (b - t_hi - a - 1) / (-a);
+    Index g_hi = (b - t_lo) / (-a);
+    g_lo = std::max<Index>(g_lo, 0);
+    g_hi = std::min<Index>(g_hi, n - 1);
+    return g_hi >= g_lo ? g_hi - g_lo + 1 : 0;
+  }
+  // Cyclic, a==1: g in [0,n), (g + b) mod P == coord.
+  const Index p = grid_.extent(m.grid_dim);
+  const Index b = m.align_offset;
+  // First g >= 0 with (g + b) mod P == coord:
+  Index first = ((static_cast<Index>(coord) - b) % p + p) % p;
+  if (first >= n) return 0;
+  return (n - 1 - first) / p + 1;
+}
+
+int Dad::owner_logical(const std::vector<Index>& gidx,
+                       const std::vector<int>& base_coords) const {
+  std::vector<int> coords = base_coords;
+  // Replicated grid dims: keep the caller's coordinate (any replica works
+  // and the caller's line minimizes distance); grid dims carrying array
+  // dimensions are overwritten with the owner coordinate.
+  for (int d = 0; d < rank(); ++d) {
+    const DimMap& m = dim(d);
+    if (m.kind == DistKind::kCollapsed) continue;
+    coords[static_cast<size_t>(m.grid_dim)] =
+        owner_coord(d, gidx[static_cast<size_t>(d)]);
+  }
+  return grid_.linear_of(coords);
+}
+
+bool Dad::same_mapping(const Dad& other) const {
+  if (rank() != other.rank()) return false;
+  if (grid_.dims() != other.grid_.dims()) return false;
+  for (int d = 0; d < rank(); ++d) {
+    const DimMap& a = dim(d);
+    const DimMap& b = other.dim(d);
+    if (extent(d) != other.extent(d)) return false;
+    if (a.kind != b.kind) return false;
+    if (a.kind == DistKind::kCollapsed) continue;
+    if (a.grid_dim != b.grid_dim || a.template_extent != b.template_extent ||
+        a.align_stride != b.align_stride || a.align_offset != b.align_offset)
+      return false;
+  }
+  return true;
+}
+
+std::string Dad::signature() const {
+  std::ostringstream os;
+  os << "r" << rank() << "[";
+  for (int d = 0; d < rank(); ++d) {
+    const DimMap& m = dim(d);
+    os << extent(d) << ":" << to_string(m.kind) << ":" << m.grid_dim << ":"
+       << m.template_extent << ":" << m.align_stride << ":" << m.align_offset
+       << (d + 1 < rank() ? "," : "");
+  }
+  os << "]g(";
+  for (int gd = 0; gd < grid_.ndims(); ++gd)
+    os << grid_.extent(gd) << (gd + 1 < grid_.ndims() ? "x" : "");
+  os << ")";
+  return os.str();
+}
+
+}  // namespace f90d::rts

@@ -1,0 +1,128 @@
+#pragma once
+// The Distributed Array Descriptor (DAD), paper §6.
+//
+// "When a distributed array is passed as an argument to some of the run-time
+//  support primitives, it is also necessary to provide information such as
+//  its size, distribution among the nodes ... All this information is stored
+//  into a structure which is called distributed array descriptor (DAD)."
+//
+// The DAD encodes stages 1 and 2 of the three-stage mapping (Figure 2):
+//   stage 1 (ALIGN):      template_index t = a * g + b   (f and f^-1)
+//   stage 2 (DISTRIBUTE): block/cyclic mapping of template cells to the
+//                         logical grid (mu and mu^-1)
+// Stage 3 (grid -> physical) lives in comm::ProcGrid (phi and phi^-1).
+//
+// All run-time indices here are 0-based; the front end converts from
+// Fortran's declared bounds, and the emitted Fortran77+MP listing converts
+// back for readability.
+#include <vector>
+
+#include "comm/proc_grid.hpp"
+#include "support/diag.hpp"
+
+namespace f90d::rts {
+
+using Index = long long;
+
+enum class DistKind {
+  kBlock,      ///< contiguous chunks of ceil(T/P) template cells
+  kCyclic,     ///< round-robin template cells over the grid dimension
+  kCollapsed,  ///< dimension not distributed ('*'): whole extent everywhere
+};
+
+[[nodiscard]] const char* to_string(DistKind k);
+
+/// Per-array-dimension mapping information.
+struct DimMap {
+  DistKind kind = DistKind::kCollapsed;
+  int grid_dim = -1;          ///< logical grid dimension; -1 when collapsed
+  Index template_extent = 0;  ///< extent of the aligned template dimension
+  Index align_stride = 1;     ///< a in t = a*g + b (f of stage 1)
+  Index align_offset = 0;     ///< b in t = a*g + b
+  int overlap_lo = 0;         ///< ghost width below (overlap area, ref [16])
+  int overlap_hi = 0;         ///< ghost width above
+};
+
+/// Distributed Array Descriptor: global shape + per-dimension mapping +
+/// the logical processor grid the template is distributed over.
+class Dad {
+ public:
+  Dad() : grid_({1}) {}
+
+  /// A fully replicated array (every processor holds the whole thing).
+  static Dad replicated(std::vector<Index> extents, const comm::ProcGrid& grid);
+
+  /// Grid dimensions used by no array dimension are replication dimensions:
+  /// every processor along them holds a copy (this is what `ALIGN A(I) WITH
+  /// T(I,*)` produces).  They are computed automatically.
+  Dad(std::vector<Index> extents, std::vector<DimMap> dims, comm::ProcGrid grid);
+
+  [[nodiscard]] int rank() const { return static_cast<int>(extents_.size()); }
+  [[nodiscard]] Index extent(int d) const { return extents_[static_cast<size_t>(d)]; }
+  [[nodiscard]] const std::vector<Index>& extents() const { return extents_; }
+  [[nodiscard]] const DimMap& dim(int d) const { return dims_[static_cast<size_t>(d)]; }
+  [[nodiscard]] DimMap& dim(int d) { return dims_[static_cast<size_t>(d)]; }
+  [[nodiscard]] const comm::ProcGrid& grid() const { return grid_; }
+  [[nodiscard]] const std::vector<int>& replicated_grid_dims() const {
+    return replicated_grid_dims_;
+  }
+  /// True when no dimension is distributed (every processor holds a copy).
+  [[nodiscard]] bool fully_replicated() const;
+
+  /// Total number of elements in the global array.
+  [[nodiscard]] Index global_size() const;
+
+  // --- stage-2 algebra, per dimension -------------------------------------
+  /// Block chunk size: ceil(template_extent / grid_extent).
+  [[nodiscard]] Index block_chunk(int d) const;
+
+  /// Grid coordinate (along dim(d).grid_dim) of the owner of global index g.
+  /// Collapsed dimensions return 0.
+  [[nodiscard]] int owner_coord(int d, Index g) const;
+
+  /// Local index (not counting the overlap_lo offset) of global index g on
+  /// its owning processor.  mu applied after f.
+  [[nodiscard]] Index local_of_global(int d, Index g) const;
+
+  /// Inverse: global index of local index l on the processor whose
+  /// coordinate along this dimension's grid dim is `coord` (mu^-1, f^-1).
+  [[nodiscard]] Index global_of_local(int d, Index l, int coord) const;
+
+  /// Number of elements of dimension d owned by grid coordinate `coord`.
+  [[nodiscard]] Index local_extent(int d, int coord) const;
+
+  /// Allocated extent including overlap (ghost) areas.
+  [[nodiscard]] Index alloc_extent(int d, int coord) const {
+    return local_extent(d, coord) + dim(d).overlap_lo + dim(d).overlap_hi;
+  }
+
+  /// Does grid coordinate `coord` own global index g along dimension d?
+  [[nodiscard]] bool owns(int d, Index g, int coord) const {
+    return owner_coord(d, g) == coord;
+  }
+
+  // --- whole-array helpers -------------------------------------------------
+  /// Logical processor index of the canonical owner of a global element
+  /// (replicated grid dimensions resolved to coordinate 0, and grid
+  /// dimensions used by no array dimension resolved from `base_coords`,
+  /// which is typically the caller's own coordinates).
+  [[nodiscard]] int owner_logical(const std::vector<Index>& gidx,
+                                  const std::vector<int>& base_coords) const;
+
+  /// True when two descriptors imply the same element-to-processor mapping
+  /// for conforming arrays (used for schedule reuse and no-comm detection).
+  [[nodiscard]] bool same_mapping(const Dad& other) const;
+
+  /// Compact signature string (used as schedule-cache key component).
+  [[nodiscard]] std::string signature() const;
+
+ private:
+  std::vector<Index> extents_;
+  std::vector<DimMap> dims_;
+  comm::ProcGrid grid_;
+  /// Grid dimensions along which this array is replicated (template dims
+  /// that no array dimension aligns with).
+  std::vector<int> replicated_grid_dims_;
+};
+
+}  // namespace f90d::rts

@@ -1,0 +1,207 @@
+#pragma once
+// DistArray<T>: the per-processor piece of a distributed array, together
+// with its DAD.  This is what the generated SPMD node program manipulates:
+// each processor allocates only its local chunk (plus overlap/ghost areas,
+// ref. [16] in the paper) and addresses it through the DAD's global<->local
+// index algebra.
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "comm/grid_comm.hpp"
+#include "rts/dad.hpp"
+
+namespace f90d::rts {
+
+template <typename T>
+class DistArray {
+ public:
+  /// Allocate the local chunk for the processor at `my_coords` (zero-filled).
+  DistArray(Dad dad, std::vector<int> my_coords)
+      : dad_(std::move(dad)), coords_(std::move(my_coords)) {
+    require(static_cast<int>(coords_.size()) == dad_.grid().ndims(),
+            "DistArray: coords rank matches grid");
+    const int r = dad_.rank();
+    lext_.resize(static_cast<size_t>(r));
+    aext_.resize(static_cast<size_t>(r));
+    for (int d = 0; d < r; ++d) {
+      const int c = coord_along(d);
+      lext_[static_cast<size_t>(d)] = dad_.local_extent(d, c);
+      aext_[static_cast<size_t>(d)] = lext_[static_cast<size_t>(d)] +
+                                      dad_.dim(d).overlap_lo +
+                                      dad_.dim(d).overlap_hi;
+    }
+    strides_.assign(static_cast<size_t>(r), 1);
+    for (int d = r - 2; d >= 0; --d)
+      strides_[static_cast<size_t>(d)] =
+          strides_[static_cast<size_t>(d + 1)] * aext_[static_cast<size_t>(d + 1)];
+    Index total = r == 0 ? 1 : strides_[0] * aext_[0];
+    data_.assign(static_cast<size_t>(total), T{});
+  }
+
+  /// Convenience: construct from the grid position of a GridComm.
+  DistArray(Dad dad, const comm::GridComm& gc)
+      : DistArray(std::move(dad), gc.my_coords()) {}
+
+  [[nodiscard]] const Dad& dad() const { return dad_; }
+  [[nodiscard]] int rank() const { return dad_.rank(); }
+  [[nodiscard]] const std::vector<int>& coords() const { return coords_; }
+  [[nodiscard]] Index local_extent(int d) const {
+    return lext_[static_cast<size_t>(d)];
+  }
+  [[nodiscard]] Index alloc_extent(int d) const {
+    return aext_[static_cast<size_t>(d)];
+  }
+  [[nodiscard]] std::vector<T>& storage() { return data_; }
+  [[nodiscard]] const std::vector<T>& storage() const { return data_; }
+
+  /// Grid coordinate of this processor along array dimension d's grid dim
+  /// (0 for collapsed dimensions).
+  [[nodiscard]] int coord_along(int d) const {
+    const DimMap& m = dad_.dim(d);
+    return m.kind == DistKind::kCollapsed
+               ? 0
+               : coords_[static_cast<size_t>(m.grid_dim)];
+  }
+
+  /// Local element access.  `l` is in owned-local coordinates; ghost cells
+  /// are addressed with l in [-overlap_lo, local_extent + overlap_hi).
+  [[nodiscard]] T& at_local(std::span<const Index> l) {
+    return data_[static_cast<size_t>(flat_local(l))];
+  }
+  [[nodiscard]] const T& at_local(std::span<const Index> l) const {
+    return data_[static_cast<size_t>(flat_local(l))];
+  }
+
+  /// Does this processor own the global element?
+  [[nodiscard]] bool owns_global(std::span<const Index> g) const {
+    for (int d = 0; d < rank(); ++d)
+      if (!dad_.owns(d, g[static_cast<size_t>(d)], coord_along(d))) return false;
+    return true;
+  }
+
+  /// Access a global element that is either owned or lies in this
+  /// processor's overlap (ghost) area after an overlap_shift.  Ghost access
+  /// requires BLOCK (or collapsed) dimensions with unit alignment stride.
+  [[nodiscard]] T& at_global_ghost(std::span<const Index> g) {
+    idx_scratch_.resize(static_cast<size_t>(rank()));
+    for (int d = 0; d < rank(); ++d) {
+      const DimMap& m = dad_.dim(d);
+      const Index gd = g[static_cast<size_t>(d)];
+      if (m.kind == DistKind::kCollapsed) {
+        idx_scratch_[static_cast<size_t>(d)] = gd;
+        continue;
+      }
+      const int c = coord_along(d);
+      if (dad_.owns(d, gd, c)) {
+        idx_scratch_[static_cast<size_t>(d)] = dad_.local_of_global(d, gd);
+        continue;
+      }
+      require(m.kind == DistKind::kBlock && m.align_stride == 1,
+              "ghost access needs BLOCK with unit alignment stride");
+      require(local_extent(d) > 0, "ghost access on a non-empty block");
+      const Index g_first = dad_.global_of_local(d, 0, c);
+      idx_scratch_[static_cast<size_t>(d)] = gd - g_first;
+    }
+    return at_local(idx_scratch_);
+  }
+
+  /// Access an owned global element.
+  [[nodiscard]] T& at_global(std::span<const Index> g) {
+    idx_scratch_.resize(static_cast<size_t>(rank()));
+    for (int d = 0; d < rank(); ++d)
+      idx_scratch_[static_cast<size_t>(d)] =
+          dad_.local_of_global(d, g[static_cast<size_t>(d)]);
+    return at_local(idx_scratch_);
+  }
+
+  /// Global index of a local element.
+  [[nodiscard]] std::vector<Index> global_of_local(
+      std::span<const Index> l) const {
+    std::vector<Index> g(static_cast<size_t>(rank()));
+    for (int d = 0; d < rank(); ++d)
+      g[static_cast<size_t>(d)] =
+          dad_.global_of_local(d, l[static_cast<size_t>(d)], coord_along(d));
+    return g;
+  }
+
+  /// Visit every owned element: f(global_indices, element_ref).
+  template <typename F>
+  void for_each_owned(F&& f) {
+    const int r = rank();
+    std::vector<Index> l(static_cast<size_t>(r), 0);
+    if (local_size() == 0) return;
+    for (;;) {
+      std::vector<Index> g = global_of_local(l);
+      f(g, at_local(l));
+      int d = r - 1;
+      for (; d >= 0; --d) {
+        if (++l[static_cast<size_t>(d)] < lext_[static_cast<size_t>(d)]) break;
+        l[static_cast<size_t>(d)] = 0;
+      }
+      if (d < 0) break;
+    }
+  }
+
+  /// Initialize owned elements from a function of the global indices.
+  void fill_global(const std::function<T(std::span<const Index>)>& f) {
+    for_each_owned([&](const std::vector<Index>& g, T& v) { v = f(g); });
+  }
+
+  /// Number of owned elements on this processor.
+  [[nodiscard]] Index local_size() const {
+    Index n = 1;
+    for (Index e : lext_) n *= e;
+    return n;
+  }
+
+  /// Collect the full global array (row-major over global extents) on every
+  /// processor.  Used by tests/oracles and by the gather-based intrinsics
+  /// (PACK/UNPACK/RESHAPE fall into the paper's "unstructured" category).
+  [[nodiscard]] std::vector<T> gather_global(comm::GridComm& gc) {
+    struct Pair {
+      Index flat;
+      T value;
+    };
+    std::vector<Pair> mine;
+    mine.reserve(static_cast<size_t>(local_size()));
+    for_each_owned([&](const std::vector<Index>& g, T& v) {
+      mine.push_back(Pair{flat_global(g), v});
+    });
+    std::vector<Pair> all =
+        gc.concat_all<Pair>(std::span<const Pair>(mine));
+    std::vector<T> out(static_cast<size_t>(dad_.global_size()), T{});
+    for (const Pair& p : all) out[static_cast<size_t>(p.flat)] = p.value;
+    return out;
+  }
+
+  /// Row-major flattening of a global index vector.
+  [[nodiscard]] Index flat_global(std::span<const Index> g) const {
+    Index flat = 0;
+    for (int d = 0; d < rank(); ++d)
+      flat = flat * dad_.extent(d) + g[static_cast<size_t>(d)];
+    return flat;
+  }
+
+ private:
+  [[nodiscard]] Index flat_local(std::span<const Index> l) const {
+    Index flat = 0;
+    for (int d = 0; d < rank(); ++d) {
+      const Index shifted = l[static_cast<size_t>(d)] + dad_.dim(d).overlap_lo;
+      require(shifted >= 0 && shifted < aext_[static_cast<size_t>(d)],
+              "local index within allocated extent (incl. overlap)");
+      flat += shifted * strides_[static_cast<size_t>(d)];
+    }
+    return flat;
+  }
+
+  Dad dad_;
+  std::vector<int> coords_;
+  std::vector<Index> lext_;     // owned local extents
+  std::vector<Index> aext_;     // allocated extents (owned + overlap)
+  std::vector<Index> strides_;  // row-major strides over aext_
+  std::vector<T> data_;
+  std::vector<Index> idx_scratch_;
+};
+
+}  // namespace f90d::rts

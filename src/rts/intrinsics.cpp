@@ -1,0 +1,22 @@
+#include "rts/intrinsics.hpp"
+
+// Instantiation anchors for the common element types.
+namespace f90d::rts {
+
+template DistArray<double> cshift<double>(comm::GridComm&, DistArray<double>&,
+                                          int, Index);
+template DistArray<double> eoshift<double>(comm::GridComm&, DistArray<double>&,
+                                           int, Index, double);
+template DistArray<double> spread<double>(comm::GridComm&, DistArray<double>&,
+                                          int, Index);
+template DistArray<double> transpose<double>(comm::GridComm&,
+                                             DistArray<double>&);
+template DistArray<double> reshape<double>(comm::GridComm&, DistArray<double>&,
+                                           const Dad&);
+template DistArray<double> pack<double>(comm::GridComm&, DistArray<double>&,
+                                        DistArray<unsigned char>&, const Dad&);
+template DistArray<double> unpack<double>(comm::GridComm&, DistArray<double>&,
+                                          DistArray<unsigned char>&,
+                                          DistArray<double>&);
+
+}  // namespace f90d::rts

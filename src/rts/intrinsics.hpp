@@ -1,0 +1,233 @@
+#pragma once
+// Parallel intrinsic functions (paper §6, Table 3).
+//
+// Category 1 (structured communication): CSHIFT, EOSHIFT
+// Category 3 (multicasting):             SPREAD
+// Category 4 (unstructured):             PACK, UNPACK, RESHAPE, TRANSPOSE
+// Category 2 (reductions) lives in reductions.hpp; category 5 (special
+// routines) in matmul.hpp.
+//
+// Fortran semantics notes: array element order for RESHAPE/PACK/UNPACK is
+// column-major (first index varies fastest), and shifts are expressed in
+// 0-based indices internally (the front end converts from 1-based Fortran).
+#include "comm/grid_comm.hpp"
+#include "rts/dist_array.hpp"
+#include "rts/remap.hpp"
+#include "rts/shift_ops.hpp"
+
+namespace f90d::rts {
+
+/// Column-major (Fortran array element order) flattening of a global index.
+[[nodiscard]] inline Index colmajor_flat(const Dad& dad,
+                                         std::span<const Index> g) {
+  Index flat = 0;
+  for (int d = dad.rank() - 1; d >= 0; --d)
+    flat = flat * dad.extent(d) + g[static_cast<size_t>(d)];
+  return flat;
+}
+
+/// Inverse of colmajor_flat for the given extents.
+inline void colmajor_unflatten(const std::vector<Index>& extents, Index flat,
+                               std::vector<Index>& out) {
+  out.resize(extents.size());
+  for (size_t d = 0; d < extents.size(); ++d) {
+    out[d] = flat % extents[d];
+    flat /= extents[d];
+  }
+}
+
+/// CSHIFT(ARRAY, SHIFT, DIM): circular shift; result(i) = array(i+shift).
+template <typename T>
+DistArray<T> cshift(comm::GridComm& gc, DistArray<T>& arr, int dim,
+                    Index shift) {
+  return temporary_shift<T>(gc, arr, dim, shift, /*circular=*/true);
+}
+
+/// EOSHIFT(ARRAY, SHIFT, BOUNDARY, DIM): end-off shift filling with
+/// `boundary`.
+template <typename T>
+DistArray<T> eoshift(comm::GridComm& gc, DistArray<T>& arr, int dim,
+                     Index shift, T boundary) {
+  Dad tmp_dad = arr.dad();
+  tmp_dad.dim(dim).overlap_lo = 0;
+  tmp_dad.dim(dim).overlap_hi = 0;
+  DistArray<T> out(tmp_dad, gc);
+  for (auto& v : out.storage()) v = boundary;
+  const Index n = arr.dad().extent(dim);
+  remap_into<T>(gc, arr, out,
+                [dim, shift, n](std::span<const Index> g,
+                                std::vector<Index>& dest) {
+                  const Index i = g[static_cast<size_t>(dim)] - shift;
+                  if (i < 0 || i >= n) return false;
+                  dest.assign(g.begin(), g.end());
+                  dest[static_cast<size_t>(dim)] = i;
+                  return true;
+                });
+  return out;
+}
+
+/// SPREAD(SOURCE, DIM, NCOPIES): rank r+1 result with `ncopies` copies of
+/// `source` along a new dimension inserted at position `dim`.  The new
+/// dimension is collapsed (each processor holds all copies for its owned
+/// remaining indices) — the traffic pattern is the paper's "multiple
+/// broadcast trees" one-to-many.
+template <typename T>
+DistArray<T> spread(comm::GridComm& gc, DistArray<T>& arr, int dim,
+                    Index ncopies) {
+  const int r = arr.rank();
+  require(dim >= 0 && dim <= r, "spread: dimension in range");
+  std::vector<Index> rext;
+  std::vector<DimMap> rdims;
+  int src_d = 0;
+  for (int d = 0; d < r + 1; ++d) {
+    if (d == dim) {
+      rext.push_back(ncopies);
+      DimMap m;
+      m.kind = DistKind::kCollapsed;
+      m.template_extent = ncopies;
+      rdims.push_back(m);
+    } else {
+      rext.push_back(arr.dad().extent(src_d));
+      DimMap m = arr.dad().dim(src_d);
+      m.overlap_lo = m.overlap_hi = 0;
+      rdims.push_back(m);
+      ++src_d;
+    }
+  }
+  Dad rdad(rext, rdims, arr.dad().grid());
+  DistArray<T> out(rdad, gc);
+  remap_multi<T>(gc, arr, out,
+                 [dim, ncopies](std::span<const Index> g,
+                                std::vector<std::vector<Index>>& targets) {
+                   std::vector<Index> base(g.begin(), g.end());
+                   base.insert(base.begin() + dim, 0);
+                   for (Index k = 0; k < ncopies; ++k) {
+                     base[static_cast<size_t>(dim)] = k;
+                     targets.push_back(base);
+                   }
+                 });
+  return out;
+}
+
+/// TRANSPOSE(MATRIX): rank-2 transpose into the mapping `dest_dad`
+/// (defaults to the source mapping with the two dimensions swapped).
+template <typename T>
+DistArray<T> transpose(comm::GridComm& gc, DistArray<T>& arr) {
+  require(arr.rank() == 2, "transpose: rank-2 array");
+  std::vector<Index> rext{arr.dad().extent(1), arr.dad().extent(0)};
+  std::vector<DimMap> rdims{arr.dad().dim(1), arr.dad().dim(0)};
+  for (auto& m : rdims) m.overlap_lo = m.overlap_hi = 0;
+  Dad rdad(rext, rdims, arr.dad().grid());
+  DistArray<T> out(rdad, gc);
+  remap_into<T>(gc, arr, out,
+                [](std::span<const Index> g, std::vector<Index>& dest) {
+                  dest = {g[1], g[0]};
+                  return true;
+                });
+  return out;
+}
+
+/// RESHAPE(SOURCE, SHAPE) preserving Fortran array element order, routed
+/// directly owner-to-owner (no intermediate gather).
+template <typename T>
+DistArray<T> reshape(comm::GridComm& gc, DistArray<T>& arr,
+                     const Dad& dest_dad) {
+  require(dest_dad.global_size() == arr.dad().global_size(),
+          "reshape: sizes conform");
+  DistArray<T> out(dest_dad, gc);
+  const std::vector<Index> dext = dest_dad.extents();
+  const Dad& sdad = arr.dad();
+  remap_into<T>(gc, arr, out,
+                [&sdad, &dext](std::span<const Index> g,
+                               std::vector<Index>& dest) {
+                  colmajor_unflatten(dext, colmajor_flat(sdad, g), dest);
+                  return true;
+                });
+  return out;
+}
+
+/// PACK(ARRAY, MASK): 1-D array of the masked elements in array element
+/// order.  The inspector needs global mask knowledge (how many true
+/// elements precede each position), obtained with a concatenation — this is
+/// why the paper files PACK under unstructured communication.
+template <typename T>
+DistArray<T> pack(comm::GridComm& gc, DistArray<T>& arr,
+                  DistArray<unsigned char>& mask, const Dad& dest_dad) {
+  require(mask.dad().extents() == arr.dad().extents(), "pack: mask conforms");
+  // Gather the mask bitmap (row-major flat) on every processor.
+  std::vector<unsigned char> bitmap = mask.gather_global(gc);
+  // Prefix-count in column-major order.
+  const Dad& sdad = arr.dad();
+  const Index total = sdad.global_size();
+  std::vector<Index> rank_of(static_cast<size_t>(total), -1);
+  {
+    Index next = 0;
+    std::vector<Index> g;
+    for (Index cf = 0; cf < total; ++cf) {
+      colmajor_unflatten(sdad.extents(), cf, g);
+      // Convert to row-major flat to index the gathered bitmap.
+      Index rf = 0;
+      for (int d = 0; d < sdad.rank(); ++d)
+        rf = rf * sdad.extent(d) + g[static_cast<size_t>(d)];
+      if (bitmap[static_cast<size_t>(rf)])
+        rank_of[static_cast<size_t>(rf)] = next++;
+    }
+  }
+  gc.proc().charge_int_ops(static_cast<double>(total));
+
+  DistArray<T> out(dest_dad, gc);
+  remap_into<T>(gc, arr, out,
+                [&](std::span<const Index> g, std::vector<Index>& dest) {
+                  Index rf = 0;
+                  for (int d = 0; d < sdad.rank(); ++d)
+                    rf = rf * sdad.extent(d) + g[static_cast<size_t>(d)];
+                  const Index rk = rank_of[static_cast<size_t>(rf)];
+                  if (rk < 0 || rk >= dest_dad.extent(0)) return false;
+                  dest = {rk};
+                  return true;
+                });
+  return out;
+}
+
+/// UNPACK(VECTOR, MASK, FIELD): scatter vector elements into the true
+/// positions of MASK (array element order); FIELD elsewhere.
+template <typename T>
+DistArray<T> unpack(comm::GridComm& gc, DistArray<T>& vec,
+                    DistArray<unsigned char>& mask, DistArray<T>& field) {
+  std::vector<unsigned char> bitmap = mask.gather_global(gc);
+  const Dad& mdad = mask.dad();
+  const Index total = mdad.global_size();
+  // position_of[k] = row-major flat index of the k-th true mask element
+  // (column-major enumeration).
+  std::vector<Index> position_of;
+  {
+    std::vector<Index> g;
+    for (Index cf = 0; cf < total; ++cf) {
+      colmajor_unflatten(mdad.extents(), cf, g);
+      Index rf = 0;
+      for (int d = 0; d < mdad.rank(); ++d)
+        rf = rf * mdad.extent(d) + g[static_cast<size_t>(d)];
+      if (bitmap[static_cast<size_t>(rf)]) position_of.push_back(rf);
+    }
+  }
+  gc.proc().charge_int_ops(static_cast<double>(total));
+
+  // Start from FIELD, then route vector elements onto the true positions.
+  Dad out_dad = mdad.rank() == field.dad().rank() ? field.dad() : mdad;
+  DistArray<T> out(out_dad, gc);
+  field.for_each_owned([&](const std::vector<Index>& g, T& v) {
+    out.at_global(g) = v;
+  });
+  const Dad& odad = out.dad();
+  remap_into<T>(gc, vec, out,
+                [&](std::span<const Index> g, std::vector<Index>& dest) {
+                  const Index k = g[0];
+                  if (k >= static_cast<Index>(position_of.size())) return false;
+                  unflatten_global(odad, position_of[static_cast<size_t>(k)],
+                                   dest);
+                  return true;
+                });
+  return out;
+}
+
+}  // namespace f90d::rts

@@ -1,0 +1,179 @@
+#include "rts/matmul.hpp"
+
+#include "rts/remap.hpp"
+
+namespace f90d::rts {
+
+namespace {
+
+bool is_block_on(const Dad& dad, int d, int grid_dim) {
+  const DimMap& m = dad.dim(d);
+  return m.kind == DistKind::kBlock && m.grid_dim == grid_dim &&
+         m.align_stride == 1 && m.align_offset == 0;
+}
+
+}  // namespace
+
+bool fox_applicable(const DistArray<double>& a, const DistArray<double>& b) {
+  const Dad& ad = a.dad();
+  const Dad& bd = b.dad();
+  if (ad.rank() != 2 || bd.rank() != 2) return false;
+  const comm::ProcGrid& grid = ad.grid();
+  if (grid.ndims() != 2 || grid.extent(0) != grid.extent(1)) return false;
+  const Index p = grid.extent(0);
+  // Square blocks, square matrices, divisible extents, canonical layout.
+  const Index m = ad.extent(0), k = ad.extent(1), n = bd.extent(1);
+  if (bd.extent(0) != k) return false;
+  if (m != k || k != n) return false;
+  if (m % p != 0) return false;
+  return is_block_on(ad, 0, 0) && is_block_on(ad, 1, 1) &&
+         is_block_on(bd, 0, 0) && is_block_on(bd, 1, 1) &&
+         ad.dim(0).template_extent == m && ad.dim(1).template_extent == k &&
+         bd.dim(0).template_extent == k && bd.dim(1).template_extent == n;
+}
+
+namespace {
+
+/// Fox's broadcast-multiply-roll on a square (p x p) grid.
+DistArray<double> matmul_fox(comm::GridComm& gc, DistArray<double>& a,
+                             DistArray<double>& b) {
+  const Index n = a.dad().extent(0);
+  const int p = gc.grid().extent(0);
+  const Index nb = n / p;  // square block edge
+  const int row = gc.coord(0), col = gc.coord(1);
+
+  std::vector<Index> cext{n, n};
+  std::vector<DimMap> cdims{a.dad().dim(0), b.dad().dim(1)};
+  for (auto& m : cdims) m.overlap_lo = m.overlap_hi = 0;
+  Dad cdad(cext, cdims, a.dad().grid());
+  DistArray<double> c(cdad, gc);
+
+  // Copy local blocks into dense row-major buffers.
+  auto load_block = [nb](DistArray<double>& src) {
+    std::vector<double> blk(static_cast<size_t>(nb * nb));
+    std::vector<Index> l(2);
+    for (Index i = 0; i < nb; ++i)
+      for (Index j = 0; j < nb; ++j) {
+        l[0] = i;
+        l[1] = j;
+        blk[static_cast<size_t>(i * nb + j)] = src.at_local(l);
+      }
+    return blk;
+  };
+  std::vector<double> b_blk = load_block(b);
+  std::vector<double> c_blk(static_cast<size_t>(nb * nb), 0.0);
+
+  for (int step = 0; step < p; ++step) {
+    // Broadcast A(row, (row+step) mod p) along the row.
+    const int bcast_col = (row + step) % p;
+    std::vector<double> a_blk;
+    if (col == bcast_col) a_blk = load_block(a);
+    gc.multicast<double>(/*dim=*/1, bcast_col, a_blk);
+
+    // Local GEMM accumulate: C += A_bcast * B_current.
+    for (Index i = 0; i < nb; ++i)
+      for (Index k = 0; k < nb; ++k) {
+        const double aik = a_blk[static_cast<size_t>(i * nb + k)];
+        for (Index j = 0; j < nb; ++j)
+          c_blk[static_cast<size_t>(i * nb + j)] +=
+              aik * b_blk[static_cast<size_t>(k * nb + j)];
+      }
+    gc.proc().charge_flops(2.0 * static_cast<double>(nb) *
+                           static_cast<double>(nb) * static_cast<double>(nb));
+
+    // Roll B upward along the column dimension (each block moves to the
+    // processor one row above, circularly).
+    b_blk = gc.shift_exchange<double>(/*dim=*/0, /*offset=*/-1,
+                                      std::span<const double>(b_blk),
+                                      /*circular=*/true);
+  }
+
+  std::vector<Index> l(2);
+  for (Index i = 0; i < nb; ++i)
+    for (Index j = 0; j < nb; ++j) {
+      l[0] = i;
+      l[1] = j;
+      c.at_local(l) = c_blk[static_cast<size_t>(i * nb + j)];
+    }
+  return c;
+}
+
+/// General fallback: replicate B with a concatenation, compute owned C.
+DistArray<double> matmul_gather(comm::GridComm& gc, DistArray<double>& a,
+                                DistArray<double>& b) {
+  const Index m = a.dad().extent(0);
+  const Index kk = a.dad().extent(1);
+  const Index n = b.dad().extent(1);
+  require(b.dad().extent(0) == kk, "matmul: inner extents conform");
+
+  std::vector<double> b_full = b.gather_global(gc);  // row-major K x N
+
+  // C rows inherit A's row mapping; columns are collapsed (local).
+  std::vector<Index> cext{m, n};
+  DimMap crow = a.dad().dim(0);
+  crow.overlap_lo = crow.overlap_hi = 0;
+  DimMap ccol;
+  ccol.kind = DistKind::kCollapsed;
+  ccol.template_extent = n;
+  Dad cdad(cext, {crow, ccol}, a.dad().grid());
+  DistArray<double> c(cdad, gc);
+
+  // Partial products over the owned (i, k) footprint, then a tree
+  // reduction along A's column grid dimension when columns are distributed.
+  std::vector<Index> ci(2);
+  a.for_each_owned([&](const std::vector<Index>& g, double& aik) {
+    const Index i = g[0], k = g[1];
+    ci[0] = i;
+    for (Index j = 0; j < n; ++j) {
+      ci[1] = j;
+      c.at_global(ci) += aik * b_full[static_cast<size_t>(k * n + j)];
+    }
+  });
+  gc.proc().charge_flops(2.0 * static_cast<double>(a.local_size()) *
+                         static_cast<double>(n));
+
+  const DimMap& acol = a.dad().dim(1);
+  if (acol.kind != DistKind::kCollapsed)
+    gc.allreduce_dim(acol.grid_dim, c.storage(),
+                     [](double x, double y) { return x + y; });
+  return c;
+}
+
+}  // namespace
+
+DistArray<double> matmul_dist(comm::GridComm& gc, DistArray<double>& a,
+                              DistArray<double>& b) {
+  if (fox_applicable(a, b)) return matmul_fox(gc, a, b);
+  return matmul_gather(gc, a, b);
+}
+
+DistArray<double> matvec_dist(comm::GridComm& gc, DistArray<double>& a,
+                              DistArray<double>& x) {
+  require(a.rank() == 2 && x.rank() == 1, "matvec: operand ranks");
+  const Index m = a.dad().extent(0);
+  const Index kk = a.dad().extent(1);
+  require(x.dad().extent(0) == kk, "matvec: extents conform");
+
+  std::vector<double> x_full = x.gather_global(gc);
+
+  std::vector<Index> yext{m};
+  DimMap yrow = a.dad().dim(0);
+  yrow.overlap_lo = yrow.overlap_hi = 0;
+  Dad ydad(yext, {yrow}, a.dad().grid());
+  DistArray<double> y(ydad, gc);
+
+  std::vector<Index> yi(1);
+  a.for_each_owned([&](const std::vector<Index>& g, double& aik) {
+    yi[0] = g[0];
+    y.at_global(yi) += aik * x_full[static_cast<size_t>(g[1])];
+  });
+  gc.proc().charge_flops(2.0 * static_cast<double>(a.local_size()));
+
+  const DimMap& acol = a.dad().dim(1);
+  if (acol.kind != DistKind::kCollapsed)
+    gc.allreduce_dim(acol.grid_dim, y.storage(),
+                     [](double x1, double x2) { return x1 + x2; });
+  return y;
+}
+
+}  // namespace f90d::rts

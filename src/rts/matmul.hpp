@@ -1,0 +1,30 @@
+#pragma once
+// MATMUL — paper Table 3 category 5 ("special routines ... implemented using
+// existing research on parallel matrix algorithms [12]", i.e. Fox et al.).
+//
+// Two strategies:
+//   * Fox's broadcast-multiply-roll algorithm when both operands are
+//     (BLOCK, BLOCK) on a square processor grid with conforming blocks;
+//   * a general fallback that replicates the (usually much smaller) second
+//     operand with a concatenation and computes owned result elements
+//     locally.
+// matvec handles the rank-1 second operand.
+#include "comm/grid_comm.hpp"
+#include "rts/dist_array.hpp"
+
+namespace f90d::rts {
+
+/// C(M,N) = A(M,K) * B(K,N); picks Fox when applicable, otherwise the
+/// replication fallback.  Result is distributed like A's rows / B's columns.
+DistArray<double> matmul_dist(comm::GridComm& gc, DistArray<double>& a,
+                              DistArray<double>& b);
+
+/// y(M) = A(M,K) * x(K); y inherits A's row mapping.
+DistArray<double> matvec_dist(comm::GridComm& gc, DistArray<double>& a,
+                              DistArray<double>& x);
+
+/// True when Fox's algorithm handles this operand pair.
+[[nodiscard]] bool fox_applicable(const DistArray<double>& a,
+                                  const DistArray<double>& b);
+
+}  // namespace f90d::rts

@@ -1,0 +1,18 @@
+#include "rts/reductions.hpp"
+
+// Instantiation anchors for the common element types.
+namespace f90d::rts {
+
+template double global_sum<double>(comm::GridComm&, DistArray<double>&);
+template long long global_sum<long long>(comm::GridComm&,
+                                         DistArray<long long>&);
+template double global_maxval<double>(comm::GridComm&, DistArray<double>&);
+template double global_minval<double>(comm::GridComm&, DistArray<double>&);
+template double dot_product<double>(comm::GridComm&, DistArray<double>&,
+                                    DistArray<double>&);
+template Extremum<double> global_maxloc<double>(comm::GridComm&,
+                                                DistArray<double>&);
+template Extremum<double> global_minloc<double>(comm::GridComm&,
+                                                DistArray<double>&);
+
+}  // namespace f90d::rts

@@ -1,0 +1,202 @@
+#pragma once
+// Reduction intrinsics (paper Table 3, category 2): local computation
+// followed by a reduction tree over the participating processors.
+//
+//   SUM, PRODUCT, MAXVAL, MINVAL, COUNT, ANY, ALL, DOT_PRODUCT,
+//   MAXLOC, MINLOC — full-array and along-one-dimension forms.
+#include <algorithm>
+#include <limits>
+
+#include "comm/grid_comm.hpp"
+#include "rts/dist_array.hpp"
+
+namespace f90d::rts {
+
+namespace detail {
+
+/// A replica-deduplicating guard: when an array is replicated along some
+/// grid dimensions, only processors at coordinate 0 of those dimensions
+/// contribute local values to a machine-wide reduction (everyone still
+/// participates in the tree).
+inline bool contributes(const Dad& dad, const comm::GridComm& gc) {
+  for (int gd : dad.replicated_grid_dims())
+    if (gc.coord(gd) != 0) return false;
+  return true;
+}
+
+}  // namespace detail
+
+template <typename T, typename Op>
+T global_reduce(comm::GridComm& gc, DistArray<T>& arr, T init, Op op) {
+  T acc = init;
+  if (detail::contributes(arr.dad(), gc)) {
+    arr.for_each_owned([&](const std::vector<Index>&, T& v) { acc = op(acc, v); });
+    gc.proc().charge_flops(static_cast<double>(arr.local_size()));
+  }
+  std::vector<T> box{acc};
+  gc.allreduce(box, op);
+  return box[0];
+}
+
+template <typename T>
+T global_sum(comm::GridComm& gc, DistArray<T>& arr) {
+  return global_reduce(gc, arr, T{}, [](T a, T b) { return a + b; });
+}
+
+template <typename T>
+T global_product(comm::GridComm& gc, DistArray<T>& arr) {
+  return global_reduce(gc, arr, T{1}, [](T a, T b) { return a * b; });
+}
+
+template <typename T>
+T global_maxval(comm::GridComm& gc, DistArray<T>& arr) {
+  return global_reduce(gc, arr, std::numeric_limits<T>::lowest(),
+                       [](T a, T b) { return std::max(a, b); });
+}
+
+template <typename T>
+T global_minval(comm::GridComm& gc, DistArray<T>& arr) {
+  return global_reduce(gc, arr, std::numeric_limits<T>::max(),
+                       [](T a, T b) { return std::min(a, b); });
+}
+
+/// COUNT(mask): number of true elements (mask stored as 0/1 bytes).
+inline long long global_count(comm::GridComm& gc,
+                              DistArray<unsigned char>& mask) {
+  long long acc = 0;
+  if (detail::contributes(mask.dad(), gc)) {
+    mask.for_each_owned(
+        [&](const std::vector<Index>&, unsigned char& v) { acc += v ? 1 : 0; });
+    gc.proc().charge_int_ops(static_cast<double>(mask.local_size()));
+  }
+  std::vector<long long> box{acc};
+  gc.allreduce(box, [](long long a, long long b) { return a + b; });
+  return box[0];
+}
+
+inline bool global_any(comm::GridComm& gc, DistArray<unsigned char>& mask) {
+  return global_reduce<unsigned char>(
+             gc, mask, 0,
+             [](unsigned char a, unsigned char b) {
+               return static_cast<unsigned char>(a | (b ? 1 : 0));
+             }) != 0;
+}
+
+inline bool global_all(comm::GridComm& gc, DistArray<unsigned char>& mask) {
+  // ALL == NOT ANY(NOT mask); computed directly with an AND tree seeded 1.
+  unsigned char acc = 1;
+  if (detail::contributes(mask.dad(), gc)) {
+    mask.for_each_owned([&](const std::vector<Index>&, unsigned char& v) {
+      acc = static_cast<unsigned char>(acc & (v ? 1 : 0));
+    });
+  }
+  std::vector<unsigned char> box{acc};
+  gc.allreduce(box, [](unsigned char a, unsigned char b) {
+    return static_cast<unsigned char>(a & b);
+  });
+  return box[0] != 0;
+}
+
+/// DOT_PRODUCT of two identically mapped 1-D arrays.
+template <typename T>
+T dot_product(comm::GridComm& gc, DistArray<T>& a, DistArray<T>& b) {
+  require(a.dad().same_mapping(b.dad()), "DOT_PRODUCT operands identically mapped");
+  T acc{};
+  if (detail::contributes(a.dad(), gc)) {
+    const auto& av = a.storage();
+    const auto& bv = b.storage();
+    // Identically mapped arrays without overlap share storage layout.
+    require(av.size() == bv.size(), "DOT_PRODUCT storage conforms");
+    for (size_t i = 0; i < av.size(); ++i) acc += av[i] * bv[i];
+    gc.proc().charge_flops(2.0 * static_cast<double>(av.size()));
+  }
+  std::vector<T> box{acc};
+  gc.allreduce(box, [](T x, T y) { return x + y; });
+  return box[0];
+}
+
+/// MAXLOC/MINLOC: value plus row-major flat global index of the first
+/// extremal element (Fortran tie-break: lowest index wins).
+template <typename T>
+struct Extremum {
+  T value;
+  Index flat;
+};
+
+template <typename T, typename Better>
+Extremum<T> global_extremum(comm::GridComm& gc, DistArray<T>& arr, T worst,
+                            Better better) {
+  Extremum<T> ext{worst, std::numeric_limits<Index>::max()};
+  if (detail::contributes(arr.dad(), gc)) {
+    arr.for_each_owned([&](const std::vector<Index>& g, T& v) {
+      const Index flat = arr.flat_global(g);
+      if (better(v, ext.value) || (v == ext.value && flat < ext.flat)) {
+        ext.value = v;
+        ext.flat = flat;
+      }
+    });
+    gc.proc().charge_flops(static_cast<double>(arr.local_size()));
+  }
+  std::vector<Extremum<T>> box{ext};
+  gc.allreduce(box, [&](const Extremum<T>& a, const Extremum<T>& b) {
+    if (better(a.value, b.value)) return a;
+    if (better(b.value, a.value)) return b;
+    return a.flat <= b.flat ? a : b;
+  });
+  return box[0];
+}
+
+template <typename T>
+Extremum<T> global_maxloc(comm::GridComm& gc, DistArray<T>& arr) {
+  return global_extremum(gc, arr, std::numeric_limits<T>::lowest(),
+                         [](T a, T b) { return a > b; });
+}
+
+template <typename T>
+Extremum<T> global_minloc(comm::GridComm& gc, DistArray<T>& arr) {
+  return global_extremum(gc, arr, std::numeric_limits<T>::max(),
+                         [](T a, T b) { return a < b; });
+}
+
+/// Reduce along one dimension: result has rank r-1 (remaining dims keep
+/// their mapping; the reduced dimension's grid dim becomes a replication
+/// dim).  Implements SUM/MAXVAL/... (ARRAY, DIM=) via partial local
+/// reduction + an element-wise tree reduction along the grid dimension.
+template <typename T, typename Op>
+DistArray<T> reduce_dim(comm::GridComm& gc, DistArray<T>& arr, int dim, T init,
+                        Op op) {
+  const int r = arr.rank();
+  require(r >= 1 && dim >= 0 && dim < r, "reduce_dim: dimension in range");
+  std::vector<Index> rext;
+  std::vector<DimMap> rdims;
+  for (int d = 0; d < r; ++d) {
+    if (d == dim) continue;
+    rext.push_back(arr.dad().extent(d));
+    DimMap m = arr.dad().dim(d);
+    m.overlap_lo = m.overlap_hi = 0;
+    rdims.push_back(m);
+  }
+  Dad rdad(rext, rdims, arr.dad().grid());
+  DistArray<T> result(rdad, gc);
+  for (auto& v : result.storage()) v = init;
+
+  // Local partial reduction over the owned part of `dim`.
+  std::vector<Index> rg;
+  arr.for_each_owned([&](const std::vector<Index>& g, T& v) {
+    rg.clear();
+    for (int d = 0; d < r; ++d)
+      if (d != dim) rg.push_back(g[static_cast<size_t>(d)]);
+    T& slot = result.at_global(rg);
+    slot = op(slot, v);
+  });
+  gc.proc().charge_flops(static_cast<double>(arr.local_size()));
+
+  // Combine partials across the grid dimension the reduced dim lived on.
+  const DimMap& m = arr.dad().dim(dim);
+  if (m.kind != DistKind::kCollapsed) {
+    gc.allreduce_dim(m.grid_dim, result.storage(), op);
+  }
+  return result;
+}
+
+}  // namespace f90d::rts

@@ -1,0 +1,16 @@
+#include "rts/remap.hpp"
+
+// remap/redistribute are templates; this TU provides explicit instantiations
+// for the element types the interpreter and the benchmarks use, keeping the
+// templates out of every dependent object file.
+namespace f90d::rts {
+
+template DistArray<double> redistribute<double>(comm::GridComm&,
+                                                DistArray<double>&, const Dad&);
+template DistArray<long long> redistribute<long long>(comm::GridComm&,
+                                                      DistArray<long long>&,
+                                                      const Dad&);
+template DistArray<unsigned char> redistribute<unsigned char>(
+    comm::GridComm&, DistArray<unsigned char>&, const Dad&);
+
+}  // namespace f90d::rts

@@ -1,0 +1,196 @@
+#pragma once
+// The generalized element-routing engine behind the run-time library's
+// data-motion primitives: redistribution at subroutine boundaries (paper
+// §6), TRANSPOSE/RESHAPE, temporary shifts, and the executor half of the
+// unstructured gather/scatter path.  Every routed element travels in one
+// vectorized message per (source, destination) processor pair — the
+// "vectorized communication" optimization of §7.
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "rts/dist_array.hpp"
+
+namespace f90d::rts {
+
+/// Overwrite combiner (default for remap placement).
+template <typename T>
+struct Overwrite {
+  void operator()(T& dest, const T& v) const { dest = v; }
+};
+
+/// Unflatten a row-major global index into `out`.
+inline void unflatten_global(const Dad& dad, Index flat,
+                             std::vector<Index>& out) {
+  const int r = dad.rank();
+  out.resize(static_cast<size_t>(r));
+  for (int d = r - 1; d >= 0; --d) {
+    out[static_cast<size_t>(d)] = flat % dad.extent(d);
+    flat /= dad.extent(d);
+  }
+}
+
+namespace detail {
+
+/// Enumerate the logical indices of every processor holding a copy of the
+/// destination element (the canonical owner plus replicas along the
+/// destination's replicated grid dimensions).
+inline void owner_replicas(const Dad& dad, const std::vector<Index>& g,
+                           const std::vector<int>& base_coords,
+                           std::vector<int>& out) {
+  out.clear();
+  std::vector<int> coords = base_coords;
+  for (int d = 0; d < dad.rank(); ++d) {
+    const DimMap& m = dad.dim(d);
+    if (m.kind == DistKind::kCollapsed) continue;
+    coords[static_cast<size_t>(m.grid_dim)] =
+        dad.owner_coord(d, g[static_cast<size_t>(d)]);
+  }
+  const auto& rep = dad.replicated_grid_dims();
+  if (rep.empty()) {
+    out.push_back(dad.grid().linear_of(coords));
+    return;
+  }
+  // Odometer over replicated grid dimensions.
+  std::vector<int> pos(rep.size(), 0);
+  for (;;) {
+    for (size_t i = 0; i < rep.size(); ++i)
+      coords[static_cast<size_t>(rep[i])] = pos[i];
+    out.push_back(dad.grid().linear_of(coords));
+    size_t i = 0;
+    for (; i < rep.size(); ++i) {
+      if (++pos[i] < dad.grid().extent(rep[i])) break;
+      pos[i] = 0;
+    }
+    if (i == rep.size()) break;
+  }
+}
+
+}  // namespace detail
+
+/// Route every owned element of `src` through `map` into `dest`.
+/// `map(src_global, dest_global) -> bool`: computes the destination global
+/// index for a source element, or returns false to drop it.  `combine`
+/// merges an arriving value into the destination element (overwrite by
+/// default; pass an additive combiner for accumulating scatters).
+///
+/// Collective: every processor of the machine must call this.
+template <typename T, typename Combine = Overwrite<T>>
+void remap_into(
+    comm::GridComm& gc, DistArray<T>& src, DistArray<T>& dest,
+    const std::function<bool(std::span<const Index>, std::vector<Index>&)>& map,
+    Combine combine = Combine{}) {
+  struct Pair {
+    Index flat;
+    T value;
+  };
+  const int p = gc.nprocs();
+  std::vector<std::vector<Pair>> buckets(static_cast<size_t>(p));
+
+  // Inspector half: compute destination processors for every owned element.
+  std::vector<Index> dest_g;
+  std::vector<int> owners;
+  src.for_each_owned([&](const std::vector<Index>& g, T& v) {
+    if (!map(g, dest_g)) return;
+    detail::owner_replicas(dest.dad(), dest_g, gc.my_coords(), owners);
+    const Index flat = dest.flat_global(dest_g);
+    for (int o : owners)
+      buckets[static_cast<size_t>(o)].push_back(Pair{flat, v});
+  });
+  gc.proc().charge_int_ops(4.0 * static_cast<double>(src.local_size()));
+
+  // Executor half: one vectorized message per destination processor.
+  const int me = gc.my_logical();
+  std::vector<Index> g_scratch;
+  auto place = [&](const Pair& pr) {
+    unflatten_global(dest.dad(), pr.flat, g_scratch);
+    combine(dest.at_global(g_scratch), pr.value);
+  };
+  // Local elements move by memory copy, not messages.
+  for (const Pair& pr : buckets[static_cast<size_t>(me)]) place(pr);
+  gc.proc().charge_copy(
+      static_cast<double>(buckets[static_cast<size_t>(me)].size() * sizeof(Pair)));
+
+  const int tag = 7001;  // same call site on all procs: any fixed tag works
+  for (int step = 1; step < p; ++step) {
+    const int to = (me + step) % p;
+    gc.send_logical<Pair>(to, tag + step,
+                          std::span<const Pair>(buckets[static_cast<size_t>(to)]));
+  }
+  for (int step = 1; step < p; ++step) {
+    const int from = (me - step % p + p) % p;
+    auto incoming = gc.recv_logical<Pair>(from, tag + step);
+    for (const Pair& pr : incoming) place(pr);
+  }
+  gc.barrier();
+}
+
+/// Multi-target variant: `map` may produce any number of destination
+/// indices for one source element (used by SPREAD's one-to-many copies).
+template <typename T, typename Combine = Overwrite<T>>
+void remap_multi(
+    comm::GridComm& gc, DistArray<T>& src, DistArray<T>& dest,
+    const std::function<void(std::span<const Index>,
+                             std::vector<std::vector<Index>>&)>& map,
+    Combine combine = Combine{}) {
+  struct Pair {
+    Index flat;
+    T value;
+  };
+  const int p = gc.nprocs();
+  std::vector<std::vector<Pair>> buckets(static_cast<size_t>(p));
+
+  std::vector<std::vector<Index>> targets;
+  std::vector<int> owners;
+  src.for_each_owned([&](const std::vector<Index>& g, T& v) {
+    targets.clear();
+    map(g, targets);
+    for (const std::vector<Index>& dest_g : targets) {
+      detail::owner_replicas(dest.dad(), dest_g, gc.my_coords(), owners);
+      const Index flat = dest.flat_global(dest_g);
+      for (int o : owners)
+        buckets[static_cast<size_t>(o)].push_back(Pair{flat, v});
+    }
+  });
+  gc.proc().charge_int_ops(4.0 * static_cast<double>(src.local_size()));
+
+  const int me = gc.my_logical();
+  std::vector<Index> g_scratch;
+  auto place = [&](const Pair& pr) {
+    unflatten_global(dest.dad(), pr.flat, g_scratch);
+    combine(dest.at_global(g_scratch), pr.value);
+  };
+  for (const Pair& pr : buckets[static_cast<size_t>(me)]) place(pr);
+  gc.proc().charge_copy(
+      static_cast<double>(buckets[static_cast<size_t>(me)].size() * sizeof(Pair)));
+
+  const int tag = 7501;
+  for (int step = 1; step < p; ++step) {
+    const int to = (me + step) % p;
+    gc.send_logical<Pair>(to, tag + step,
+                          std::span<const Pair>(buckets[static_cast<size_t>(to)]));
+  }
+  for (int step = 1; step < p; ++step) {
+    const int from = (me - step % p + p) % p;
+    auto incoming = gc.recv_logical<Pair>(from, tag + step);
+    for (const Pair& pr : incoming) place(pr);
+  }
+  gc.barrier();
+}
+
+/// Redistribute `src` into a new array described by `dest_dad` (identity
+/// index map) — the paper's automatic redistribution at subroutine
+/// boundaries (block <-> cyclic and grid changes).
+template <typename T>
+DistArray<T> redistribute(comm::GridComm& gc, DistArray<T>& src,
+                          const Dad& dest_dad) {
+  DistArray<T> dest(dest_dad, gc);
+  remap_into<T>(gc, src, dest,
+                [](std::span<const Index> g, std::vector<Index>& out) {
+                  out.assign(g.begin(), g.end());
+                  return true;
+                });
+  return dest;
+}
+
+}  // namespace f90d::rts

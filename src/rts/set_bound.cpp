@@ -1,0 +1,119 @@
+#include "rts/set_bound.hpp"
+
+namespace f90d::rts {
+
+namespace {
+
+Index floordiv(Index a, Index b) {
+  // b > 0
+  Index q = a / b;
+  if (a % b != 0 && a < 0) --q;
+  return q;
+}
+
+Index ceildiv(Index a, Index b) {
+  // b > 0
+  Index q = a / b;
+  if (a % b != 0 && a > 0) ++q;
+  return q;
+}
+
+Index gcd_ll(Index a, Index b) {
+  while (b != 0) {
+    Index t = a % b;
+    a = b;
+    b = t;
+  }
+  return a < 0 ? -a : a;
+}
+
+}  // namespace
+
+LocalRange set_bound(const Dad& dad, int d, int coord, Index glb, Index gub,
+                     Index gst) {
+  require(gst != 0, "set_BOUND: zero stride");
+  // FORALL iterations are order-independent; normalize to ascending stride.
+  if (gst < 0) {
+    const Index n = (glb - gub) / (-gst);  // number of steps
+    const Index last = glb + n * gst;      // smallest element
+    glb = last;
+    gub = glb + n * (-gst);
+    gst = -gst;
+  }
+  LocalRange r;
+  if (glb > gub) return r;  // empty global range
+
+  const DimMap& m = dad.dim(d);
+
+  if (m.kind == DistKind::kCollapsed) {
+    // Not distributed: every processor iterates the whole (local == global)
+    // range.
+    r.lb = glb;
+    r.ub = gub;
+    r.st = gst;
+    r.empty = false;
+    return r;
+  }
+
+  if (m.kind == DistKind::kBlock) {
+    // Owned global index range [g_lo, g_hi] is contiguous for BLOCK.
+    const Index cnt = dad.local_extent(d, coord);
+    if (cnt == 0) return r;
+    const Index g_lo = dad.global_of_local(d, 0, coord);
+    const Index g_hi = dad.global_of_local(d, cnt - 1, coord);
+    const Index lo = std::max(glb, g_lo);
+    const Index hi = std::min(gub, g_hi);
+    if (lo > hi) return r;
+    // First iterate >= lo congruent to glb (mod gst).
+    const Index g_first = glb + ceildiv(lo - glb, gst) * gst;
+    if (g_first > hi) return r;
+    const Index g_last = glb + floordiv(hi - glb, gst) * gst;
+    // Local index = g - g_lo (counting within the owned range).
+    r.lb = dad.local_of_global(d, g_first);
+    r.ub = dad.local_of_global(d, g_last);
+    r.st = gst;  // local stride equals global stride for BLOCK
+    r.empty = false;
+    return r;
+  }
+
+  // CYCLIC (align_stride == 1): owned global indices satisfy
+  //   (g + b) mod P == coord.
+  // Solutions of glb + k*gst = g with that congruence:
+  //   k*gst === coord - b - glb  (mod P)
+  const Index p = dad.grid().extent(m.grid_dim);
+  const Index b = m.align_offset;
+  const Index rhs = (((coord - b - glb) % p) + p) % p;
+  const Index g0 = gcd_ll(gst, p);
+  if (rhs % g0 != 0) return r;  // no solutions: processor masked out
+  const Index kmax = (gub - glb) / gst;
+  // Smallest non-negative k with k*gst === rhs (mod P); P is small (#procs),
+  // a bounded scan is fine and avoids modular-inverse corner cases.
+  Index k0 = -1;
+  for (Index k = 0; k < p; ++k) {
+    if (((k * gst) % p + p) % p == rhs) {
+      k0 = k;
+      break;
+    }
+  }
+  require(k0 >= 0, "set_BOUND: congruence solvable");
+  if (k0 > kmax) return r;
+  const Index kstep = p / g0;
+  const Index nsol = (kmax - k0) / kstep + 1;
+  const Index g_first = glb + k0 * gst;
+  const Index g_last = glb + (k0 + (nsol - 1) * kstep) * gst;
+  r.lb = dad.local_of_global(d, g_first);
+  r.ub = dad.local_of_global(d, g_last);
+  // Consecutive solutions differ by gst*P/g0 in global index, i.e. by
+  // gst/g0 in local (cyclic local index = (g+b)/P).
+  r.st = nsol > 1 ? (dad.local_of_global(d, glb + (k0 + kstep) * gst) - r.lb)
+                  : 1;
+  r.empty = false;
+  return r;
+}
+
+Index local_iteration_count(const Dad& dad, int d, int coord, Index glb,
+                            Index gub, Index gst) {
+  return set_bound(dad, d, coord, glb, gub, gst).count();
+}
+
+}  // namespace f90d::rts

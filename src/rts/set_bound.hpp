@@ -1,0 +1,44 @@
+#pragma once
+// The paper's set_BOUND primitive (§4):
+//
+//   set_BOUND(llb,lub,lst, glb,gub,gst, DIST, dim)
+//
+// "takes a global computation range with global lower bound, upper bound and
+//  stride.  It distributes this global range statically among the group of
+//  processors specified by the dim parameter ...  computes and returns the
+//  local computation range ... The other functionality ... is to mask
+//  inactive processors by returning appropriate local bounds."
+//
+// Our version takes the distribution information from a DAD dimension and
+// the calling processor's grid coordinate.  Indices are 0-based; the global
+// range is inclusive: {glb, glb+gst, ...} up to gub.
+#include "rts/dad.hpp"
+
+namespace f90d::rts {
+
+/// A local iteration range in local index space (inclusive bounds).
+/// When `empty` the processor is masked out (owns no iterations).
+struct LocalRange {
+  Index lb = 0;
+  Index ub = -1;
+  Index st = 1;
+  bool empty = true;
+
+  [[nodiscard]] Index count() const {
+    return empty ? 0 : (ub - lb) / st + 1;
+  }
+};
+
+/// Compute the local bounds of the global range glb:gub:gst for the
+/// processor at grid coordinate `coord` along array dimension `d` of `dad`.
+/// Iterations are assigned by ownership of the dimension-d index (owner
+/// computes).  Works for BLOCK, CYCLIC and collapsed dimensions; for
+/// collapsed dimensions every processor gets the whole range.
+[[nodiscard]] LocalRange set_bound(const Dad& dad, int d, int coord, Index glb,
+                                   Index gub, Index gst);
+
+/// Convenience: total iterations a processor receives (for tests).
+[[nodiscard]] Index local_iteration_count(const Dad& dad, int d, int coord,
+                                          Index glb, Index gub, Index gst);
+
+}  // namespace f90d::rts

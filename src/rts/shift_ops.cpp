@@ -1,0 +1,15 @@
+#include "rts/shift_ops.hpp"
+
+namespace f90d::rts {
+
+template void overlap_shift<double>(comm::GridComm&, DistArray<double>&, int,
+                                    int, bool);
+template void overlap_shift<long long>(comm::GridComm&, DistArray<long long>&,
+                                       int, int, bool);
+template DistArray<double> temporary_shift<double>(comm::GridComm&,
+                                                   DistArray<double>&, int,
+                                                   Index, bool);
+template DistArray<long long> temporary_shift<long long>(
+    comm::GridComm&, DistArray<long long>&, int, Index, bool);
+
+}  // namespace f90d::rts

@@ -1,0 +1,125 @@
+#pragma once
+// Structured shift primitives on distributed arrays (paper §5.1):
+//
+//   overlap_shift:   "shifting data into overlap areas in one or more grid
+//                     dimensions ... useful when the shift amount is known at
+//                     compile time ... avoids intra-processor copying of data
+//                     and directly stores data in the overlap areas."
+//   temporary_shift: "similar to overlap shift except that the data is
+//                     shifted into a temporary array ... useful when the
+//                     shift amount is not a compile time constant."
+#include "comm/grid_comm.hpp"
+#include "rts/dist_array.hpp"
+#include "rts/remap.hpp"
+
+namespace f90d::rts {
+
+/// Fill the overlap (ghost) area of `arr` along array dimension `d` so that
+/// references A(i + amount) — amount may be negative — resolve locally.
+/// Requires |amount| <= the corresponding overlap width and a BLOCK (or
+/// collapsed, in which case this is a no-op) dimension.  With
+/// `circular=true` the boundary processors wrap (CSHIFT); otherwise edge
+/// ghost cells are left untouched (EOSHIFT / interior-only FORALL bounds).
+///
+/// Collective over all processors.
+template <typename T>
+void overlap_shift(comm::GridComm& gc, DistArray<T>& arr, int d, int amount,
+                   bool circular = false) {
+  const DimMap& m = arr.dad().dim(d);
+  if (m.kind == DistKind::kCollapsed || amount == 0) return;  // local
+  require(m.kind == DistKind::kBlock, "overlap_shift needs BLOCK dimension");
+  const int c = amount > 0 ? amount : -amount;
+  require(c <= (amount > 0 ? m.overlap_hi : m.overlap_lo),
+          "overlap_shift amount within declared overlap width");
+
+  const int gd = m.grid_dim;
+  const Index lext = arr.local_extent(d);
+  const int r = arr.rank();
+
+  // Pack the boundary slab: for a reference A(i+c) the *next* processor's
+  // first c planes land in my high ghost area, so every processor sends its
+  // low planes to coord-1; symmetrically for A(i-c).
+  const Index slab_lo = amount > 0 ? 0 : std::max<Index>(lext - c, 0);
+  const Index slab_hi = amount > 0 ? std::min<Index>(c, lext) : lext;
+
+  std::vector<T> slab;
+  std::vector<Index> idx(static_cast<size_t>(r), 0);
+  const auto pack = [&]() {
+    slab.clear();
+    if (slab_lo >= slab_hi || arr.local_size() == 0) return;
+    idx.assign(static_cast<size_t>(r), 0);
+    idx[static_cast<size_t>(d)] = slab_lo;
+    for (;;) {
+      slab.push_back(arr.at_local(idx));
+      int dd = r - 1;
+      for (; dd >= 0; --dd) {
+        const Index lim = (dd == d) ? slab_hi : arr.local_extent(dd);
+        const Index base = (dd == d) ? slab_lo : 0;
+        if (++idx[static_cast<size_t>(dd)] < lim) break;
+        idx[static_cast<size_t>(dd)] = base;
+      }
+      if (dd < 0) break;
+    }
+  };
+  pack();
+
+  // Exchange with the neighbour along the grid dimension.
+  const int offset = amount > 0 ? -1 : +1;  // where my slab goes
+  std::vector<T> incoming = gc.shift_exchange<T>(
+      gd, offset, std::span<const T>(slab), circular);
+
+  // Unpack into the ghost area: local dim-d indices lext..lext+c-1 (high)
+  // or -c..-1 (low).
+  if (!incoming.empty()) {
+    const Index ghost_lo = amount > 0 ? lext : -static_cast<Index>(c);
+    const Index ghost_hi = amount > 0 ? lext + c : 0;
+    size_t k = 0;
+    idx.assign(static_cast<size_t>(r), 0);
+    idx[static_cast<size_t>(d)] = ghost_lo;
+    for (;;) {
+      require(k < incoming.size(), "overlap_shift: slab size matches ghost");
+      arr.at_local(idx) = incoming[k++];
+      int dd = r - 1;
+      for (; dd >= 0; --dd) {
+        const Index lim = (dd == d) ? ghost_hi : arr.local_extent(dd);
+        const Index base = (dd == d) ? ghost_lo : 0;
+        if (++idx[static_cast<size_t>(dd)] < lim) break;
+        idx[static_cast<size_t>(dd)] = base;
+      }
+      if (dd < 0) break;
+    }
+  }
+}
+
+/// temporary_shift: build a temporary array tmp aligned like `arr` with
+/// tmp(i) = arr(i + amount) along dimension d.  Works for any distribution
+/// and any shift amount (the element routing handles multi-processor
+/// spills); `circular` wraps at the array bounds.
+///
+/// Collective over all processors.
+template <typename T>
+DistArray<T> temporary_shift(comm::GridComm& gc, DistArray<T>& arr, int d,
+                             Index amount, bool circular = false) {
+  Dad tmp_dad = arr.dad();
+  tmp_dad.dim(d).overlap_lo = 0;
+  tmp_dad.dim(d).overlap_hi = 0;
+  DistArray<T> tmp(tmp_dad, gc);
+  const Index n = arr.dad().extent(d);
+  remap_into<T>(gc, arr, tmp,
+                [&, d, amount, n, circular](std::span<const Index> g,
+                                            std::vector<Index>& out) {
+                  // Element arr(g) is needed at iteration index g - amount.
+                  Index i = g[static_cast<size_t>(d)] - amount;
+                  if (circular) {
+                    i = ((i % n) + n) % n;
+                  } else if (i < 0 || i >= n) {
+                    return false;
+                  }
+                  out.assign(g.begin(), g.end());
+                  out[static_cast<size_t>(d)] = i;
+                  return true;
+                });
+  return tmp;
+}
+
+}  // namespace f90d::rts

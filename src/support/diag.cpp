@@ -1,0 +1,30 @@
+#include "support/diag.hpp"
+
+#include <cstdio>
+#include <vector>
+
+namespace f90d {
+
+std::string SourceLoc::to_string() const {
+  if (!known()) return "<unknown>";
+  return std::to_string(line) + ":" + std::to_string(col);
+}
+
+std::string strformat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args2;
+  va_copy(args2, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::vector<char> buf(static_cast<size_t>(n) + 1);
+  std::vsnprintf(buf.data(), buf.size(), fmt, args2);
+  va_end(args2);
+  return std::string(buf.data(), static_cast<size_t>(n));
+}
+
+void require(bool cond, const char* what) {
+  if (!cond) throw Error(std::string("internal invariant violated: ") + what);
+}
+
+}  // namespace f90d

@@ -1,0 +1,59 @@
+#pragma once
+// Diagnostics: source locations and structured errors shared by every
+// compiler phase and by the run-time support system.
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace f90d {
+
+/// A position in a Fortran 90D source file (1-based, 0 = unknown).
+struct SourceLoc {
+  int line = 0;
+  int col = 0;
+
+  [[nodiscard]] bool known() const { return line > 0; }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Base class for every error raised by the f90d system.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string msg) : std::runtime_error(std::move(msg)) {}
+};
+
+/// Lexical or syntactic error in the Fortran 90D input.
+class ParseError : public Error {
+ public:
+  ParseError(SourceLoc loc, const std::string& msg)
+      : Error(loc.to_string() + ": parse error: " + msg), loc_(loc) {}
+  [[nodiscard]] SourceLoc loc() const { return loc_; }
+
+ private:
+  SourceLoc loc_;
+};
+
+/// Semantic error (undeclared names, shape mismatches, bad directives...).
+class SemaError : public Error {
+ public:
+  SemaError(SourceLoc loc, const std::string& msg)
+      : Error(loc.to_string() + ": semantic error: " + msg), loc_(loc) {}
+  [[nodiscard]] SourceLoc loc() const { return loc_; }
+
+ private:
+  SourceLoc loc_;
+};
+
+/// Error raised by the run-time support system (bad DAD, schedule misuse...).
+class RtsError : public Error {
+ public:
+  explicit RtsError(const std::string& msg) : Error("rts: " + msg) {}
+};
+
+/// printf-style formatting into a std::string.
+[[gnu::format(printf, 1, 2)]] std::string strformat(const char* fmt, ...);
+
+/// Internal invariant check; throws Error (never disabled, unlike assert).
+void require(bool cond, const char* what);
+
+}  // namespace f90d

@@ -1,0 +1,31 @@
+#pragma once
+// Small string helpers used by the front end (Fortran is case-insensitive).
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace f90d {
+
+/// ASCII upper-case copy (Fortran identifiers/keywords are case-insensitive).
+[[nodiscard]] std::string to_upper(std::string_view s);
+
+/// ASCII lower-case copy.
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// Trim ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Case-insensitive string equality.
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b);
+
+/// True if `s` starts with `prefix`, ignoring case.
+[[nodiscard]] bool istarts_with(std::string_view s, std::string_view prefix);
+
+/// Split on a delimiter character; keeps empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char delim);
+
+/// Join strings with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+}  // namespace f90d

@@ -1,0 +1,277 @@
+// Communication detection (Algorithm 1) and SPMD code generation: the
+// paper's §5.3 examples compile to the same primitives the paper shows, the
+// mapping module realizes the three-stage mapping, and the §7 optimizations
+// transform the plans as described.
+#include <gtest/gtest.h>
+
+#include "apps/sources.hpp"
+#include "compile/driver.hpp"
+#include "frontend/parser.hpp"
+#include "mapping/mapping.hpp"
+
+namespace f90d {
+namespace {
+
+using compile::Compiled;
+using compile::compile_source;
+
+std::string two_d_prelude() {
+  return R"(PROGRAM EX
+      INTEGER N
+      PARAMETER (N = 16)
+      INTEGER M
+      PARAMETER (M = 16)
+      REAL A(N, N)
+      REAL B(N, N)
+      INTEGER S
+C$ PROCESSORS P(2, 2)
+C$ TEMPLATE TEMPL(N, N)
+C$ DISTRIBUTE TEMPL(BLOCK, BLOCK)
+C$ ALIGN A(I, J) WITH TEMPL(I, J)
+C$ ALIGN B(I, J) WITH TEMPL(I, J)
+)";
+}
+
+Compiled compile_stmt(const std::string& stmt) {
+  return compile_source(two_d_prelude() + stmt + "\n      END PROGRAM EX\n");
+}
+
+int count_action(const Compiled& c, const std::string& name) {
+  auto it = c.program.action_histogram.find(name);
+  return it == c.program.action_histogram.end() ? 0 : it->second;
+}
+
+// --- the paper's §5.3.1 structured examples -----------------------------------
+
+TEST(CommDetect, PaperExample1Transfer) {
+  // FORALL(I=1:N) A(I,8)=B(I,3): first dim no comm, second transfer.
+  auto c = compile_stmt("      FORALL (I = 1:N) A(I, 8) = B(I, 3)");
+  EXPECT_EQ(count_action(c, "transfer"), 1);
+  EXPECT_EQ(count_action(c, "multicast"), 0);
+  EXPECT_NE(c.listing.find("call transfer(B"), std::string::npos);
+  EXPECT_NE(c.listing.find("call set_BOUND"), std::string::npos);
+}
+
+TEST(CommDetect, PaperExample2Multicast) {
+  // FORALL(I=1:N,J=1:M) A(I,J)=B(I,3): second dim multicast.
+  auto c = compile_stmt("      FORALL (I = 1:N, J = 1:M) A(I, J) = B(I, 3)");
+  EXPECT_EQ(count_action(c, "multicast"), 1);
+  EXPECT_NE(c.listing.find("call multicast(B"), std::string::npos);
+}
+
+TEST(CommDetect, PaperExample3MulticastShift) {
+  // FORALL(I=1:N,J=1:M-2) A(I,J)=B(3,J+S): multicast + temporary shift,
+  // fused into one communication round (the multicast_shift primitive).
+  auto c = compile_stmt(
+      "      FORALL (I = 1:N, J = 1:M-2) A(I, J) = B(3, J + S)");
+  EXPECT_EQ(count_action(c, "precomp_read"), 1);
+  EXPECT_NE(c.listing.find("multicast_shift (fused)"), std::string::npos);
+}
+
+TEST(CommDetect, OverlapShiftsForJacobi) {
+  auto c = compile_source(apps::jacobi_source(16, 2, 2, 1));
+  // Four shifted references -> four overlap_shift actions on A.
+  EXPECT_EQ(count_action(c, "overlap_shift"), 4);
+  EXPECT_EQ(count_action(c, "gather"), 0);
+  EXPECT_EQ(count_action(c, "precomp_read"), 0);
+  // Ghost widths recorded for allocation: 1 on each side of each dim.
+  const auto& ov = c.program.overlaps.at("A");
+  EXPECT_EQ(ov[0], (std::pair<int, int>{1, 1}));
+  EXPECT_EQ(ov[1], (std::pair<int, int>{1, 1}));
+  EXPECT_NE(c.listing.find("call overlap_shift(A"), std::string::npos);
+}
+
+TEST(CommDetect, TemporaryShiftForRuntimeAmount) {
+  auto c = compile_stmt(
+      "      FORALL (I = 1:N, J = 1:M-4) A(I, J) = B(I, J + S)");
+  EXPECT_EQ(count_action(c, "temporary_shift"), 1);
+  EXPECT_EQ(count_action(c, "overlap_shift"), 0);
+}
+
+TEST(CommDetect, IdenticalAlignmentNeedsNoComm) {
+  auto c = compile_stmt("      FORALL (I = 1:N, J = 1:M) A(I, J) = B(I, J)");
+  EXPECT_TRUE(c.program.action_histogram.empty())
+      << c.listing;
+}
+
+// --- the paper's §5.3.2 unstructured examples -----------------------------------
+
+std::string one_d_prelude() {
+  return R"(PROGRAM EX
+      INTEGER N
+      PARAMETER (N = 32)
+      REAL A(N)
+      REAL B(2*N)
+      INTEGER U(N)
+      INTEGER V(N)
+C$ PROCESSORS P(4)
+C$ TEMPLATE T(2*N)
+C$ DISTRIBUTE T(BLOCK)
+C$ ALIGN A(I) WITH T(I)
+C$ ALIGN B(I) WITH T(I)
+)";
+}
+
+Compiled compile_1d(const std::string& stmt) {
+  return compile_source(one_d_prelude() + stmt + "\n      END PROGRAM EX\n");
+}
+
+TEST(CommDetect, PrecompReadForInvertibleAffine) {
+  // FORALL(I=1:N) A(I)=B(2*I+1) — the paper's precomp_read example.
+  auto c = compile_1d("      FORALL (I = 1:N-1) A(I) = B(2*I + 1)");
+  EXPECT_EQ(count_action(c, "precomp_read"), 1);
+  EXPECT_NE(c.listing.find("schedule1"), std::string::npos);
+  EXPECT_NE(c.listing.find("call precomp_read"), std::string::npos);
+}
+
+TEST(CommDetect, GatherForVectorSubscript) {
+  // FORALL(I=1:N) A(I)=B(V(I)) — the paper's gather example.
+  auto c = compile_1d("      FORALL (I = 1:N) A(I) = B(V(I))");
+  EXPECT_EQ(count_action(c, "gather"), 1);
+  EXPECT_NE(c.listing.find("schedule2"), std::string::npos);
+  EXPECT_NE(c.listing.find("call gather"), std::string::npos);
+}
+
+TEST(CommDetect, ScatterForVectorLhs) {
+  // FORALL(I=1:N) A(U(I))=B(I) — the paper's scatter example.
+  auto c = compile_1d("      FORALL (I = 1:N) A(U(I)) = B(I)");
+  EXPECT_EQ(count_action(c, "scatter"), 1);
+  EXPECT_NE(c.listing.find("schedule3"), std::string::npos);
+  EXPECT_NE(c.listing.find("call scatter"), std::string::npos);
+}
+
+TEST(CommDetect, PostcompWriteForAffineNoncanonicalLhs) {
+  auto c = compile_1d("      FORALL (I = 1:N) B(2*I) = A(I)");
+  EXPECT_EQ(count_action(c, "postcomp_write"), 1);
+}
+
+TEST(CommDetect, ConcatenationForReplicatedLhs) {
+  // L is replicated; rhs distributed: Algorithm 1 line 11.
+  auto c = compile_source(apps::gauss_source(16, 4));
+  EXPECT_GE(count_action(c, "concatenation"), 1);
+  EXPECT_NE(c.listing.find("call concatenation(L"), std::string::npos);
+}
+
+// --- optimizations (§7) -----------------------------------------------------------
+
+TEST(Optimize, RedundantBroadcastEliminated) {
+  compile::CodegenOptions on;   // defaults: all optimizations on
+  compile::CodegenOptions off;
+  off.eliminate_redundant_comm = false;
+  auto with = compile_source(apps::gauss_source(16, 4), {}, on);
+  auto without = compile_source(apps::gauss_source(16, 4), {}, off);
+  // The A(K,K) broadcast disappears under the optimization.
+  EXPECT_EQ(with.program.action_histogram.count("broadcast"), 0u);
+  EXPECT_EQ(without.program.action_histogram.at("broadcast"), 1);
+}
+
+TEST(Optimize, ShiftUnionKeepsLargestOnly) {
+  compile::CodegenOptions off;
+  off.merge_shifts = false;
+  const std::string stmt =
+      "      FORALL (I = 1:N-3, J = 1:N) A(I, J) = B(I+2, J) + B(I+3, J)";
+  auto merged = compile_stmt(stmt);
+  auto naive = compile_source(two_d_prelude() + stmt + "\n      END PROGRAM EX\n",
+                              {}, off);
+  int live_merged = 0, live_naive = 0;
+  auto count_live = [](const compile::SpmdProgram& p) {
+    int live = 0;
+    for (const auto& s : p.body)
+      for (const auto& a : s->pre)
+        live += (a.kind == compile::CommKind::kOverlapShift && !a.eliminated);
+    return live;
+  };
+  live_merged = count_live(merged.program);
+  live_naive = count_live(naive.program);
+  EXPECT_EQ(live_merged, 1);
+  EXPECT_EQ(live_naive, 2);
+  // Ghost width covers the larger shift either way.
+  EXPECT_EQ(merged.program.overlaps.at("B")[0].second, 3);
+}
+
+// --- mapping (three-stage) ---------------------------------------------------------
+
+TEST(Mapping, DirectivesProduceExpectedDads) {
+  auto sema = frontend::analyze(frontend::parse_program(two_d_prelude() +
+      "      A(1,1) = 0.0\n      END PROGRAM EX\n"));
+  auto table = mapping::build_mapping(sema);
+  EXPECT_EQ(table.grid.dims(), (std::vector<int>{2, 2}));
+  const rts::Dad& a = table.dads.at("A");
+  EXPECT_EQ(a.dim(0).kind, rts::DistKind::kBlock);
+  EXPECT_EQ(a.dim(0).grid_dim, 0);
+  EXPECT_EQ(a.dim(1).grid_dim, 1);
+  EXPECT_EQ(a.dim(0).align_offset, 0);  // 1-based ALIGN A(I,J) WITH T(I,J)
+}
+
+TEST(Mapping, GridOverrideRescalesMachine) {
+  auto sema = frontend::analyze(frontend::parse_program(two_d_prelude() +
+      "      A(1,1) = 0.0\n      END PROGRAM EX\n"));
+  auto table = mapping::build_mapping(sema, {4, 2});
+  EXPECT_EQ(table.grid.size(), 8);
+  EXPECT_EQ(table.dads.at("A").grid().extent(0), 4);
+}
+
+TEST(Mapping, UndirectedArraysReplicated) {
+  auto c = compile_source(apps::gauss_source(8, 2));
+  EXPECT_TRUE(c.mapping.dads.at("L").fully_replicated());
+  EXPECT_FALSE(c.mapping.dads.at("A").fully_replicated());
+  // TMPR aligned WITH TA(*, J): distributed along grid dim 0.
+  const rts::Dad& tmpr = c.mapping.dads.at("TMPR");
+  EXPECT_EQ(tmpr.dim(0).kind, rts::DistKind::kBlock);
+}
+
+TEST(Mapping, StarAlignmentReplicatesAlongDim) {
+  // With a (BLOCK, BLOCK) template on 2x2, TMP(J) WITH T(*, J) must be
+  // replicated along grid dim 0 and distributed along grid dim 1.
+  const std::string src = two_d_prelude() +
+      R"(      REAL TMP(N)
+C$ ALIGN TMP(J) WITH TEMPL(*, J)
+      TMP(1) = 0.0
+      END PROGRAM EX
+)";
+  auto sema = frontend::analyze(frontend::parse_program(src));
+  auto table = mapping::build_mapping(sema);
+  const rts::Dad& tmp = table.dads.at("TMP");
+  EXPECT_EQ(tmp.dim(0).grid_dim, 1);
+  ASSERT_EQ(tmp.replicated_grid_dims().size(), 1u);
+  EXPECT_EQ(tmp.replicated_grid_dims()[0], 0);
+}
+
+// --- normalization ------------------------------------------------------------------
+
+TEST(Normalize, WhereAndArraySyntaxBecomeForall) {
+  const std::string src = two_d_prelude() + R"(      A = B
+      WHERE (B .GT. 0.0)
+        A = A + 1.0
+      ELSEWHERE
+        A = 0.0
+      END WHERE
+      A(2:N-1, 3) = B(2:N-1, 4)
+      END PROGRAM EX
+)";
+  auto c = compile_source(src);
+  // Every statement became a forall in the SPMD program.
+  int foralls = 0;
+  for (const auto& s : c.program.body)
+    foralls += s->kind == compile::SpmdKind::kForall;
+  EXPECT_EQ(foralls, 4);  // A=B, two WHERE branches, section copy
+  // WHERE branches carry masks.
+  EXPECT_NE(c.program.body[1]->mask, nullptr);
+  EXPECT_NE(c.program.body[2]->mask, nullptr);
+}
+
+TEST(Normalize, ReductionHoistedFromExpression) {
+  const std::string src = two_d_prelude() +
+      R"(      REAL SCAL
+      SCAL = 1.0 + SUM(B(1:N, 2)) * 2.0
+      END PROGRAM EX
+)";
+  auto c = compile_source(src);
+  ASSERT_GE(c.program.body.size(), 2u);
+  EXPECT_EQ(c.program.body[0]->kind, compile::SpmdKind::kReduce);
+  EXPECT_EQ(c.program.body[0]->reduce_op, "SUM");
+  EXPECT_EQ(c.program.body[1]->kind, compile::SpmdKind::kScalarAssign);
+}
+
+}  // namespace
+}  // namespace f90d

@@ -1,0 +1,207 @@
+// Stage 1+2 index algebra (DAD) and the set_BOUND primitive: property-style
+// sweeps over sizes, processor counts, distributions, alignment offsets and
+// strides.  These are the invariants the whole compiler rests on.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "rts/dad.hpp"
+#include "rts/set_bound.hpp"
+
+namespace f90d {
+namespace {
+
+using rts::Dad;
+using rts::DimMap;
+using rts::DistKind;
+using rts::Index;
+using rts::LocalRange;
+
+Dad make1d(Index n, int p, DistKind kind, Index a = 1, Index b = 0,
+           Index template_extent = -1) {
+  DimMap m;
+  m.kind = kind;
+  m.grid_dim = 0;
+  m.template_extent = template_extent < 0 ? (a > 0 ? a * n + b : n + b) : template_extent;
+  m.align_stride = a;
+  m.align_offset = b;
+  return Dad({n}, {m}, comm::ProcGrid({p}));
+}
+
+struct DistCase {
+  Index n;
+  int p;
+  DistKind kind;
+};
+
+class DistAlgebra : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(DistAlgebra, OwnershipPartitionsEveryElementExactlyOnce) {
+  const auto [n, p, kind] = GetParam();
+  Dad dad = make1d(n, p, kind);
+  std::vector<Index> seen(static_cast<size_t>(n), 0);
+  Index total = 0;
+  for (int c = 0; c < p; ++c) {
+    const Index cnt = dad.local_extent(0, c);
+    total += cnt;
+    for (Index l = 0; l < cnt; ++l) {
+      const Index g = dad.global_of_local(0, l, c);
+      ASSERT_GE(g, 0);
+      ASSERT_LT(g, n);
+      seen[static_cast<size_t>(g)] += 1;
+      // Round trip: mu^-1 then mu.
+      EXPECT_EQ(dad.owner_coord(0, g), c);
+      EXPECT_EQ(dad.local_of_global(0, g), l);
+    }
+  }
+  EXPECT_EQ(total, n);
+  for (Index g = 0; g < n; ++g)
+    EXPECT_EQ(seen[static_cast<size_t>(g)], 1) << "element " << g;
+}
+
+TEST_P(DistAlgebra, SetBoundCoversStridedRangesExactlyOnce) {
+  const auto [n, p, kind] = GetParam();
+  Dad dad = make1d(n, p, kind);
+  for (Index st : {1, 2, 3, 5}) {
+    for (Index lo : {Index{0}, Index{1}, n / 3}) {
+      const Index hi = n - 1;
+      std::multiset<Index> visited;
+      for (int c = 0; c < p; ++c) {
+        const LocalRange r = rts::set_bound(dad, 0, c, lo, hi, st);
+        if (r.empty) continue;
+        for (Index l = r.lb; l <= r.ub; l += r.st) {
+          const Index g = dad.global_of_local(0, l, c);
+          // Owned and on the lattice lo, lo+st, ...
+          EXPECT_EQ(dad.owner_coord(0, g), c);
+          EXPECT_EQ((g - lo) % st, 0);
+          EXPECT_GE(g, lo);
+          EXPECT_LE(g, hi);
+          visited.insert(g);
+        }
+      }
+      // Exactly the global iteration set, each element once.
+      std::multiset<Index> expected;
+      for (Index g = lo; g <= hi; g += st) expected.insert(g);
+      EXPECT_EQ(visited, expected)
+          << "n=" << n << " p=" << p << " st=" << st << " lo=" << lo;
+    }
+  }
+}
+
+TEST_P(DistAlgebra, SetBoundNegativeStrideMatchesAscendingSet) {
+  const auto [n, p, kind] = GetParam();
+  Dad dad = make1d(n, p, kind);
+  std::multiset<Index> down, up;
+  for (int c = 0; c < p; ++c) {
+    const LocalRange d = rts::set_bound(dad, 0, c, n - 1, 0, -2);
+    if (!d.empty)
+      for (Index l = d.lb; l <= d.ub; l += d.st)
+        down.insert(dad.global_of_local(0, l, c));
+    const LocalRange u = rts::set_bound(dad, 0, c, (n - 1) % 2, n - 1, 2);
+    if (!u.empty)
+      for (Index l = u.lb; l <= u.ub; l += u.st)
+        up.insert(dad.global_of_local(0, l, c));
+  }
+  EXPECT_EQ(down, up);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DistAlgebra,
+    ::testing::Values(DistCase{1, 1, DistKind::kBlock},
+                      DistCase{16, 4, DistKind::kBlock},
+                      DistCase{17, 4, DistKind::kBlock},
+                      DistCase{100, 7, DistKind::kBlock},
+                      DistCase{1023, 16, DistKind::kBlock},
+                      DistCase{16, 4, DistKind::kCyclic},
+                      DistCase{17, 4, DistKind::kCyclic},
+                      DistCase{100, 7, DistKind::kCyclic},
+                      DistCase{1023, 16, DistKind::kCyclic},
+                      DistCase{5, 8, DistKind::kBlock},
+                      DistCase{5, 8, DistKind::kCyclic}));
+
+TEST(DadAlignment, OffsetAlignmentShiftsOwnership) {
+  // ALIGN A(I) WITH T(I+2) on T(12) BLOCK over 3 procs: chunk 4.
+  Dad dad = make1d(10, 3, DistKind::kBlock, 1, 2, 12);
+  // Element g has template cell g+2.
+  EXPECT_EQ(dad.owner_coord(0, 0), 0);  // t=2
+  EXPECT_EQ(dad.owner_coord(0, 1), 0);  // t=3
+  EXPECT_EQ(dad.owner_coord(0, 2), 1);  // t=4
+  EXPECT_EQ(dad.owner_coord(0, 9), 2);  // t=11
+  // local_of_global/global_of_local stay inverse.
+  for (Index g = 0; g < 10; ++g) {
+    const int c = dad.owner_coord(0, g);
+    EXPECT_EQ(dad.global_of_local(0, dad.local_of_global(0, g), c), g);
+  }
+}
+
+TEST(DadAlignment, StridedAlignmentSpreadsElements) {
+  // ALIGN A(I) WITH T(2*I): T(20) BLOCK over 4 procs, chunk 5.
+  Dad dad = make1d(10, 4, DistKind::kBlock, 2, 0, 20);
+  for (Index g = 0; g < 10; ++g) {
+    const int c = dad.owner_coord(0, g);
+    EXPECT_EQ(c, static_cast<int>((2 * g) / 5));
+    EXPECT_EQ(dad.global_of_local(0, dad.local_of_global(0, g), c), g);
+  }
+  // Ownership counts sum to the array size.
+  Index total = 0;
+  for (int c = 0; c < 4; ++c) total += dad.local_extent(0, c);
+  EXPECT_EQ(total, 10);
+}
+
+TEST(DadAlignment, CyclicOffsetRoundRobins) {
+  Dad dad = make1d(10, 4, DistKind::kCyclic, 1, 1, 16);
+  for (Index g = 0; g < 10; ++g)
+    EXPECT_EQ(dad.owner_coord(0, g), static_cast<int>((g + 1) % 4));
+}
+
+TEST(Dad, CyclicRejectsNonUnitAlignmentStride) {
+  DimMap m;
+  m.kind = DistKind::kCyclic;
+  m.grid_dim = 0;
+  m.template_extent = 20;
+  m.align_stride = 2;
+  EXPECT_THROW(Dad({10}, {m}, comm::ProcGrid({4})), Error);
+}
+
+TEST(Dad, ReplicatedGridDimsComputedAutomatically) {
+  DimMap m;
+  m.kind = DistKind::kBlock;
+  m.grid_dim = 1;
+  m.template_extent = 8;
+  Dad dad({8}, {m}, comm::ProcGrid({2, 4}));
+  ASSERT_EQ(dad.replicated_grid_dims().size(), 1u);
+  EXPECT_EQ(dad.replicated_grid_dims()[0], 0);
+  EXPECT_FALSE(dad.fully_replicated());
+  Dad rep = Dad::replicated({8}, comm::ProcGrid({2, 4}));
+  EXPECT_TRUE(rep.fully_replicated());
+  EXPECT_EQ(rep.replicated_grid_dims().size(), 2u);
+}
+
+TEST(Dad, SignatureDistinguishesMappings) {
+  Dad a = make1d(16, 4, DistKind::kBlock);
+  Dad b = make1d(16, 4, DistKind::kCyclic);
+  Dad c = make1d(16, 4, DistKind::kBlock, 1, 2, 18);
+  EXPECT_NE(a.signature(), b.signature());
+  EXPECT_NE(a.signature(), c.signature());
+  EXPECT_TRUE(a.same_mapping(make1d(16, 4, DistKind::kBlock)));
+  EXPECT_FALSE(a.same_mapping(b));
+}
+
+TEST(SetBound, MasksProcessorsOutsideFixedPosition) {
+  Dad dad = make1d(16, 4, DistKind::kBlock);
+  // Single-point range 9:9 — only the owner (coord 2) is active.
+  for (int c = 0; c < 4; ++c) {
+    const LocalRange r = rts::set_bound(dad, 0, c, 9, 9, 1);
+    EXPECT_EQ(!r.empty, c == 2);
+  }
+}
+
+TEST(SetBound, EmptyGlobalRange) {
+  Dad dad = make1d(16, 4, DistKind::kBlock);
+  for (int c = 0; c < 4; ++c)
+    EXPECT_TRUE(rts::set_bound(dad, 0, c, 5, 4, 1).empty);
+}
+
+}  // namespace
+}  // namespace f90d

@@ -1,0 +1,241 @@
+// Front end: lexer, parser, semantic analysis, directive handling, and the
+// affine subscript analysis the detector relies on.
+#include <gtest/gtest.h>
+
+#include "compile/affine.hpp"
+#include "frontend/parser.hpp"
+#include "frontend/sema.hpp"
+
+namespace f90d {
+namespace {
+
+using namespace frontend;
+
+TEST(Lexer, TokensAndCaseFolding) {
+  auto toks = lex("ForAll (i = 1:n) a(i) = b(i) ** 2 .AND. .true.\n");
+  ASSERT_GE(toks.size(), 5u);
+  EXPECT_EQ(toks[0].kind, TokKind::kIdent);
+  EXPECT_EQ(toks[0].text, "FORALL");
+  bool saw_pow = false, saw_and = false, saw_true = false;
+  for (const Token& t : toks) {
+    saw_pow = saw_pow || t.kind == TokKind::kPow;
+    saw_and = saw_and || t.kind == TokKind::kAnd;
+    saw_true = saw_true || t.kind == TokKind::kTrue;
+  }
+  EXPECT_TRUE(saw_pow);
+  EXPECT_TRUE(saw_and);
+  EXPECT_TRUE(saw_true);
+}
+
+TEST(Lexer, NumbersAndContinuation) {
+  auto toks = lex("x = 1.5e-3 + &\n    2\n");
+  double real = 0;
+  long long integer = 0;
+  for (const Token& t : toks) {
+    if (t.kind == TokKind::kRealLit) real = t.real_value;
+    if (t.kind == TokKind::kIntLit) integer = t.int_value;
+  }
+  EXPECT_DOUBLE_EQ(real, 1.5e-3);
+  EXPECT_EQ(integer, 2);
+  // The continuation joins both lines into one statement: exactly one EOL
+  // before EOF.
+  int eols = 0;
+  for (const Token& t : toks) eols += t.kind == TokKind::kEol ? 1 : 0;
+  EXPECT_EQ(eols, 1);
+}
+
+TEST(Lexer, DirectiveSentinels) {
+  auto toks = lex("C$ ALIGN A(I) WITH T(I)\n!HPF$ DISTRIBUTE T(BLOCK)\n");
+  int directives = 0;
+  for (const Token& t : toks) directives += t.kind == TokKind::kDirective;
+  EXPECT_EQ(directives, 2);
+}
+
+TEST(Lexer, DotOperatorVsRealLiteral) {
+  auto toks = lex("x = 1. + a .EQ. 2.5\n");
+  int reals = 0, eqs = 0;
+  for (const Token& t : toks) {
+    reals += t.kind == TokKind::kRealLit;
+    eqs += t.kind == TokKind::kEq;
+  }
+  EXPECT_EQ(reals, 2);
+  EXPECT_EQ(eqs, 1);
+}
+
+TEST(Parser, ExpressionPrecedence) {
+  auto e = parse_expression("1 + 2 * 3 ** 2");
+  // 1 + (2 * (3 ** 2))
+  ASSERT_EQ(e->kind, ast::ExprKind::kBinOp);
+  EXPECT_EQ(e->bin_op, ast::BinOpKind::kAdd);
+  const ast::Expr& mul = *e->args[1];
+  EXPECT_EQ(mul.bin_op, ast::BinOpKind::kMul);
+  EXPECT_EQ(mul.args[1]->bin_op, ast::BinOpKind::kPow);
+}
+
+TEST(Parser, SectionTriplets) {
+  auto e = parse_expression("A(2:N:3, K, :)");
+  ASSERT_EQ(e->kind, ast::ExprKind::kArrayRef);
+  ASSERT_EQ(e->args.size(), 3u);
+  EXPECT_EQ(e->args[0]->kind, ast::ExprKind::kTriplet);
+  EXPECT_EQ(e->args[1]->kind, ast::ExprKind::kVarRef);
+  EXPECT_EQ(e->args[2]->kind, ast::ExprKind::kTriplet);
+  EXPECT_EQ(e->args[2]->args[0], nullptr);  // bare ':'
+}
+
+const char* kSmallProgram = R"(PROGRAM T1
+      INTEGER N
+      PARAMETER (N = 8)
+      REAL A(N, N)
+      REAL V(0:N)
+C$ PROCESSORS P(2, 2)
+C$ TEMPLATE T(N, N)
+C$ DISTRIBUTE T(BLOCK, CYCLIC)
+C$ ALIGN A(I, J) WITH T(J, I+1)
+      FORALL (I = 1:N, J = 1:N, I .NE. J) A(I, J) = 0.0
+      WHERE (A .GT. 1.0)
+        A = A / 2.0
+      END WHERE
+      DO K = 1, N
+        IF (K .GT. 2) THEN
+          V(K) = SUM(A(1:N, K))
+        END IF
+      END DO
+      PRINT *, V(0)
+      END PROGRAM T1
+)";
+
+TEST(Parser, FullProgramStructure) {
+  ast::Program p = parse_program(kSmallProgram);
+  EXPECT_EQ(p.name, "T1");
+  EXPECT_EQ(p.decls.size(), 3u);  // N, A, V
+  ASSERT_EQ(p.processors.size(), 1u);
+  ASSERT_EQ(p.templates.size(), 1u);
+  ASSERT_EQ(p.aligns.size(), 1u);
+  ASSERT_EQ(p.distributes.size(), 1u);
+  EXPECT_EQ(p.body.size(), 4u);  // forall, where, do, print
+  EXPECT_EQ(p.body[0]->kind, ast::StmtKind::kForall);
+  EXPECT_NE(p.body[0]->mask, nullptr);  // the I /= J mask
+  EXPECT_EQ(p.body[1]->kind, ast::StmtKind::kWhere);
+  EXPECT_EQ(p.body[2]->kind, ast::StmtKind::kDo);
+}
+
+TEST(Parser, AlignDirectiveAffineForms) {
+  ast::Program p = parse_program(kSmallProgram);
+  const ast::AlignDirective& a = p.aligns[0];
+  EXPECT_EQ(a.array, "A");
+  EXPECT_EQ(a.templ, "T");
+  ASSERT_EQ(a.subs.size(), 2u);
+  EXPECT_EQ(a.subs[0].dummy, 1);  // J
+  EXPECT_EQ(a.subs[0].offset, 0);
+  EXPECT_EQ(a.subs[1].dummy, 0);  // I
+  EXPECT_EQ(a.subs[1].offset, 1);
+}
+
+TEST(Parser, Errors) {
+  EXPECT_THROW(parse_program("PROGRAM X\n  A( = 3\nEND"), ParseError);
+  EXPECT_THROW(parse_program("PROGRAM X\n  FORALL A = 3\nEND"), ParseError);
+  EXPECT_THROW(parse_program("REAL A(10)\n"), ParseError);  // no PROGRAM
+}
+
+TEST(Sema, SymbolsAndParameterFolding) {
+  SemaResult r = analyze(parse_program(kSmallProgram));
+  const Symbol& n = r.symbols.at("N");
+  EXPECT_TRUE(n.is_parameter);
+  EXPECT_EQ(n.int_value, 8);
+  const Symbol& a = r.symbols.at("A");
+  ASSERT_EQ(a.rank(), 2);
+  EXPECT_EQ(a.extent[0], 8);
+  const Symbol& v = r.symbols.at("V");
+  EXPECT_EQ(v.lower[0], 0);   // declared V(0:N)
+  EXPECT_EQ(v.extent[0], 9);
+  EXPECT_NE(a.align, nullptr);
+  ASSERT_TRUE(r.processors.has_value());
+  EXPECT_EQ(r.processors->extents, (std::vector<int>{2, 2}));
+  // DO/FORALL indices implicitly integer.
+  EXPECT_EQ(r.symbols.at("K").type, ast::BaseType::kInteger);
+  EXPECT_TRUE(r.symbols.at("I").is_index);
+}
+
+TEST(Sema, Errors) {
+  EXPECT_THROW(
+      analyze(parse_program("PROGRAM X\n REAL A(4)\n B(1) = 2\n END")),
+      SemaError);
+  EXPECT_THROW(
+      analyze(parse_program("PROGRAM X\n REAL A(4)\n A(1,2) = 0\n END")),
+      SemaError);  // rank mismatch
+  EXPECT_THROW(analyze(parse_program(
+                   "PROGRAM X\n REAL A(4)\nC$ ALIGN A(I) WITH T(I)\n END")),
+               SemaError);  // unknown template
+}
+
+// --- affine analysis ----------------------------------------------------------
+
+compile::AffineSub sub_of(const char* text) {
+  std::map<std::string, Symbol> syms;
+  Symbol s;
+  s.type = ast::BaseType::kInteger;
+  syms["S"] = s;
+  Symbol n;
+  n.type = ast::BaseType::kInteger;
+  n.is_parameter = true;
+  n.int_value = 10;
+  syms["N"] = n;
+  Symbol v;
+  v.type = ast::BaseType::kInteger;
+  v.lower = {1};
+  v.extent = {64};
+  syms["V"] = v;
+  auto e = parse_expression(text);
+  return compile::analyze_subscript(*e, {"I", "J"}, syms);
+}
+
+TEST(Affine, Classification) {
+  using K = compile::AffineSub::Kind;
+  auto a = sub_of("3*I - 2");
+  EXPECT_EQ(a.kind, K::kAffine);
+  EXPECT_EQ(a.coef("I"), 3);
+  EXPECT_EQ(a.cst, -2);
+  EXPECT_FALSE(a.has_runtime());
+
+  auto b = sub_of("I + J");
+  EXPECT_EQ(b.coefs.size(), 2u);
+
+  auto c = sub_of("I + S");  // runtime scalar offset
+  EXPECT_EQ(c.kind, K::kAffine);
+  EXPECT_TRUE(c.has_runtime());
+  EXPECT_EQ(c.coef("I"), 1);
+
+  auto d = sub_of("N - 1");  // parameter folds
+  EXPECT_TRUE(d.is_const());
+  EXPECT_EQ(d.cst, 9);
+
+  auto e = sub_of("V(I)");
+  EXPECT_EQ(e.kind, K::kVector);
+  EXPECT_EQ(e.vec_array, "V");
+  EXPECT_EQ(e.coef("I"), 1);
+
+  auto f = sub_of("I * J");  // product of indices: not affine
+  EXPECT_EQ(f.kind, K::kUnknown);
+
+  auto g = sub_of("MOD(I, 2)");
+  EXPECT_EQ(g.kind, K::kUnknown);
+
+  auto h = sub_of("I + J*S*2 + S");  // the FFT butterfly shape
+  EXPECT_EQ(h.kind, K::kUnknown);   // J*S is var*runtime
+
+  auto i = sub_of("2*(I - 1) + 1");
+  EXPECT_EQ(i.coef("I"), 2);
+  EXPECT_EQ(i.cst, -1);
+}
+
+TEST(Affine, RoundTripThroughExpr) {
+  auto a = sub_of("2*I + 5");
+  auto e = compile::affine_to_expr(a);
+  auto b = compile::analyze_subscript(
+      *e, {"I", "J"}, std::map<std::string, Symbol>{});
+  EXPECT_EQ(b.coef("I"), 2);
+  EXPECT_EQ(b.cst, 5);
+}
+
+}  // namespace
+}  // namespace f90d

@@ -1,0 +1,236 @@
+// The simulated machine (virtual time, mailbox matching, topologies) and
+// the structured collective library (transfer, multicast, shifts,
+// concatenation, reductions) — paper §5.1 and the S11 substrate.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "comm/grid_comm.hpp"
+#include "machine/topology.hpp"
+
+namespace f90d {
+namespace {
+
+using machine::CostModel;
+using machine::Proc;
+using machine::SimMachine;
+
+TEST(Topology, HypercubeHopsAreHammingDistance) {
+  machine::Hypercube h;
+  EXPECT_EQ(h.hops(0, 0), 0);
+  EXPECT_EQ(h.hops(0, 1), 1);
+  EXPECT_EQ(h.hops(0, 3), 2);
+  EXPECT_EQ(h.hops(5, 10), 4);  // 0101 vs 1010
+  machine::Mesh2D mesh(4);
+  EXPECT_EQ(mesh.hops(0, 5), 2);  // (0,0)->(1,1)
+  EXPECT_EQ(mesh.hops(3, 12), 6);
+}
+
+TEST(ProcGrid, GrayCodeEmbeddingIsBijective) {
+  comm::ProcGrid grid({4, 4});
+  std::vector<int> seen(16, 0);
+  for (int l = 0; l < 16; ++l) {
+    const int phys = grid.phys_of(l);
+    ASSERT_GE(phys, 0);
+    ASSERT_LT(phys, 16);
+    seen[static_cast<size_t>(phys)] += 1;
+    EXPECT_EQ(grid.logical_of_phys(phys), l);
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(ProcGrid, GrayCodeNeighborsAreOneHopApart) {
+  comm::ProcGrid grid({16});
+  machine::Hypercube h;
+  for (int l = 0; l + 1 < 16; ++l)
+    EXPECT_EQ(h.hops(grid.phys_of(l), grid.phys_of(l + 1)), 1)
+        << "logical neighbours " << l << "," << l + 1;
+}
+
+TEST(ProcGrid, CoordsRoundTrip) {
+  comm::ProcGrid grid({2, 3, 4});
+  for (int l = 0; l < grid.size(); ++l)
+    EXPECT_EQ(grid.linear_of(grid.coords_of(l)), l);
+}
+
+TEST(SimMachine, VirtualTimeFollowsHockneyModel) {
+  CostModel cm = CostModel::ipsc860();
+  SimMachine m(2, cm, machine::make_hypercube());
+  auto r = m.run([&](Proc& p) {
+    if (p.rank() == 0) {
+      const double payload[4] = {1, 2, 3, 4};
+      p.send_bytes(1, 7, payload, sizeof(payload));
+    } else {
+      auto v = p.recv_vec<double>(0, 7);
+      ASSERT_EQ(v.size(), 4u);
+      EXPECT_DOUBLE_EQ(v[2], 3.0);
+    }
+  });
+  const double expect = cm.msg_latency + 32 * cm.time_per_byte;
+  EXPECT_NEAR(r.proc_times[0], expect, 1e-12);  // sender injection
+  EXPECT_NEAR(r.proc_times[1], expect, 1e-12);  // one hop: no extra delay
+  EXPECT_EQ(r.total_messages(), 1u);
+  EXPECT_EQ(r.total_bytes(), 32u);
+}
+
+TEST(SimMachine, MultiHopAddsPerHopCost) {
+  CostModel cm = CostModel::ipsc860();
+  SimMachine m(8, cm, machine::make_hypercube());
+  auto r = m.run([&](Proc& p) {
+    if (p.rank() == 0) p.send_value<int>(7, 1, 42);   // 3 hops on a cube
+    if (p.rank() == 7) EXPECT_EQ((p.recv_value<int>(0, 1)), 42);
+  });
+  const double inject = cm.msg_latency + 4 * cm.time_per_byte;
+  EXPECT_NEAR(r.proc_times[7], inject + 2 * cm.time_per_hop, 1e-12);
+}
+
+TEST(SimMachine, MessageOrderPreservedPerSourceAndTag) {
+  SimMachine m(2, CostModel::ideal(), machine::make_crossbar());
+  m.run([&](Proc& p) {
+    if (p.rank() == 0) {
+      for (int k = 0; k < 10; ++k) p.send_value<int>(1, 5, k);
+    } else {
+      for (int k = 0; k < 10; ++k)
+        EXPECT_EQ((p.recv_value<int>(0, 5)), k);
+    }
+  });
+}
+
+TEST(SimMachine, ExceptionsInNodeProgramsPropagate) {
+  SimMachine m(2, CostModel::ideal(), machine::make_crossbar());
+  EXPECT_THROW(m.run([&](Proc& p) {
+                 if (p.rank() == 1) throw RtsError("boom");
+                 // rank 0 does not block on anything.
+               }),
+               RtsError);
+}
+
+// --- collectives -------------------------------------------------------------
+
+class CommProcs : public ::testing::TestWithParam<int> {};
+
+TEST_P(CommProcs, BcastAllDeliversFromEveryRoot) {
+  const int p = GetParam();
+  SimMachine m(p, CostModel::ipsc860(), machine::make_hypercube());
+  m.run([&](Proc& proc) {
+    comm::GridComm gc(proc, comm::ProcGrid({p}));
+    for (int root = 0; root < p; ++root) {
+      std::vector<double> data;
+      if (gc.my_logical() == root) data = {1.5 * root, 2.5};
+      gc.bcast_all(root, data);
+      ASSERT_EQ(data.size(), 2u);
+      EXPECT_DOUBLE_EQ(data[0], 1.5 * root);
+    }
+  });
+}
+
+TEST_P(CommProcs, AllreduceSums) {
+  const int p = GetParam();
+  SimMachine m(p, CostModel::ipsc860(), machine::make_hypercube());
+  m.run([&](Proc& proc) {
+    comm::GridComm gc(proc, comm::ProcGrid({p}));
+    std::vector<long long> v{gc.my_logical() + 1LL, 1LL};
+    gc.allreduce(v, [](long long a, long long b) { return a + b; });
+    EXPECT_EQ(v[0], 1LL * p * (p + 1) / 2);
+    EXPECT_EQ(v[1], p);
+  });
+}
+
+TEST_P(CommProcs, ConcatAllOrdersByLogicalRank) {
+  const int p = GetParam();
+  SimMachine m(p, CostModel::ipsc860(), machine::make_hypercube());
+  m.run([&](Proc& proc) {
+    comm::GridComm gc(proc, comm::ProcGrid({p}));
+    std::vector<int> mine{gc.my_logical() * 10, gc.my_logical() * 10 + 1};
+    auto all = gc.concat_all<int>(mine);
+    ASSERT_EQ(all.size(), static_cast<size_t>(2 * p));
+    for (int q = 0; q < p; ++q) {
+      EXPECT_EQ(all[static_cast<size_t>(2 * q)], q * 10);
+      EXPECT_EQ(all[static_cast<size_t>(2 * q + 1)], q * 10 + 1);
+    }
+  });
+}
+
+TEST_P(CommProcs, ConcatTreeCollectsEverything) {
+  const int p = GetParam();
+  SimMachine m(p, CostModel::ipsc860(), machine::make_hypercube());
+  m.run([&](Proc& proc) {
+    comm::GridComm gc(proc, comm::ProcGrid({p}));
+    std::vector<int> data{gc.my_logical()};
+    gc.concat_tree(data);
+    ASSERT_EQ(data.size(), static_cast<size_t>(p));
+    long long sum = std::accumulate(data.begin(), data.end(), 0LL);
+    EXPECT_EQ(sum, 1LL * p * (p - 1) / 2);
+  });
+}
+
+TEST_P(CommProcs, ShiftExchangeCircularAndOpen) {
+  const int p = GetParam();
+  SimMachine m(p, CostModel::ipsc860(), machine::make_hypercube());
+  m.run([&](Proc& proc) {
+    comm::GridComm gc(proc, comm::ProcGrid({p}));
+    std::vector<int> mine{gc.my_logical()};
+    auto from_left = gc.shift_exchange<int>(0, +1, mine, /*circular=*/true);
+    ASSERT_EQ(from_left.size(), 1u);
+    EXPECT_EQ(from_left[0], (gc.my_logical() - 1 + p) % p);
+    auto open = gc.shift_exchange<int>(0, +1, mine, /*circular=*/false);
+    if (gc.my_logical() == 0) {
+      EXPECT_TRUE(open.empty());
+    } else {
+      ASSERT_EQ(open.size(), 1u);
+      EXPECT_EQ(open[0], gc.my_logical() - 1);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, CommProcs, ::testing::Values(1, 2, 3, 4, 7, 8, 16));
+
+TEST(GridComm, MulticastAlongOneDimensionOnly) {
+  SimMachine m(8, CostModel::ipsc860(), machine::make_hypercube());
+  m.run([&](Proc& proc) {
+    comm::GridComm gc(proc, comm::ProcGrid({2, 4}));
+    // Broadcast along dim 1 from column 2: payload identifies the row.
+    std::vector<int> data;
+    if (gc.coord(1) == 2) data = {gc.coord(0) * 100};
+    gc.multicast(1, 2, data);
+    ASSERT_EQ(data.size(), 1u);
+    EXPECT_EQ(data[0], gc.coord(0) * 100);  // rows stay separate
+  });
+}
+
+TEST(GridComm, TransferMovesLineToLine) {
+  SimMachine m(8, CostModel::ipsc860(), machine::make_hypercube());
+  m.run([&](Proc& proc) {
+    comm::GridComm gc(proc, comm::ProcGrid({2, 4}));
+    std::vector<int> payload{gc.coord(0) + 7};
+    std::vector<int> out;
+    const bool got = gc.transfer<int>(1, /*src=*/3, /*dest=*/1, payload, out);
+    EXPECT_EQ(got, gc.coord(1) == 1);
+    if (got) {
+      ASSERT_EQ(out.size(), 1u);
+      EXPECT_EQ(out[0], gc.coord(0) + 7);  // from the same row
+    }
+  });
+}
+
+TEST(GridComm, BroadcastIsLogPDepth) {
+  // Virtual-time check of the tree: time grows ~log2(P), not ~P.
+  auto bcast_time = [](int p) {
+    SimMachine m(p, CostModel::ipsc860(), machine::make_hypercube());
+    auto r = m.run([&](Proc& proc) {
+      comm::GridComm gc(proc, comm::ProcGrid({p}));
+      std::vector<double> data;
+      if (gc.my_logical() == 0) data.assign(1024, 1.0);
+      gc.bcast_all(0, data);
+    });
+    return r.exec_time;
+  };
+  const double t4 = bcast_time(4);
+  const double t16 = bcast_time(16);
+  // log2(16)/log2(4) = 2: allow generous slack but reject linear growth (4x).
+  EXPECT_LT(t16, t4 * 3.0);
+  EXPECT_GT(t16, t4 * 1.2);
+}
+
+}  // namespace
+}  // namespace f90d

@@ -1,0 +1,113 @@
+// Dimensional reductions (SUM(A, DIM=)) and the allreduce_dim collective,
+// plus portability across the third cost model (workstation-net, the
+// Express networks-of-workstations target of §8.1).
+#include <gtest/gtest.h>
+
+#include "comm/grid_comm.hpp"
+#include "machine/topology.hpp"
+#include "rts/dist_array.hpp"
+#include "rts/reductions.hpp"
+
+namespace f90d {
+namespace {
+
+using machine::CostModel;
+using machine::SimMachine;
+using rts::Dad;
+using rts::DimMap;
+using rts::DistArray;
+using rts::DistKind;
+using rts::Index;
+
+Dad block2d(Index r, Index c, const comm::ProcGrid& g) {
+  DimMap m0;
+  m0.kind = DistKind::kBlock;
+  m0.grid_dim = 0;
+  m0.template_extent = r;
+  DimMap m1 = m0;
+  m1.grid_dim = 1;
+  m1.template_extent = c;
+  return Dad({r, c}, {m0, m1}, g);
+}
+
+class ReduceDimGrid
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ReduceDimGrid, SumAlongEitherDimensionMatchesOracle) {
+  const auto [p, q, dim] = GetParam();
+  SimMachine m(p * q, CostModel::ideal(), machine::make_hypercube());
+  const Index rows = 12, cols = 10;
+  m.run([&, p2 = p, q2 = q, d = dim](machine::Proc& proc) {
+    comm::GridComm gc(proc, comm::ProcGrid({p2, q2}));
+    DistArray<double> a(block2d(rows, cols, gc.grid()), gc);
+    a.fill_global([&](std::span<const Index> g) {
+      return static_cast<double>(g[0] * 100 + g[1]);
+    });
+    DistArray<double> r = rts::reduce_dim(
+        gc, a, d, 0.0, [](double x, double y) { return x + y; });
+    auto full = r.gather_global(gc);
+    const Index out_n = d == 0 ? cols : rows;
+    ASSERT_EQ(full.size(), static_cast<size_t>(out_n));
+    for (Index k = 0; k < out_n; ++k) {
+      double expect = 0;
+      if (d == 0) {
+        for (Index i = 0; i < rows; ++i) expect += i * 100 + k;
+      } else {
+        for (Index j = 0; j < cols; ++j) expect += k * 100 + j;
+      }
+      EXPECT_DOUBLE_EQ(full[static_cast<size_t>(k)], expect)
+          << "dim=" << d << " k=" << k;
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, ReduceDimGrid,
+    ::testing::Values(std::make_tuple(1, 1, 0), std::make_tuple(2, 2, 0),
+                      std::make_tuple(2, 2, 1), std::make_tuple(4, 2, 0),
+                      std::make_tuple(4, 2, 1), std::make_tuple(2, 4, 1)));
+
+TEST(AllreduceDim, CombinesWithinGridLinesOnly) {
+  SimMachine m(8, CostModel::ideal(), machine::make_hypercube());
+  m.run([&](machine::Proc& proc) {
+    comm::GridComm gc(proc, comm::ProcGrid({2, 4}));
+    // Sum along dim 1: each row line combines its 4 values.
+    std::vector<long long> v{gc.coord(0) * 1000LL + gc.coord(1)};
+    gc.allreduce_dim(1, v, [](long long a, long long b) { return a + b; });
+    EXPECT_EQ(v[0], gc.coord(0) * 4000LL + 0 + 1 + 2 + 3);
+  });
+}
+
+TEST(CostModels, WorkstationNetHasHighLatencyLowHopCost) {
+  const CostModel& ws = CostModel::workstation_net();
+  const CostModel& cube = CostModel::ipsc860();
+  EXPECT_GT(ws.msg_latency, cube.msg_latency * 5);
+  EXPECT_EQ(ws.time_per_hop, 0.0);  // crossbar-style LAN
+  // A latency-bound collective is slower on the LAN than on the cube.
+  auto bcast_time = [](const CostModel& cm, std::unique_ptr<machine::Topology> t) {
+    SimMachine m(8, cm, std::move(t));
+    auto r = m.run([&](machine::Proc& proc) {
+      comm::GridComm gc(proc, comm::ProcGrid({8}));
+      std::vector<double> data;
+      if (gc.my_logical() == 0) data.assign(16, 1.0);
+      gc.bcast_all(0, data);
+    });
+    return r.exec_time;
+  };
+  EXPECT_GT(bcast_time(ws, machine::make_crossbar()),
+            bcast_time(cube, machine::make_hypercube()));
+}
+
+TEST(Reductions, ReplicatedArrayContributesOnce) {
+  // A fully replicated array must not be over-counted by the tree.
+  SimMachine m(4, CostModel::ideal(), machine::make_hypercube());
+  m.run([&](machine::Proc& proc) {
+    comm::GridComm gc(proc, comm::ProcGrid({4}));
+    DistArray<double> a(Dad::replicated({10}, gc.grid()), gc);
+    a.fill_global([](std::span<const Index> g) { return g[0] * 1.0; });
+    EXPECT_DOUBLE_EQ(rts::global_sum(gc, a), 45.0);
+  });
+}
+
+}  // namespace
+}  // namespace f90d

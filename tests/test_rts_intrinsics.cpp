@@ -1,0 +1,331 @@
+// Run-time support system: DistArray, remap/redistribution, shifts, and
+// the Table-3 intrinsics, each verified against a sequential oracle on a
+// live simulated machine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comm/grid_comm.hpp"
+#include "machine/topology.hpp"
+#include "rts/dist_array.hpp"
+#include "rts/intrinsics.hpp"
+#include "rts/matmul.hpp"
+#include "rts/reductions.hpp"
+#include "rts/remap.hpp"
+#include "rts/shift_ops.hpp"
+
+namespace f90d {
+namespace {
+
+using machine::CostModel;
+using machine::SimMachine;
+using rts::Dad;
+using rts::DimMap;
+using rts::DistArray;
+using rts::DistKind;
+using rts::Index;
+
+Dad block1d(Index n, const comm::ProcGrid& g, DistKind k = DistKind::kBlock) {
+  DimMap m;
+  m.kind = k;
+  m.grid_dim = 0;
+  m.template_extent = n;
+  return Dad({n}, {m}, g);
+}
+
+Dad block2d(Index r, Index c, const comm::ProcGrid& g, DistKind k0,
+            DistKind k1) {
+  DimMap m0;
+  m0.kind = k0;
+  m0.grid_dim = 0;
+  m0.template_extent = r;
+  DimMap m1;
+  m1.kind = k1;
+  m1.grid_dim = k0 == DistKind::kCollapsed ? 0 : 1;
+  m1.template_extent = c;
+  return Dad({r, c}, {m0, m1}, g);
+}
+
+template <typename F>
+void on_machine(std::vector<int> dims, F&& body) {
+  int p = 1;
+  for (int d : dims) p *= d;
+  SimMachine m(p, CostModel::ideal(), machine::make_hypercube());
+  m.run([&](machine::Proc& proc) {
+    comm::GridComm gc(proc, comm::ProcGrid(dims));
+    body(gc);
+  });
+}
+
+class RtsProcs : public ::testing::TestWithParam<int> {};
+
+TEST_P(RtsProcs, FillGatherRoundTrip) {
+  const int p = GetParam();
+  on_machine({p}, [&](comm::GridComm& gc) {
+    DistArray<double> a(block1d(37, gc.grid()), gc);
+    a.fill_global([](std::span<const Index> g) { return g[0] * 3.0 + 1; });
+    auto full = a.gather_global(gc);
+    ASSERT_EQ(full.size(), 37u);
+    for (Index g = 0; g < 37; ++g)
+      EXPECT_DOUBLE_EQ(full[static_cast<size_t>(g)], g * 3.0 + 1);
+  });
+}
+
+TEST_P(RtsProcs, RedistributeBlockCyclicRoundTrip) {
+  const int p = GetParam();
+  on_machine({p}, [&](comm::GridComm& gc) {
+    DistArray<double> a(block1d(41, gc.grid(), DistKind::kBlock), gc);
+    a.fill_global([](std::span<const Index> g) { return g[0] * 1.0; });
+    auto cyc = rts::redistribute(gc, a, block1d(41, gc.grid(), DistKind::kCyclic));
+    auto back = rts::redistribute(gc, cyc, a.dad());
+    auto full = back.gather_global(gc);
+    for (Index g = 0; g < 41; ++g)
+      EXPECT_DOUBLE_EQ(full[static_cast<size_t>(g)], g * 1.0);
+  });
+}
+
+TEST_P(RtsProcs, CshiftMatchesFortranSemantics) {
+  const int p = GetParam();
+  on_machine({p}, [&](comm::GridComm& gc) {
+    const Index n = 23;
+    DistArray<double> a(block1d(n, gc.grid()), gc);
+    a.fill_global([](std::span<const Index> g) { return g[0] * 1.0; });
+    for (Index sh : {1, 3, -2, 25}) {
+      auto r = rts::cshift(gc, a, 0, sh);
+      auto full = r.gather_global(gc);
+      for (Index i = 0; i < n; ++i)
+        EXPECT_DOUBLE_EQ(full[static_cast<size_t>(i)],
+                         static_cast<double>(((i + sh) % n + n) % n))
+            << "shift " << sh << " at " << i;
+    }
+  });
+}
+
+TEST_P(RtsProcs, EoshiftFillsBoundary) {
+  const int p = GetParam();
+  on_machine({p}, [&](comm::GridComm& gc) {
+    const Index n = 19;
+    DistArray<double> a(block1d(n, gc.grid()), gc);
+    a.fill_global([](std::span<const Index> g) { return g[0] + 1.0; });
+    auto r = rts::eoshift(gc, a, 0, 2, -7.0);
+    auto full = r.gather_global(gc);
+    for (Index i = 0; i < n; ++i) {
+      const double expect = i + 2 < n ? i + 3.0 : -7.0;
+      EXPECT_DOUBLE_EQ(full[static_cast<size_t>(i)], expect);
+    }
+  });
+}
+
+TEST_P(RtsProcs, ReductionsMatchOracle) {
+  const int p = GetParam();
+  on_machine({p}, [&](comm::GridComm& gc) {
+    const Index n = 33;
+    DistArray<double> a(block1d(n, gc.grid()), gc);
+    a.fill_global([](std::span<const Index> g) {
+      return static_cast<double>((g[0] * 29 + 5) % 17);
+    });
+    double sum = 0, mx = -1e300, mn = 1e300;
+    Index mxloc = -1;
+    for (Index i = 0; i < n; ++i) {
+      const double v = static_cast<double>((i * 29 + 5) % 17);
+      sum += v;
+      if (v > mx) {
+        mx = v;
+        mxloc = i;
+      }
+      mn = std::min(mn, v);
+    }
+    EXPECT_DOUBLE_EQ(rts::global_sum(gc, a), sum);
+    EXPECT_DOUBLE_EQ(rts::global_maxval(gc, a), mx);
+    EXPECT_DOUBLE_EQ(rts::global_minval(gc, a), mn);
+    auto ml = rts::global_maxloc(gc, a);
+    EXPECT_DOUBLE_EQ(ml.value, mx);
+    EXPECT_EQ(ml.flat, mxloc);  // first-max tie-break
+    EXPECT_DOUBLE_EQ(rts::dot_product(gc, a, a),
+                     [&] {
+                       double s = 0;
+                       for (Index i = 0; i < n; ++i) {
+                         const double v = static_cast<double>((i * 29 + 5) % 17);
+                         s += v * v;
+                       }
+                       return s;
+                     }());
+  });
+}
+
+TEST_P(RtsProcs, CountAnyAll) {
+  const int p = GetParam();
+  on_machine({p}, [&](comm::GridComm& gc) {
+    const Index n = 29;
+    DistArray<unsigned char> mask(block1d(n, gc.grid()), gc);
+    mask.fill_global([](std::span<const Index> g) {
+      return static_cast<unsigned char>(g[0] % 3 == 0);
+    });
+    EXPECT_EQ(rts::global_count(gc, mask), (n + 2) / 3);
+    EXPECT_TRUE(rts::global_any(gc, mask));
+    EXPECT_FALSE(rts::global_all(gc, mask));
+  });
+}
+
+TEST_P(RtsProcs, PackUnpackRoundTrip) {
+  const int p = GetParam();
+  on_machine({p}, [&](comm::GridComm& gc) {
+    const Index n = 24;
+    DistArray<double> a(block1d(n, gc.grid()), gc);
+    DistArray<unsigned char> mask(block1d(n, gc.grid()), gc);
+    a.fill_global([](std::span<const Index> g) { return g[0] + 0.5; });
+    mask.fill_global([](std::span<const Index> g) {
+      return static_cast<unsigned char>(g[0] % 2 == 1);
+    });
+    const Index cnt = n / 2;
+    auto packed = rts::pack(gc, a, mask, block1d(cnt, gc.grid()));
+    auto pfull = packed.gather_global(gc);
+    for (Index k = 0; k < cnt; ++k)
+      EXPECT_DOUBLE_EQ(pfull[static_cast<size_t>(k)], 2 * k + 1 + 0.5);
+    DistArray<double> field(block1d(n, gc.grid()), gc);
+    field.fill_global([](std::span<const Index>) { return -1.0; });
+    auto un = rts::unpack(gc, packed, mask, field);
+    auto ufull = un.gather_global(gc);
+    for (Index i = 0; i < n; ++i)
+      EXPECT_DOUBLE_EQ(ufull[static_cast<size_t>(i)],
+                       i % 2 == 1 ? i + 0.5 : -1.0);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, RtsProcs, ::testing::Values(1, 2, 4, 8));
+
+TEST(RtsGrid2D, TransposeMatchesOracle) {
+  on_machine({2, 2}, [&](comm::GridComm& gc) {
+    const Index r = 12, c = 8;
+    DistArray<double> a(
+        block2d(r, c, gc.grid(), DistKind::kBlock, DistKind::kBlock), gc);
+    a.fill_global([&](std::span<const Index> g) {
+      return static_cast<double>(g[0] * c + g[1]);
+    });
+    auto t = rts::transpose(gc, a);
+    auto full = t.gather_global(gc);
+    for (Index i = 0; i < c; ++i)
+      for (Index j = 0; j < r; ++j)
+        EXPECT_DOUBLE_EQ(full[static_cast<size_t>(i * r + j)],
+                         static_cast<double>(j * c + i));
+  });
+}
+
+TEST(RtsGrid2D, SpreadReplicatesAlongNewDim) {
+  on_machine({4}, [&](comm::GridComm& gc) {
+    DistArray<double> a(block1d(8, gc.grid()), gc);
+    a.fill_global([](std::span<const Index> g) { return g[0] * 2.0; });
+    auto s = rts::spread(gc, a, 0, 3);  // result (3, 8)
+    auto full = s.gather_global(gc);
+    ASSERT_EQ(full.size(), 24u);
+    for (Index k = 0; k < 3; ++k)
+      for (Index i = 0; i < 8; ++i)
+        EXPECT_DOUBLE_EQ(full[static_cast<size_t>(k * 8 + i)], i * 2.0);
+  });
+}
+
+TEST(RtsGrid2D, ReshapeColumnMajorOrder) {
+  on_machine({4}, [&](comm::GridComm& gc) {
+    // RESHAPE((6), (2,3)) in Fortran order: element (i,j) gets src(i + 2*j).
+    DistArray<double> a(block1d(6, gc.grid()), gc);
+    a.fill_global([](std::span<const Index> g) { return g[0] * 1.0; });
+    DimMap m0;
+    m0.kind = DistKind::kBlock;
+    m0.grid_dim = 0;
+    m0.template_extent = 2;
+    DimMap m1;
+    m1.kind = DistKind::kCollapsed;
+    m1.template_extent = 3;
+    Dad dest({2, 3}, {m0, m1}, gc.grid());
+    auto r = rts::reshape(gc, a, dest);
+    auto full = r.gather_global(gc);  // row-major (2,3)
+    for (Index i = 0; i < 2; ++i)
+      for (Index j = 0; j < 3; ++j)
+        EXPECT_DOUBLE_EQ(full[static_cast<size_t>(i * 3 + j)],
+                         static_cast<double>(i + 2 * j));
+  });
+}
+
+TEST(RtsGrid2D, MatmulFoxMatchesOracle) {
+  on_machine({2, 2}, [&](comm::GridComm& gc) {
+    const Index n = 8;
+    Dad dad = block2d(n, n, gc.grid(), DistKind::kBlock, DistKind::kBlock);
+    DistArray<double> a(dad, gc), b(dad, gc);
+    a.fill_global([&](std::span<const Index> g) {
+      return static_cast<double>((g[0] * 3 + g[1]) % 5);
+    });
+    b.fill_global([&](std::span<const Index> g) {
+      return static_cast<double>((g[0] + 2 * g[1]) % 7);
+    });
+    ASSERT_TRUE(rts::fox_applicable(a, b));
+    auto c = rts::matmul_dist(gc, a, b);
+    auto full = c.gather_global(gc);
+    for (Index i = 0; i < n; ++i)
+      for (Index j = 0; j < n; ++j) {
+        double s = 0;
+        for (Index k = 0; k < n; ++k)
+          s += static_cast<double>((i * 3 + k) % 5) *
+               static_cast<double>((k + 2 * j) % 7);
+        EXPECT_DOUBLE_EQ(full[static_cast<size_t>(i * n + j)], s);
+      }
+  });
+}
+
+TEST(RtsGrid2D, MatvecMatchesOracle) {
+  on_machine({2, 2}, [&](comm::GridComm& gc) {
+    const Index n = 10;
+    Dad dad = block2d(n, n, gc.grid(), DistKind::kBlock, DistKind::kBlock);
+    DistArray<double> a(dad, gc);
+    DistArray<double> x(block1d(n, gc.grid()), gc);
+    a.fill_global([&](std::span<const Index> g) {
+      return static_cast<double>(g[0] + g[1]);
+    });
+    x.fill_global([](std::span<const Index> g) { return g[0] * 1.0 + 1; });
+    auto y = rts::matvec_dist(gc, a, x);
+    auto full = y.gather_global(gc);
+    for (Index i = 0; i < n; ++i) {
+      double s = 0;
+      for (Index k = 0; k < n; ++k) s += (i + k) * (k + 1.0);
+      EXPECT_DOUBLE_EQ(full[static_cast<size_t>(i)], s);
+    }
+  });
+}
+
+TEST(ShiftOps, OverlapShiftFillsGhostCells) {
+  on_machine({4}, [&](comm::GridComm& gc) {
+    const Index n = 16;
+    Dad dad = block1d(n, gc.grid());
+    dad.dim(0).overlap_lo = 1;
+    dad.dim(0).overlap_hi = 1;
+    DistArray<double> a(dad, gc);
+    a.fill_global([](std::span<const Index> g) { return g[0] * 10.0; });
+    rts::overlap_shift(gc, a, 0, +1);  // ghost-hi <- next block's first
+    rts::overlap_shift(gc, a, 0, -1);  // ghost-lo <- prev block's last
+    // Interior elements can now resolve A(i+1) and A(i-1) locally.
+    for (Index g = 1; g + 1 < n; ++g) {
+      std::vector<Index> gi{g};
+      if (!a.owns_global(gi)) continue;
+      std::vector<Index> up{g + 1}, dn{g - 1};
+      EXPECT_DOUBLE_EQ(a.at_global_ghost(up), (g + 1) * 10.0);
+      EXPECT_DOUBLE_EQ(a.at_global_ghost(dn), (g - 1) * 10.0);
+    }
+  });
+}
+
+TEST(ShiftOps, TemporaryShiftArbitraryAmount) {
+  on_machine({4}, [&](comm::GridComm& gc) {
+    const Index n = 16;
+    DistArray<double> a(block1d(n, gc.grid()), gc);
+    a.fill_global([](std::span<const Index> g) { return g[0] * 1.0; });
+    // Shift by more than a whole block: elements hop multiple processors.
+    auto t = rts::temporary_shift(gc, a, 0, 9, /*circular=*/false);
+    auto full = t.gather_global(gc);
+    for (Index i = 0; i < n; ++i) {
+      const double expect = i + 9 < n ? i + 9.0 : 0.0;
+      EXPECT_DOUBLE_EQ(full[static_cast<size_t>(i)], expect);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace f90d
