@@ -104,7 +104,7 @@ void BM_DotProduct(benchmark::State& state) {
     DistArray<double> a(block1d(kN, gc.grid()), gc);
     DistArray<double> b(block1d(kN, gc.grid()), gc);
     a.fill_global([](std::span<const Index> g) { return g[0] * 0.5; });
-    b.fill_global([](std::span<const Index> g) { return 2.0; });
+    b.fill_global([](std::span<const Index>) { return 2.0; });
     double s = rts::dot_product(gc, a, b);
     benchmark::ClobberMemory();
     (void)s;

@@ -1,0 +1,18 @@
+      INCRM = 1
+      DO S = 1, 4
+  C     FORALL compiled: X(((I+((J*INCRM)*2))+INCRM)) = (X((I+((J*INCRM)*2)))-TERM2(((I+((J*INCRM)*2))+INCRM)))
+        call set_BOUND(lb1,ub1,st1,1,INCRM,1,BLOCK,1)
+        call set_BOUND(lb2,ub2,st2,0,((NX/(2*INCRM))-1),1)
+        isch0 = schedule2(receive_list, local_list, count)
+        call gather(isch0, TMP0, X)
+        isch1 = schedule2(receive_list, local_list, count)
+        call gather(isch1, TMP1, TERM2)
+        DO I = lb1, ub1, st1
+          DO J = lb2, ub2, st2
+            X(((I+((J*INCRM)*2))+INCRM)) = (X((I+((J*INCRM)*2)))-TERM2(((I+((J*INCRM)*2))+INCRM)))
+          END DO
+        END DO
+        isch_w = schedule3(proc_to, local_to, count)
+        call scatter(isch_w, X, VAL)
+        INCRM = (INCRM*2)
+      END DO

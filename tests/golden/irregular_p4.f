@@ -1,0 +1,11 @@
+      DO IT = 1, 3
+  C     FORALL compiled: A(U(I)) = (B(V(I))+C(I))
+        call set_BOUND(lb1,ub1,st1,1,N,1,A_DIST,1)
+        isch0 = schedule2(receive_list, local_list, count)
+        call gather(isch0, TMP0, B)
+        DO I = lb1, ub1, st1
+          A(U(I)) = (B(V(I))+C(I))
+        END DO
+        isch_w = schedule3(proc_to, local_to, count)
+        call scatter(isch_w, A, VAL)
+      END DO

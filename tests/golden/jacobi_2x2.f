@@ -1,0 +1,22 @@
+      DO IT = 1, 3
+  C     FORALL compiled: B(I,J) = (0.25*(((A((I-1),J)+A((I+1),J))+A(I,(J-1)))+A(I,(J+1))))
+        call set_BOUND(lb1,ub1,st1,2,(N-1),1,B_DIST,1)
+        call set_BOUND(lb2,ub2,st2,2,(N-1),1,B_DIST,2)
+        call overlap_shift(A, A_DAD, dim=1, shift=-1)
+        call overlap_shift(A, A_DAD, dim=1, shift=1)
+        call overlap_shift(A, A_DAD, dim=2, shift=-1)
+        call overlap_shift(A, A_DAD, dim=2, shift=1)
+        DO I = lb1, ub1, st1
+          DO J = lb2, ub2, st2
+            B(I,J) = (0.25*(((A((I-1),J)+A((I+1),J))+A(I,(J-1)))+A(I,(J+1))))
+          END DO
+        END DO
+  C     FORALL compiled: A(I,J) = B(I,J)
+        call set_BOUND(lb1,ub1,st1,2,(N-1),1,A_DIST,1)
+        call set_BOUND(lb2,ub2,st2,2,(N-1),1,A_DIST,2)
+        DO I = lb1, ub1, st1
+          DO J = lb2, ub2, st2
+            A(I,J) = B(I,J)
+          END DO
+        END DO
+      END DO

@@ -1,0 +1,255 @@
+#pragma once
+// Reusable end-to-end harness for the paper workloads (gauss, jacobi,
+// fft_butterfly, irregular): sequential C++ oracles, canonical initial
+// conditions, and compile-and-run helpers that return both the simulated
+// SPMD result and the oracle so any test can diff them on any processor
+// grid.  Generalizes the ad-hoc oracles that used to live inline in
+// test_integration_compiled.cpp.
+#include <cmath>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/gauss_hand.hpp"
+#include "apps/sources.hpp"
+#include "comm/grid_comm.hpp"
+#include "interp/interp.hpp"
+#include "machine/topology.hpp"
+#include "rts/dad.hpp"
+
+namespace f90d::harness {
+
+using interp::Index;
+
+inline machine::SimMachine make_machine(int p) {
+  return machine::SimMachine(p, machine::CostModel::ideal(),
+                             machine::make_hypercube());
+}
+
+/// Run `body(gc)` on every processor of a simulated 1-D machine — the
+/// standard bootstrap for exercising rts/parti primitives directly.
+template <typename F>
+void on_machine(int p, F&& body,
+                const machine::CostModel& cm = machine::CostModel::ipsc860()) {
+  machine::SimMachine m(p, cm, machine::make_hypercube());
+  m.run([&](machine::Proc& proc) {
+    comm::GridComm gc(proc, comm::ProcGrid({p}));
+    body(gc);
+  });
+}
+
+/// 1-D Dad helper: extent-n array distributed with `kind` onto `g`.
+inline rts::Dad dist1d(rts::Index n, const comm::ProcGrid& g,
+                       rts::DistKind kind = rts::DistKind::kBlock,
+                       int overlap_lo = 0, int overlap_hi = 0) {
+  rts::DimMap m;
+  m.kind = kind;
+  m.grid_dim = 0;
+  m.template_extent = n;
+  m.overlap_lo = overlap_lo;
+  m.overlap_hi = overlap_hi;
+  return rts::Dad({n}, {m}, g);
+}
+
+/// Outcome of one compiled run diffed against its sequential oracle.
+struct DiffRun {
+  std::string array;             ///< name of the checked array
+  std::vector<double> got;      ///< simulated SPMD result (row-major global)
+  std::vector<double> want;     ///< sequential oracle
+  int schedule_hits = 0;
+  int schedule_misses = 0;
+};
+
+/// Largest |got - want| over the elements selected by `select(flat)`.
+/// A size mismatch is itself a failure: infinity trips any tolerance check.
+template <typename Select>
+double max_abs_diff(const DiffRun& r, Select&& select) {
+  if (r.got.size() != r.want.size())
+    return std::numeric_limits<double>::infinity();
+  double worst = 0.0;
+  for (size_t k = 0; k < r.want.size(); ++k) {
+    if (!select(k)) continue;
+    const double d = std::fabs(r.got[k] - r.want[k]);
+    if (!std::isfinite(d)) return std::numeric_limits<double>::infinity();
+    worst = std::max(worst, d);
+  }
+  return worst;
+}
+
+inline double max_abs_diff(const DiffRun& r) {
+  return max_abs_diff(r, [](size_t) { return true; });
+}
+
+// --- Jacobi ------------------------------------------------------------------
+
+/// Canonical initial condition shared by the SPMD run and the oracle.
+inline double jacobi_entry(Index i, Index j) {
+  return static_cast<double>((i * 13 + j * 7) % 11);
+}
+
+inline std::vector<double> jacobi_oracle(int n, int iters) {
+  std::vector<double> a(static_cast<size_t>(n * n));
+  std::vector<double> b(static_cast<size_t>(n * n), 0.0);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      a[static_cast<size_t>(i * n + j)] = jacobi_entry(i, j);
+  for (int it = 0; it < iters; ++it) {
+    for (int i = 1; i < n - 1; ++i)
+      for (int j = 1; j < n - 1; ++j)
+        b[static_cast<size_t>(i * n + j)] =
+            0.25 * (a[static_cast<size_t>((i - 1) * n + j)] +
+                    a[static_cast<size_t>((i + 1) * n + j)] +
+                    a[static_cast<size_t>(i * n + j - 1)] +
+                    a[static_cast<size_t>(i * n + j + 1)]);
+    for (int i = 1; i < n - 1; ++i)
+      for (int j = 1; j < n - 1; ++j)
+        a[static_cast<size_t>(i * n + j)] = b[static_cast<size_t>(i * n + j)];
+  }
+  return a;
+}
+
+inline DiffRun run_jacobi(int n, int iters, int p, int q) {
+  auto compiled = compile::compile_source(apps::jacobi_source(n, p, q, iters));
+  machine::SimMachine m = make_machine(p * q);
+  interp::Init init;
+  init.real["A"] = [](std::span<const Index> g) {
+    return jacobi_entry(g[0], g[1]);
+  };
+  auto result = interp::run_compiled(compiled, m, init);
+  return DiffRun{"A", result.real_arrays.at("A"), jacobi_oracle(n, iters),
+                 result.schedule_hits, result.schedule_misses};
+}
+
+// --- Gaussian elimination ----------------------------------------------------
+
+/// Sequential GE with partial pivoting on the N x (N+1) augmented system
+/// whose entries come from `entry(i, j)`; mirrors the compiled program's
+/// exact operations (pivot search, row swap, rank-1 update).
+template <typename Entry>
+std::vector<double> gauss_oracle(int n, Entry&& entry) {
+  const int m = n + 1;
+  std::vector<double> a(static_cast<size_t>(n * m));
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < m; ++j)
+      a[static_cast<size_t>(i * m + j)] = entry(i, j);
+  auto at = [&](int i, int j) -> double& {
+    return a[static_cast<size_t>(i * m + j)];
+  };
+  std::vector<double> l(static_cast<size_t>(n));
+  for (int k = 0; k < n - 1; ++k) {
+    int piv = k;
+    double best = -1;
+    for (int i = k; i < n; ++i) {
+      if (std::fabs(at(i, k)) > best) {
+        best = std::fabs(at(i, k));
+        piv = i;
+      }
+    }
+    if (piv != k)
+      for (int j = k; j < m; ++j) std::swap(at(k, j), at(piv, j));
+    for (int i = k + 1; i < n; ++i)
+      l[static_cast<size_t>(i)] = at(i, k) / at(k, k);
+    for (int i = k + 1; i < n; ++i)
+      for (int j = k + 1; j < m; ++j)
+        at(i, j) -= l[static_cast<size_t>(i)] * at(k, j);
+  }
+  return a;
+}
+
+inline std::vector<double> gauss_oracle(int n) {
+  return gauss_oracle(
+      n, [n](int i, int j) { return apps::gauss_matrix_entry(n, i, j); });
+}
+
+/// GE defines the upper triangle + rhs; below the diagonal is scratch.
+inline auto gauss_defined_region(int n) {
+  return [n](size_t flat) {
+    const int m = n + 1;
+    const int i = static_cast<int>(flat) / m;
+    const int j = static_cast<int>(flat) % m;
+    return j >= i;
+  };
+}
+
+inline DiffRun run_gauss(int n, int p, const char* dist = "BLOCK") {
+  auto compiled = compile::compile_source(apps::gauss_source(n, p, dist));
+  machine::SimMachine m = make_machine(p);
+  interp::Init init;
+  init.real["A"] = [n](std::span<const Index> g) {
+    return apps::gauss_matrix_entry(n, g[0], g[1]);
+  };
+  auto result = interp::run_compiled(compiled, m, init);
+  return DiffRun{"A", result.real_arrays.at("A"), gauss_oracle(n),
+                 result.schedule_hits, result.schedule_misses};
+}
+
+// --- Irregular gather/scatter ------------------------------------------------
+
+/// Canonical permutation-ish index maps (0-based) used by both sides.
+inline Index irregular_u(int n, Index i) { return (i * 7 + 3) % n; }
+inline Index irregular_v(int n, Index i) { return (i * 11 + 5) % n; }
+
+/// A(U(i)) = B(V(i)) + C(i) with B(i)=2i, C(i)=100i; idempotent across
+/// steps, so one pass suffices.
+inline std::vector<double> irregular_oracle(int n) {
+  std::vector<double> a(static_cast<size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i)
+    a[static_cast<size_t>(irregular_u(n, i))] =
+        irregular_v(n, i) * 2.0 + i * 100.0;
+  return a;
+}
+
+inline DiffRun run_irregular(int n, int steps, int p) {
+  auto compiled = compile::compile_source(apps::irregular_source(n, p, steps));
+  machine::SimMachine m = make_machine(p);
+  interp::Init init;
+  init.ints["U"] = [n](std::span<const Index> g) {
+    return irregular_u(n, g[0]) + 1;  // Fortran arrays are 1-based
+  };
+  init.ints["V"] = [n](std::span<const Index> g) {
+    return irregular_v(n, g[0]) + 1;
+  };
+  init.real["B"] = [](std::span<const Index> g) { return g[0] * 2.0; };
+  init.real["C"] = [](std::span<const Index> g) { return g[0] * 100.0; };
+  auto result = interp::run_compiled(compiled, m, init);
+  return DiffRun{"A", result.real_arrays.at("A"), irregular_oracle(n),
+                 result.schedule_hits, result.schedule_misses};
+}
+
+// --- FFT butterfly (non-canonical lhs) ---------------------------------------
+
+inline std::vector<double> fft_oracle(int nx, int stages) {
+  std::vector<double> x(static_cast<size_t>(nx)), t2(static_cast<size_t>(nx));
+  for (int i = 0; i < nx; ++i) {
+    x[static_cast<size_t>(i)] = i + 1.0;
+    t2[static_cast<size_t>(i)] = i * 0.5;
+  }
+  int incrm = 1;
+  for (int s = 0; s < stages; ++s) {
+    std::vector<double> nx2 = x;
+    for (int i = 1; i <= incrm; ++i)
+      for (int j = 0; j <= nx / (2 * incrm) - 1; ++j) {
+        const int dst = i + j * incrm * 2 + incrm;  // 1-based
+        const int src = i + j * incrm * 2;
+        nx2[static_cast<size_t>(dst - 1)] =
+            x[static_cast<size_t>(src - 1)] - t2[static_cast<size_t>(dst - 1)];
+      }
+    x = std::move(nx2);
+    incrm *= 2;
+  }
+  return x;
+}
+
+inline DiffRun run_fft(int nx, int stages, int p) {
+  auto compiled = compile::compile_source(apps::fft_source(nx, p, stages));
+  machine::SimMachine m = make_machine(p);
+  interp::Init init;
+  init.real["X"] = [](std::span<const Index> g) { return g[0] + 1.0; };
+  init.real["TERM2"] = [](std::span<const Index> g) { return g[0] * 0.5; };
+  auto result = interp::run_compiled(compiled, m, init);
+  return DiffRun{"X", result.real_arrays.at("X"), fft_oracle(nx, stages),
+                 result.schedule_hits, result.schedule_misses};
+}
+
+}  // namespace f90d::harness

@@ -1,0 +1,123 @@
+// Golden-listing tests: the Fortran77+MP node program emitted for each paper
+// workload is snapshotted under tests/golden/*.f and compared byte-for-byte.
+// Any codegen/emitter change shows up as a reviewable listing diff.
+//
+// Regenerate the snapshots with:
+//   ./test_golden_listing --update-golden
+// (F90D_GOLDEN_DIR is baked in by CMake and points at the source tree.)
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "apps/sources.hpp"
+#include "compile/driver.hpp"
+
+namespace f90d {
+namespace {
+
+bool g_update_golden = false;
+
+std::string golden_path(const std::string& name) {
+  return std::string(F90D_GOLDEN_DIR) + "/" + name + ".f";
+}
+
+std::string read_file(const std::string& path, bool* ok) {
+  std::ifstream in(path, std::ios::binary);
+  *ok = static_cast<bool>(in);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Point at the first differing line so a mismatch is readable without an
+/// external diff tool.
+std::string first_diff(const std::string& got, const std::string& want) {
+  std::istringstream gs(got), ws(want);
+  std::string gl, wl;
+  int line = 0;
+  while (true) {
+    const bool gok = static_cast<bool>(std::getline(gs, gl));
+    const bool wok = static_cast<bool>(std::getline(ws, wl));
+    ++line;
+    if (!gok && !wok) return "(no difference found line-by-line)";
+    if (gok != wok || gl != wl) {
+      std::ostringstream out;
+      out << "first difference at line " << line << ":\n"
+          << "  golden: " << (wok ? wl : "<eof>") << "\n"
+          << "  got   : " << (gok ? gl : "<eof>");
+      return out.str();
+    }
+  }
+}
+
+void check_golden(const std::string& name, const std::string& listing) {
+  const std::string path = golden_path(name);
+  if (g_update_golden) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << listing;
+    SUCCEED() << "updated " << path;
+    return;
+  }
+  bool ok = false;
+  const std::string want = read_file(path, &ok);
+  ASSERT_TRUE(ok) << "missing golden file " << path
+                  << " — run `test_golden_listing --update-golden`";
+  EXPECT_EQ(listing, want) << first_diff(listing, want);
+}
+
+// Fixed small configurations: the listings must be deterministic functions
+// of (source, grid), so these parameters are part of the snapshot contract.
+
+TEST(GoldenListing, GaussBlockP4) {
+  check_golden("gauss_block_p4",
+               compile::compile_source(apps::gauss_source(16, 4)).listing);
+}
+
+TEST(GoldenListing, GaussCyclicP4) {
+  check_golden(
+      "gauss_cyclic_p4",
+      compile::compile_source(apps::gauss_source(16, 4, "CYCLIC")).listing);
+}
+
+TEST(GoldenListing, Jacobi2x2) {
+  check_golden("jacobi_2x2",
+               compile::compile_source(apps::jacobi_source(16, 2, 2, 3)).listing);
+}
+
+TEST(GoldenListing, FftButterflyP4) {
+  check_golden("fft_butterfly_p4",
+               compile::compile_source(apps::fft_source(32, 4, 4)).listing);
+}
+
+TEST(GoldenListing, IrregularP4) {
+  check_golden("irregular_p4",
+               compile::compile_source(apps::irregular_source(40, 4, 3)).listing);
+}
+
+TEST(GoldenListing, GaussUnoptimizedP4) {
+  // The -O0 pipeline keeps the redundant broadcasts; snapshotting it pins
+  // the ablation surface the benchmarks sweep.
+  compile::CodegenOptions opt;
+  opt.eliminate_redundant_comm = false;
+  opt.merge_shifts = false;
+  opt.fuse_multicast_shift = false;
+  opt.reuse_schedules = false;
+  check_golden(
+      "gauss_block_p4_noopt",
+      compile::compile_source(apps::gauss_source(16, 4), {}, opt).listing);
+}
+
+}  // namespace
+}  // namespace f90d
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--update-golden") == 0)
+      f90d::g_update_golden = true;
+  return RUN_ALL_TESTS();
+}

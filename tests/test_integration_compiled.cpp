@@ -1,154 +1,18 @@
-// End-to-end integration: compile the paper's workloads and execute them on
-// the simulated machine, verifying results against sequential C++ oracles.
+// End-to-end integration scenarios that go beyond the systematic grid sweep
+// in test_grid_sweep.cpp: forced pivoting (row swaps on a permuted matrix)
+// and the hand-written message-passing GE baseline diffed against the
+// compiled program.  Oracles and run helpers live in harness.hpp.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <vector>
 
-#include "apps/gauss_hand.hpp"
-#include "apps/sources.hpp"
-#include "interp/interp.hpp"
-#include "machine/topology.hpp"
+#include "harness.hpp"
 
 namespace f90d {
 namespace {
 
 using interp::Index;
-
-machine::SimMachine make_machine(int p) {
-  return machine::SimMachine(p, machine::CostModel::ideal(),
-                             machine::make_hypercube());
-}
-
-// --- Jacobi ------------------------------------------------------------------
-
-std::vector<double> jacobi_oracle(int n, int iters) {
-  std::vector<double> a(static_cast<size_t>(n * n));
-  std::vector<double> b(static_cast<size_t>(n * n), 0.0);
-  for (int i = 0; i < n; ++i)
-    for (int j = 0; j < n; ++j)
-      a[static_cast<size_t>(i * n + j)] = (i * 13 + j * 7) % 11;
-  for (int it = 0; it < iters; ++it) {
-    for (int i = 1; i < n - 1; ++i)
-      for (int j = 1; j < n - 1; ++j)
-        b[static_cast<size_t>(i * n + j)] =
-            0.25 * (a[static_cast<size_t>((i - 1) * n + j)] +
-                    a[static_cast<size_t>((i + 1) * n + j)] +
-                    a[static_cast<size_t>(i * n + j - 1)] +
-                    a[static_cast<size_t>(i * n + j + 1)]);
-    for (int i = 1; i < n - 1; ++i)
-      for (int j = 1; j < n - 1; ++j)
-        a[static_cast<size_t>(i * n + j)] = b[static_cast<size_t>(i * n + j)];
-  }
-  return a;
-}
-
-class JacobiGrid : public ::testing::TestWithParam<std::tuple<int, int>> {};
-
-TEST_P(JacobiGrid, MatchesSequentialOracle) {
-  const auto [p, q] = GetParam();
-  const int n = 16, iters = 3;
-  auto compiled =
-      compile::compile_source(apps::jacobi_source(n, p, q, iters));
-  machine::SimMachine m = make_machine(p * q);
-  interp::Init init;
-  init.real["A"] = [n](std::span<const Index> g) {
-    return static_cast<double>((g[0] * 13 + g[1] * 7) % 11);
-  };
-  auto result = interp::run_compiled(compiled, m, init);
-  const auto oracle = jacobi_oracle(n, iters);
-  const auto& got = result.real_arrays.at("A");
-  ASSERT_EQ(got.size(), oracle.size());
-  for (size_t k = 0; k < oracle.size(); ++k)
-    ASSERT_NEAR(got[k], oracle[k], 1e-9) << "element " << k;
-}
-
-INSTANTIATE_TEST_SUITE_P(Grids, JacobiGrid,
-                         ::testing::Values(std::make_tuple(1, 1),
-                                           std::make_tuple(2, 2),
-                                           std::make_tuple(4, 2),
-                                           std::make_tuple(1, 4),
-                                           std::make_tuple(4, 4)));
-
-// --- Gaussian elimination -------------------------------------------------------
-
-/// Sequential oracle mirroring the compiled program's exact operations.
-std::vector<double> gauss_oracle(int n) {
-  const int m = n + 1;
-  std::vector<double> a(static_cast<size_t>(n * m));
-  for (int i = 0; i < n; ++i)
-    for (int j = 0; j < m; ++j)
-      a[static_cast<size_t>(i * m + j)] = apps::gauss_matrix_entry(n, i, j);
-  auto at = [&](int i, int j) -> double& {
-    return a[static_cast<size_t>(i * m + j)];
-  };
-  std::vector<double> l(static_cast<size_t>(n));
-  for (int k = 0; k < n - 1; ++k) {
-    int piv = k;
-    double best = -1;
-    for (int i = k; i < n; ++i) {
-      if (std::fabs(at(i, k)) > best) {
-        best = std::fabs(at(i, k));
-        piv = i;
-      }
-    }
-    if (piv != k)
-      for (int j = k; j < m; ++j) std::swap(at(k, j), at(piv, j));
-    for (int i = k + 1; i < n; ++i) l[static_cast<size_t>(i)] = at(i, k) / at(k, k);
-    for (int i = k + 1; i < n; ++i)
-      for (int j = k + 1; j < m; ++j)
-        at(i, j) -= l[static_cast<size_t>(i)] * at(k, j);
-  }
-  return a;
-}
-
-class GaussProcs : public ::testing::TestWithParam<int> {};
-
-TEST_P(GaussProcs, CompiledMatchesOracle) {
-  const int p = GetParam();
-  const int n = 24;
-  auto compiled = compile::compile_source(apps::gauss_source(n, p));
-  machine::SimMachine m = make_machine(p);
-  interp::Init init;
-  init.real["A"] = [n](std::span<const Index> g) {
-    return apps::gauss_matrix_entry(n, g[0], g[1]);
-  };
-  auto result = interp::run_compiled(compiled, m, init);
-  const auto oracle = gauss_oracle(n);
-  const auto& got = result.real_arrays.at("A");
-  ASSERT_EQ(got.size(), oracle.size());
-  // Compare the upper triangle + rhs (the part elimination defines).
-  for (int i = 0; i < n; ++i)
-    for (int j = i; j < n + 1; ++j)
-      ASSERT_NEAR(got[static_cast<size_t>(i * (n + 1) + j)],
-                  oracle[static_cast<size_t>(i * (n + 1) + j)], 1e-6)
-          << "A(" << i << "," << j << ") with P=" << p;
-}
-
-INSTANTIATE_TEST_SUITE_P(Procs, GaussProcs, ::testing::Values(1, 2, 4, 8));
-
-TEST(GaussCyclic, CyclicColumnDistributionMatchesOracle) {
-  // Only the DISTRIBUTE directive changes; the compiler re-derives
-  // partitioning, guards and communication for the cyclic mapping.
-  const int n = 24;
-  for (int p : {2, 4}) {
-    auto compiled =
-        compile::compile_source(apps::gauss_source(n, p, "CYCLIC"));
-    machine::SimMachine m = make_machine(p);
-    interp::Init init;
-    init.real["A"] = [n](std::span<const Index> g) {
-      return apps::gauss_matrix_entry(n, g[0], g[1]);
-    };
-    auto result = interp::run_compiled(compiled, m, init);
-    const auto oracle = gauss_oracle(n);
-    const auto& got = result.real_arrays.at("A");
-    for (int i = 0; i < n; ++i)
-      for (int j = i; j < n + 1; ++j)
-        ASSERT_NEAR(got[static_cast<size_t>(i * (n + 1) + j)],
-                    oracle[static_cast<size_t>(i * (n + 1) + j)], 1e-6)
-            << "A(" << i << "," << j << ") with P=" << p << " (cyclic)";
-  }
-}
 
 TEST(GaussPivoting, RowSwapsExecuteAndMatchOracle) {
   // A row-permuted diagonally dominant matrix forces IM != K every step,
@@ -157,48 +21,28 @@ TEST(GaussPivoting, RowSwapsExecuteAndMatchOracle) {
   const int n = 20;
   for (int p : {1, 2, 4}) {
     auto compiled = compile::compile_source(apps::gauss_source(n, p));
-    machine::SimMachine m = make_machine(p);
+    machine::SimMachine m = harness::make_machine(p);
     interp::Init init;
     init.real["A"] = [n](std::span<const Index> g) {
       return apps::gauss_matrix_entry(n, (g[0] + 7) % n, g[1]);
     };
     auto result = interp::run_compiled(compiled, m, init);
     // Oracle on the same permuted matrix.
-    const int mm = n + 1;
-    std::vector<double> a(static_cast<size_t>(n * mm));
-    for (int i = 0; i < n; ++i)
-      for (int j = 0; j < mm; ++j)
-        a[static_cast<size_t>(i * mm + j)] =
-            apps::gauss_matrix_entry(n, (i + 7) % n, j);
-    auto at = [&](int i, int j) -> double& {
-      return a[static_cast<size_t>(i * mm + j)];
-    };
-    for (int k = 0; k < n - 1; ++k) {
-      int piv = k;
-      double best = -1;
-      for (int i = k; i < n; ++i)
-        if (std::fabs(at(i, k)) > best) {
-          best = std::fabs(at(i, k));
-          piv = i;
-        }
-      if (piv != k)
-        for (int j = k; j < mm; ++j) std::swap(at(k, j), at(piv, j));
-      for (int i = k + 1; i < n; ++i) {
-        const double l = at(i, k) / at(k, k);
-        for (int j = k + 1; j < mm; ++j) at(i, j) -= l * at(k, j);
-      }
-    }
+    const auto oracle = harness::gauss_oracle(n, [n](int i, int j) {
+      return apps::gauss_matrix_entry(n, (i + 7) % n, j);
+    });
     const auto& got = result.real_arrays.at("A");
+    const int mm = n + 1;
     for (int i = 0; i < n; ++i)
       for (int j = i; j < mm; ++j)
         ASSERT_NEAR(got[static_cast<size_t>(i * mm + j)],
-                    a[static_cast<size_t>(i * mm + j)], 1e-6)
+                    oracle[static_cast<size_t>(i * mm + j)], 1e-6)
             << "A(" << i << "," << j << ") P=" << p;
   }
 }
 
 TEST(GaussHandwritten, EliminatesBelowDiagonal) {
-  machine::SimMachine m = make_machine(4);
+  machine::SimMachine m = harness::make_machine(4);
   auto r = apps::run_gauss_handwritten(m, 32);
   EXPECT_LT(r.below_diag_max, 1e-9);
   ASSERT_EQ(r.x.size(), 32u);
@@ -213,17 +57,11 @@ TEST(GaussHandwritten, EliminatesBelowDiagonal) {
 
 TEST(GaussHandwritten, MatchesCompiledSolution) {
   const int n = 24, p = 4;
-  machine::SimMachine m1 = make_machine(p);
+  machine::SimMachine m1 = harness::make_machine(p);
   auto hand = apps::run_gauss_handwritten(m1, n);
 
-  auto compiled = compile::compile_source(apps::gauss_source(n, p));
-  machine::SimMachine m2 = make_machine(p);
-  interp::Init init;
-  init.real["A"] = [n](std::span<const Index> g) {
-    return apps::gauss_matrix_entry(n, g[0], g[1]);
-  };
-  auto result = interp::run_compiled(compiled, m2, init);
-  const auto& a = result.real_arrays.at("A");
+  auto r = harness::run_gauss(n, p);
+  const auto& a = r.got;
   // Back-substitute the compiled upper triangle and compare solutions.
   std::vector<double> x(static_cast<size_t>(n));
   auto at = [&](int i, int j) { return a[static_cast<size_t>(i * (n + 1) + j)]; };
@@ -234,74 +72,6 @@ TEST(GaussHandwritten, MatchesCompiledSolution) {
   }
   for (int i = 0; i < n; ++i)
     EXPECT_NEAR(x[static_cast<size_t>(i)], hand.x[static_cast<size_t>(i)], 1e-6);
-}
-
-// --- Irregular kernel ------------------------------------------------------------
-
-class IrregularProcs : public ::testing::TestWithParam<int> {};
-
-TEST_P(IrregularProcs, GatherScatterMatchesOracle) {
-  const int p = GetParam();
-  const int n = 40, steps = 3;
-  auto compiled = compile::compile_source(apps::irregular_source(n, p, steps));
-  machine::SimMachine m = make_machine(p);
-  interp::Init init;
-  auto u = [n](long long i) { return (i * 7 + 3) % n; };   // permutation-ish
-  auto v = [n](long long i) { return (i * 11 + 5) % n; };
-  init.ints["U"] = [&, n](std::span<const Index> g) { return u(g[0]) + 1; };
-  init.ints["V"] = [&, n](std::span<const Index> g) { return v(g[0]) + 1; };
-  init.real["B"] = [](std::span<const Index> g) { return g[0] * 2.0; };
-  init.real["C"] = [](std::span<const Index> g) { return g[0] * 100.0; };
-  auto result = interp::run_compiled(compiled, m, init);
-
-  // Oracle: repeated (values are idempotent across steps).
-  std::vector<double> a(static_cast<size_t>(n), 0.0);
-  for (int i = 0; i < n; ++i)
-    a[static_cast<size_t>(u(i))] = v(i) * 2.0 + i * 100.0;
-  const auto& got = result.real_arrays.at("A");
-  for (int i = 0; i < n; ++i)
-    ASSERT_NEAR(got[static_cast<size_t>(i)], a[static_cast<size_t>(i)], 1e-9)
-        << "A(" << i << ") with P=" << p;
-  // Schedule reuse: the two later steps must hit the cache (gather for B,
-  // scatter for A; C's precomp_read too).
-  EXPECT_GT(result.schedule_hits, 0);
-}
-
-INSTANTIATE_TEST_SUITE_P(Procs, IrregularProcs, ::testing::Values(1, 2, 4, 8));
-
-// --- FFT butterfly (non-canonical lhs) --------------------------------------------
-
-TEST(FftButterfly, NonCanonicalLhsMatchesOracle) {
-  const int nx = 32, stages = 4, p = 4;
-  auto compiled = compile::compile_source(apps::fft_source(nx, p, stages));
-  machine::SimMachine m = make_machine(p);
-  interp::Init init;
-  init.real["X"] = [](std::span<const Index> g) { return g[0] + 1.0; };
-  init.real["TERM2"] = [](std::span<const Index> g) { return g[0] * 0.5; };
-  auto result = interp::run_compiled(compiled, m, init);
-
-  std::vector<double> x(static_cast<size_t>(nx)), t2(static_cast<size_t>(nx));
-  for (int i = 0; i < nx; ++i) {
-    x[static_cast<size_t>(i)] = i + 1.0;
-    t2[static_cast<size_t>(i)] = i * 0.5;
-  }
-  int incrm = 1;
-  for (int s = 0; s < stages; ++s) {
-    std::vector<double> nx2 = x;
-    for (int i = 1; i <= incrm; ++i)
-      for (int j = 0; j <= nx / (2 * incrm) - 1; ++j) {
-        const int dst = i + j * incrm * 2 + incrm;   // 1-based
-        const int src = i + j * incrm * 2;
-        nx2[static_cast<size_t>(dst - 1)] =
-            x[static_cast<size_t>(src - 1)] - t2[static_cast<size_t>(dst - 1)];
-      }
-    x = std::move(nx2);
-    incrm *= 2;
-  }
-  const auto& got = result.real_arrays.at("X");
-  for (int i = 0; i < nx; ++i)
-    ASSERT_NEAR(got[static_cast<size_t>(i)], x[static_cast<size_t>(i)], 1e-9)
-        << "X(" << i + 1 << ")";
 }
 
 }  // namespace

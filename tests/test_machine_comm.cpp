@@ -78,7 +78,9 @@ TEST(SimMachine, MultiHopAddsPerHopCost) {
   SimMachine m(8, cm, machine::make_hypercube());
   auto r = m.run([&](Proc& p) {
     if (p.rank() == 0) p.send_value<int>(7, 1, 42);   // 3 hops on a cube
-    if (p.rank() == 7) EXPECT_EQ((p.recv_value<int>(0, 1)), 42);
+    if (p.rank() == 7) {
+      EXPECT_EQ((p.recv_value<int>(0, 1)), 42);
+    }
   });
   const double inject = cm.msg_latency + 4 * cm.time_per_byte;
   EXPECT_NEAR(r.proc_times[7], inject + 2 * cm.time_per_hop, 1e-12);

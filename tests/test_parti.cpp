@@ -86,7 +86,9 @@ TEST_P(PartiProcs, Schedule2GatherVectorValued) {
       my_needs.push_back((i * 13 + 7) % n);  // "V(i)"
     }
     auto sched = parti::schedule2(gc, dad, my_needs);
-    if (p > 1) EXPECT_GT(sched->inspector_messages, 0);  // fan-in happened
+    if (p > 1) {
+      EXPECT_GT(sched->inspector_messages, 0);  // fan-in happened
+    }
     auto tmp = parti::gather(gc, *sched, b);
     ASSERT_EQ(tmp.size(), my_needs.size());
     for (size_t k = 0; k < my_needs.size(); ++k)

@@ -1,0 +1,232 @@
+// Run-time library edge cases at grid boundaries: overlap/temporary shifts
+// that wrap (or must not wrap) at the ends of the processor grid, shifts
+// that spill across multiple processors, empty local blocks when P > N, and
+// remap-based redistribution round trips.
+#include <gtest/gtest.h>
+
+#include "comm/grid_comm.hpp"
+#include "harness.hpp"
+#include "machine/topology.hpp"
+#include "rts/dist_array.hpp"
+#include "rts/remap.hpp"
+#include "rts/shift_ops.hpp"
+
+namespace f90d {
+namespace {
+
+using harness::on_machine;
+using machine::CostModel;
+using machine::SimMachine;
+using rts::Dad;
+using rts::DimMap;
+using rts::DistArray;
+using rts::DistKind;
+using rts::Index;
+
+Dad block1d(Index n, const comm::ProcGrid& g, int overlap_lo, int overlap_hi) {
+  return harness::dist1d(n, g, DistKind::kBlock, overlap_lo, overlap_hi);
+}
+
+constexpr double kSentinel = -999.0;
+
+/// Non-circular overlap shift: interior boundaries are exchanged, but the
+/// grid-edge processor's ghost cells must be left untouched (EOSHIFT /
+/// interior-only FORALL bounds semantics).
+TEST(OverlapShift, EdgeProcessorGhostUntouchedWithoutWrap) {
+  for (int p : {2, 4}) {
+    on_machine(p, [&](comm::GridComm& gc) {
+      const Index n = 16;
+      DistArray<double> a(block1d(n, gc.grid(), 0, 1), gc);
+      a.fill_global([](std::span<const Index> g) { return g[0] * 1.0; });
+      const Index lext = a.local_extent(0);
+      const std::vector<Index> ghost{lext};
+      a.at_local(ghost) = kSentinel;
+
+      rts::overlap_shift(gc, a, 0, +1, /*circular=*/false);
+
+      if (gc.coord(0) < p - 1) {
+        // My high ghost holds my successor's first element.
+        const Index next_first = a.dad().global_of_local(0, 0, gc.coord(0) + 1);
+        EXPECT_DOUBLE_EQ(a.at_local(ghost), static_cast<double>(next_first));
+      } else {
+        EXPECT_DOUBLE_EQ(a.at_local(ghost), kSentinel)
+            << "edge processor ghost must stay untouched";
+      }
+    });
+  }
+}
+
+/// Circular overlap shift: the last processor wraps around to the first
+/// (CSHIFT), in both directions.
+TEST(OverlapShift, CircularWrapsAtBothGridEdges) {
+  const int p = 4;
+  on_machine(p, [&](comm::GridComm& gc) {
+    const Index n = 16;
+    DistArray<double> a(block1d(n, gc.grid(), 1, 1), gc);
+    a.fill_global([](std::span<const Index> g) { return 10.0 + g[0]; });
+
+    rts::overlap_shift(gc, a, 0, +1, /*circular=*/true);
+    rts::overlap_shift(gc, a, 0, -1, /*circular=*/true);
+
+    const Index lext = a.local_extent(0);
+    const Index my_first = a.dad().global_of_local(0, 0, gc.coord(0));
+    const Index my_last = my_first + lext - 1;
+    const std::vector<Index> hi{lext};
+    const std::vector<Index> lo{-1};
+    EXPECT_DOUBLE_EQ(a.at_local(hi), 10.0 + (my_last + 1) % n);
+    EXPECT_DOUBLE_EQ(a.at_local(lo), 10.0 + (my_first - 1 + n) % n);
+  });
+}
+
+/// Shift amount equal to the full declared overlap width moves a multi-plane
+/// slab in one exchange.
+TEST(OverlapShift, FullWidthSlabExchange) {
+  const int p = 4;
+  on_machine(p, [&](comm::GridComm& gc) {
+    const Index n = 16;
+    const int width = 2;
+    DistArray<double> a(block1d(n, gc.grid(), 0, width), gc);
+    a.fill_global([](std::span<const Index> g) { return g[0] * 1.0; });
+
+    rts::overlap_shift(gc, a, 0, width, /*circular=*/true);
+
+    const Index lext = a.local_extent(0);
+    const Index my_first = a.dad().global_of_local(0, 0, gc.coord(0));
+    for (int k = 0; k < width; ++k) {
+      const std::vector<Index> ghost{lext + k};
+      EXPECT_DOUBLE_EQ(a.at_local(ghost),
+                       static_cast<double>((my_first + lext + k) % n));
+    }
+  });
+}
+
+/// P > N: trailing processors own zero elements; the collective shift must
+/// still terminate and fill the ghosts that exist.
+TEST(OverlapShift, EmptyLocalBlocksWhenMoreProcsThanElements) {
+  const int p = 4;
+  on_machine(p, [&](comm::GridComm& gc) {
+    const Index n = 3;  // block(1,1,1,0): last processor is empty
+    DistArray<double> a(block1d(n, gc.grid(), 0, 1), gc);
+    a.fill_global([](std::span<const Index> g) { return 5.0 + g[0]; });
+
+    rts::overlap_shift(gc, a, 0, +1, /*circular=*/false);
+
+    const Index lext = a.local_extent(0);
+    if (lext > 0 && gc.coord(0) + 1 < p &&
+        a.dad().local_extent(0, gc.coord(0) + 1) > 0) {
+      const std::vector<Index> ghost{lext};
+      const Index next_first = a.dad().global_of_local(0, 0, gc.coord(0) + 1);
+      EXPECT_DOUBLE_EQ(a.at_local(ghost), 5.0 + next_first);
+    }
+  });
+}
+
+/// 2-D (BLOCK, BLOCK): shifting along the second dimension exchanges a
+/// non-contiguous column slab; row boundaries must be preserved exactly.
+TEST(OverlapShift, TwoDimensionalColumnSlab) {
+  const int p = 2, q = 2;
+  SimMachine m(p * q, CostModel::ipsc860(), machine::make_hypercube());
+  m.run([&](machine::Proc& proc) {
+    comm::GridComm gc(proc, comm::ProcGrid({p, q}));
+    const Index n = 8;
+    DimMap mr, mc;
+    mr.kind = DistKind::kBlock;
+    mr.grid_dim = 0;
+    mr.template_extent = n;
+    mc.kind = DistKind::kBlock;
+    mc.grid_dim = 1;
+    mc.template_extent = n;
+    mc.overlap_hi = 1;
+    DistArray<double> a(Dad({n, n}, {mr, mc}, gc.grid()), gc);
+    a.fill_global(
+        [](std::span<const Index> g) { return g[0] * 100.0 + g[1]; });
+
+    rts::overlap_shift(gc, a, 1, +1, /*circular=*/false);
+
+    if (gc.coord(1) + 1 < q) {
+      const Index rows = a.local_extent(0);
+      const Index cols = a.local_extent(1);
+      const Index next_col = a.dad().global_of_local(1, 0, gc.coord(1) + 1);
+      for (Index r = 0; r < rows; ++r) {
+        const std::vector<Index> ghost{r, cols};
+        const Index gr = a.dad().global_of_local(0, r, gc.coord(0));
+        EXPECT_DOUBLE_EQ(a.at_local(ghost), gr * 100.0 + next_col);
+      }
+    }
+  });
+}
+
+/// temporary_shift with an amount larger than the local block spills across
+/// multiple processors; out-of-range elements stay at the zero fill.
+TEST(TemporaryShift, MultiProcessorSpillNonCircular) {
+  const int p = 4;
+  on_machine(p, [&](comm::GridComm& gc) {
+    const Index n = 16, amount = 6;  // block size 4: spills two procs over
+    DistArray<double> a(block1d(n, gc.grid(), 0, 0), gc);
+    a.fill_global([](std::span<const Index> g) { return 1.0 + g[0]; });
+
+    DistArray<double> tmp =
+        rts::temporary_shift(gc, a, 0, amount, /*circular=*/false);
+
+    tmp.for_each_owned([&](const std::vector<Index>& g, double& v) {
+      const Index src = g[0] + amount;
+      if (src < n)
+        EXPECT_DOUBLE_EQ(v, 1.0 + src) << "tmp(" << g[0] << ")";
+      else
+        EXPECT_DOUBLE_EQ(v, 0.0) << "out-of-range tmp(" << g[0] << ")";
+    });
+  });
+}
+
+/// Circular temporary shift wraps through the grid edge in both directions,
+/// including |amount| > N (reduces mod N).
+TEST(TemporaryShift, CircularWrapAndNegativeAmounts) {
+  const int p = 4;
+  on_machine(p, [&](comm::GridComm& gc) {
+    const Index n = 12;
+    DistArray<double> a(block1d(n, gc.grid(), 0, 0), gc);
+    a.fill_global([](std::span<const Index> g) { return 2.0 * g[0]; });
+
+    for (Index amount : {Index{5}, Index{-5}, Index{n + 2}}) {
+      DistArray<double> tmp =
+          rts::temporary_shift(gc, a, 0, amount, /*circular=*/true);
+      tmp.for_each_owned([&](const std::vector<Index>& g, double& v) {
+        const Index src = ((g[0] + amount) % n + n) % n;
+        EXPECT_DOUBLE_EQ(v, 2.0 * src)
+            << "tmp(" << g[0] << ") amount " << amount;
+      });
+    }
+  });
+}
+
+/// redistribute (remap with the identity map) preserves every element across
+/// a BLOCK -> CYCLIC -> BLOCK round trip — the paper's automatic
+/// redistribution at subroutine boundaries.
+TEST(Remap, BlockCyclicRoundTripPreservesValues) {
+  for (int p : {2, 4}) {
+    on_machine(p, [&](comm::GridComm& gc) {
+      const Index n = 19;  // deliberately not divisible by p
+      DistArray<double> a(block1d(n, gc.grid(), 0, 0), gc);
+      a.fill_global([](std::span<const Index> g) { return 7.0 + 3.0 * g[0]; });
+
+      DimMap mc;
+      mc.kind = DistKind::kCyclic;
+      mc.grid_dim = 0;
+      mc.template_extent = n;
+      Dad cyclic({n}, {mc}, gc.grid());
+
+      DistArray<double> c = rts::redistribute(gc, a, cyclic);
+      c.for_each_owned([&](const std::vector<Index>& g, double& v) {
+        EXPECT_DOUBLE_EQ(v, 7.0 + 3.0 * g[0]);
+      });
+
+      DistArray<double> back = rts::redistribute(gc, c, a.dad());
+      back.for_each_owned([&](const std::vector<Index>& g, double& v) {
+        EXPECT_DOUBLE_EQ(v, 7.0 + 3.0 * g[0]);
+      });
+    });
+  }
+}
+
+}  // namespace
+}  // namespace f90d

@@ -1,0 +1,163 @@
+// ScheduleCache reuse semantics (paper §7 optimization 3): identical index
+// sets on identically distributed arrays must hit the cache; changing the
+// distribution (and hence the DAD signature in the key) must miss.  Both the
+// cache object itself and the end-to-end compiled path are covered.
+#include <gtest/gtest.h>
+
+#include "comm/grid_comm.hpp"
+#include "harness.hpp"
+#include "machine/topology.hpp"
+#include "parti/schedule.hpp"
+#include "parti/schedule_cache.hpp"
+#include "rts/dist_array.hpp"
+
+namespace f90d {
+namespace {
+
+using harness::dist1d;
+using harness::on_machine;
+using parti::ScheduleCache;
+using parti::SchedulePtr;
+using rts::Dad;
+using rts::DistKind;
+using rts::Index;
+
+TEST(ScheduleCache, HitOnIdenticalKeyReturnsSamePointer) {
+  ScheduleCache cache;
+  int builds = 0;
+  auto build = [&] {
+    ++builds;
+    return std::make_shared<const parti::Schedule>();
+  };
+  SchedulePtr a = cache.get_or_build("k1", build);
+  SchedulePtr b = cache.get_or_build("k1", build);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ScheduleCache, MissOnDifferentKey) {
+  ScheduleCache cache;
+  int builds = 0;
+  auto build = [&] {
+    ++builds;
+    return std::make_shared<const parti::Schedule>();
+  };
+  (void)cache.get_or_build("k1", build);
+  (void)cache.get_or_build("k2", build);
+  EXPECT_EQ(builds, 2);
+  EXPECT_EQ(cache.hits(), 0);
+  EXPECT_EQ(cache.misses(), 2);
+}
+
+TEST(ScheduleCache, DisabledCacheAlwaysRebuildsAndNeverMemoizes) {
+  ScheduleCache cache;
+  cache.set_enabled(false);
+  int builds = 0;
+  auto build = [&] {
+    ++builds;
+    return std::make_shared<const parti::Schedule>();
+  };
+  (void)cache.get_or_build("k1", build);
+  (void)cache.get_or_build("k1", build);
+  EXPECT_EQ(builds, 2);
+  EXPECT_EQ(cache.hits(), 0);
+  EXPECT_EQ(cache.misses(), 2);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ScheduleCache, ClearResetsCountersAndEntries) {
+  ScheduleCache cache;
+  (void)cache.get_or_build(
+      "k1", [] { return std::make_shared<const parti::Schedule>(); });
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0);
+  EXPECT_EQ(cache.misses(), 0);
+}
+
+/// The key the compiler emits combines the DAD signature with the access
+/// pattern: the same gather needs on the same distribution reuse the built
+/// schedule, while a redistribution (BLOCK -> CYCLIC) changes the signature
+/// and forces a rebuild.
+TEST(ScheduleCache, GatherReusedAcrossStepsMissesOnRedistribution) {
+  for (int p : {2, 4}) {
+    on_machine(p, [&](comm::GridComm& gc) {
+      const Index n = 32;
+      Dad block = dist1d(n, gc.grid(), DistKind::kBlock);
+      Dad cyclic = dist1d(n, gc.grid(), DistKind::kCyclic);
+
+      // Each processor gathers the same permuted needs every "time step".
+      std::vector<Index> needs;
+      for (Index l = 0; l < block.local_extent(0, gc.coord(0)); ++l)
+        needs.push_back((block.global_of_local(0, l, gc.coord(0)) * 7 + 3) % n);
+
+      ScheduleCache cache;
+      auto key_for = [&](const Dad& dad) {
+        std::string key = "gather:" + dad.signature() + ":";
+        for (Index g : needs) key += std::to_string(g) + ",";
+        return key;
+      };
+      auto build_for = [&](const Dad& dad) {
+        return [&gc, &dad, &needs] { return parti::schedule2(gc, dad, needs); };
+      };
+
+      SchedulePtr s1 = cache.get_or_build(key_for(block), build_for(block));
+      SchedulePtr s2 = cache.get_or_build(key_for(block), build_for(block));
+      EXPECT_EQ(s1.get(), s2.get()) << "identical index set must hit";
+      EXPECT_EQ(cache.hits(), 1);
+      EXPECT_EQ(cache.misses(), 1);
+
+      SchedulePtr s3 = cache.get_or_build(key_for(cyclic), build_for(cyclic));
+      EXPECT_NE(s1.get(), s3.get()) << "changed distribution must miss";
+      EXPECT_EQ(cache.hits(), 1);
+      EXPECT_EQ(cache.misses(), 2);
+
+      // The reused schedule still routes values correctly.
+      rts::DistArray<double> b(block, gc);
+      b.fill_global([](std::span<const Index> g) { return g[0] * 3.0; });
+      auto tmp = parti::gather(gc, *s2, b);
+      ASSERT_EQ(tmp.size(), needs.size());
+      for (size_t k = 0; k < needs.size(); ++k)
+        EXPECT_DOUBLE_EQ(tmp[k], needs[k] * 3.0);
+    });
+  }
+}
+
+/// End-to-end: the irregular workload's repeated steps hit the cache when
+/// RunOptions.schedule_cache is on and never hit when it is off.
+TEST(ScheduleCache, CompiledIrregularHitsOnlyWithCacheEnabled) {
+  const int n = 40, steps = 3, p = 4;
+  auto compiled = compile::compile_source(apps::irregular_source(n, p, steps));
+  interp::Init init;
+  init.ints["U"] = [n](std::span<const Index> g) {
+    return harness::irregular_u(n, g[0]) + 1;
+  };
+  init.ints["V"] = [n](std::span<const Index> g) {
+    return harness::irregular_v(n, g[0]) + 1;
+  };
+  init.real["B"] = [](std::span<const Index> g) { return g[0] * 2.0; };
+  init.real["C"] = [](std::span<const Index> g) { return g[0] * 100.0; };
+
+  machine::SimMachine m1 = harness::make_machine(p);
+  interp::RunOptions with_cache;
+  auto cached = interp::run_compiled(compiled, m1, init, with_cache);
+  EXPECT_GT(cached.schedule_hits, 0);
+
+  machine::SimMachine m2 = harness::make_machine(p);
+  interp::RunOptions no_cache;
+  no_cache.schedule_cache = false;
+  auto uncached = interp::run_compiled(compiled, m2, init, no_cache);
+  EXPECT_EQ(uncached.schedule_hits, 0);
+
+  // Caching is a pure optimization: both runs compute the same answer.
+  const auto& a1 = cached.real_arrays.at("A");
+  const auto& a2 = uncached.real_arrays.at("A");
+  ASSERT_EQ(a1.size(), a2.size());
+  for (size_t k = 0; k < a1.size(); ++k) EXPECT_DOUBLE_EQ(a1[k], a2[k]);
+}
+
+}  // namespace
+}  // namespace f90d
