@@ -6,6 +6,7 @@
 // the shrinking active submatrix evenly.  Only the directive changes — the
 // compiler handles the rest.
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hpp"
 
@@ -27,16 +28,24 @@ double run_ge_dist(int n, int p, const char* dist) {
   return interp::run_compiled(compiled, m, init, ro).machine.exec_time;
 }
 
+/// Arg 0: BLOCK; 1: CYCLIC; k >= 2: block-cyclic CYCLIC(k), the middle
+/// ground between BLOCK's idle tails and CYCLIC's element scatter.
+std::string dist_of_arg(long long a) {
+  if (a == 0) return "BLOCK";
+  if (a == 1) return "CYCLIC";
+  return "CYCLIC(" + std::to_string(a) + ")";
+}
+
 void BM_GeDistribution(benchmark::State& state) {
-  const bool cyclic = state.range(0) != 0;
+  const std::string dist = dist_of_arg(state.range(0));
   const int n = 511, p = 16;
   double t = 0;
-  for (auto _ : state) t = run_ge_dist(n, p, cyclic ? "CYCLIC" : "BLOCK");
+  for (auto _ : state) t = run_ge_dist(n, p, dist.c_str());
   state.counters["sim_seconds"] = t;
-  state.SetLabel(cyclic ? "DISTRIBUTE TA(*, CYCLIC)"
-                        : "DISTRIBUTE TA(*, BLOCK)");
+  state.SetLabel("DISTRIBUTE TA(*, " + dist + ")");
 }
-BENCHMARK(BM_GeDistribution)->Arg(0)->Arg(1)->Iterations(1);
+BENCHMARK(BM_GeDistribution)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Iterations(1);
 
 void BM_JacobiDistribution(benchmark::State& state) {
   // Counter-example: for Jacobi, BLOCK minimizes the shift surface while

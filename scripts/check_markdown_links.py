@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links resolve to real files.
+
+Scans README.md and docs/**/*.md for inline links/images
+(``[text](target)``) and fails with a non-zero exit code if any relative
+target does not exist in the repository.  External links (http/https/
+mailto) are not fetched; pure-anchor links (``#section``) are checked
+against the headings of the same file.
+
+Usage: scripts/check_markdown_links.py [repo_root]
+"""
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def headings_of(path: Path) -> set:
+    """GitHub-style anchor slugs for every heading in the file."""
+    slugs = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence or not line.startswith("#"):
+            continue
+        text = line.lstrip("#").strip()
+        slug = re.sub(r"[^\w\s-]", "", text.lower())
+        slug = re.sub(r"\s+", "-", slug).strip("-")
+        slugs.add(slug)
+    return slugs
+
+
+def links_of(path: Path):
+    """(target, line_number) pairs for inline links outside code fences."""
+    in_fence = False
+    for num, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        if CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK_RE.finditer(line):
+            yield m.group(1), num
+
+
+def main() -> int:
+    root = Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    files = [root / "README.md"]
+    files += sorted((root / "docs").glob("**/*.md"))
+    files = [f for f in files if f.is_file()]
+    if not files:
+        print("check_markdown_links: no markdown files found", file=sys.stderr)
+        return 2
+
+    errors = []
+    for f in files:
+        for target, line in links_of(f):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            base, _, anchor = target.partition("#")
+            dest = (f.parent / base).resolve() if base else f
+            if base and not dest.exists():
+                errors.append(f"{f.relative_to(root)}:{line}: "
+                              f"dangling link target '{target}'")
+                continue
+            if anchor and dest.suffix == ".md" and dest.is_file():
+                if anchor not in headings_of(dest):
+                    errors.append(f"{f.relative_to(root)}:{line}: "
+                                  f"missing anchor '#{anchor}' in "
+                                  f"{dest.relative_to(root)}")
+
+    for e in errors:
+        print(e, file=sys.stderr)
+    checked = len(files)
+    if errors:
+        print(f"check_markdown_links: {len(errors)} dangling reference(s) "
+              f"across {checked} file(s)", file=sys.stderr)
+        return 1
+    print(f"check_markdown_links: OK ({checked} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

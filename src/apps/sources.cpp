@@ -33,7 +33,7 @@ C$ ALIGN TMPR(J) WITH TA(*, J)
                    n, nprocs, dist);
 }
 
-std::string jacobi_source(int n, int p, int q, int iters) {
+std::string jacobi_source(int n, int p, int q, int iters, const char* dist) {
   return strformat(R"(PROGRAM JACOBI
       INTEGER N
       PARAMETER (N = %d)
@@ -42,7 +42,7 @@ std::string jacobi_source(int n, int p, int q, int iters) {
       INTEGER IT
 C$ PROCESSORS P(%d, %d)
 C$ TEMPLATE T(N, N)
-C$ DISTRIBUTE T(BLOCK, BLOCK)
+C$ DISTRIBUTE T(%s, %s)
 C$ ALIGN A(I, J) WITH T(I, J)
 C$ ALIGN B(I, J) WITH T(I, J)
       DO IT = 1, %d
@@ -53,7 +53,7 @@ C$ ALIGN B(I, J) WITH T(I, J)
       END DO
       END PROGRAM JACOBI
 )",
-                   n, p, q, iters);
+                   n, p, q, dist, dist, iters);
 }
 
 std::string fft_source(int nx, int nprocs, int stages) {

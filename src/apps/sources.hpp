@@ -13,12 +13,16 @@ namespace f90d::apps {
 
 /// GE on an N x (N+1) REAL system, column distributed: DISTRIBUTE (*, dist)
 /// onto a 1-D grid of `nprocs` (paper Table 4 setup uses BLOCK; CYCLIC
-/// spreads the shrinking active submatrix for better load balance).
+/// spreads the shrinking active submatrix for better load balance, and
+/// block-cyclic "CYCLIC(k)" balances without full element scatter).
 [[nodiscard]] std::string gauss_source(int n, int nprocs,
                                        const char* dist = "BLOCK");
 
-/// Jacobi relaxation on an N x N grid, (BLOCK, BLOCK) on p x q processors.
-[[nodiscard]] std::string jacobi_source(int n, int p, int q, int iters);
+/// Jacobi relaxation on an N x N grid, (dist, dist) on p x q processors
+/// (BLOCK by default; "CYCLIC(k)" exercises the temporary-shift path for
+/// the stencil's nearest-neighbour accesses).
+[[nodiscard]] std::string jacobi_source(int n, int p, int q, int iters,
+                                        const char* dist = "BLOCK");
 
 /// One FFT butterfly stage sweep: the non-canonical lhs example.
 [[nodiscard]] std::string fft_source(int nx, int nprocs, int stages);

@@ -33,6 +33,16 @@ AffineSub compose_align(const AffineSub& sub, const DimMap& m,
   return t;
 }
 
+/// Identical stage-2 distribution of two dimensions: same kind, template
+/// domain and CYCLIC(k) block size on the same grid dimension — the
+/// precondition for comparing their subscripts in a common template index
+/// space (Table 1) or for declaring an (i, i) pair communication-free.
+bool same_distribution(const DimMap& a, const DimMap& b) {
+  return a.kind == b.kind && a.grid_dim == b.grid_dim &&
+         a.template_extent == b.template_extent &&
+         (a.kind != DistKind::kCyclic || a.block == b.block);
+}
+
 /// Count floating-point operations in an elementwise expression (bulk cost
 /// charged per iteration by the simulator).
 double count_flops(const Expr& e) {
@@ -363,8 +373,35 @@ class Generator {
     }
 
     n->flops_per_iter = count_flops(*n->rhs) + (n->mask ? count_flops(*n->mask) : 0);
+    mark_enumerated_partitions(*n);
     run_stmt_optimizations(*n);
     return n;
+  }
+
+  /// A strided range over a block-cyclic CYCLIC(k>1) dimension owns local
+  /// indices that form no arithmetic progression; tag those partitions so
+  /// the emitter loops over an explicit set_BOUND_list instead of a
+  /// lb:ub:st triplet.  Unit strides (and their descending twins, which
+  /// set_BOUND normalizes) keep contiguous local ranks and stay uniform.
+  void mark_enumerated_partitions(SpmdStmt& n) const {
+    for (IndexPartition& ip : n.indices) {
+      if (ip.array.empty()) continue;
+      const Dad* dad = dad_of(ip.array);
+      if (dad == nullptr) continue;
+      const DimMap& m = dad->dim(ip.dim);
+      if (m.kind != DistKind::kCyclic || m.block <= 1) continue;
+      ip.enumerated = !is_unit_stride(ip.st);
+    }
+  }
+
+  [[nodiscard]] static bool is_unit_stride(const ast::ExprPtr& st) {
+    if (!st) return true;
+    if (st->kind == ExprKind::kIntLit)
+      return st->int_value == 1 || st->int_value == -1;
+    if (st->kind == ExprKind::kUnOp && st->un_op == UnOpKind::kNeg &&
+        st->args[0]->kind == ExprKind::kIntLit)
+      return st->args[0]->int_value == 1;
+    return false;
   }
 
   /// Collect array references (pre-order) from an elementwise expression.
@@ -467,13 +504,23 @@ class Generator {
         }
         continue;
       }
+      // Two different interleavings on the same grid dim — e.g. lhs
+      // CYCLIC(2) vs rhs CYCLIC(3) — own different element sets even for
+      // (i, i), so they must fall through to the unstructured
+      // (schedule-based) path.
+      if (!same_distribution(lhs_dad->dim(lhs_d), m)) {
+        if (dim_covered_by_partition(n, ref, d, sub))
+          state[static_cast<size_t>(d)] = DimState::kLocal;
+        continue;
+      }
       const AffineSub lhs_t = compose_align(
           n.refs[0].subs[static_cast<size_t>(lhs_d)], lhs_dad->dim(lhs_d),
           lower_of(n.refs[0].array, lhs_d));
       const AffineSub rhs_t =
           compose_align(sub, m, lower_of(ref.array, d));
-      const Table1Row row =
-          classify_pair(lhs_t, rhs_t, m.kind == DistKind::kBlock);
+      // CYCLIC and CYCLIC(k) dims take the temporary-shift row of Table 1
+      // for constant shifts; only BLOCK earns overlap areas.
+      const Table1Row row = classify_pair(lhs_t, rhs_t, m);
       switch (row) {
         case Table1Row::kNoComm:
           state[static_cast<size_t>(d)] = DimState::kLocal;
@@ -636,10 +683,8 @@ class Generator {
         canon.coefs[v] = 1;
         const AffineSub sa = compose_align(canon, a, la);
         const AffineSub sb = compose_align(sub, b, lb);
-        if (a.kind == b.kind && a.grid_dim == b.grid_dim &&
-            a.template_extent == b.template_extent &&
-            classify_pair(sa, sb, a.kind == DistKind::kBlock) ==
-                Table1Row::kNoComm)
+        if (same_distribution(a, b) &&
+            classify_pair(sa, sb, a) == Table1Row::kNoComm)
           return true;
       }
       return false;
@@ -791,6 +836,7 @@ class Generator {
       n->pre.push_back(std::move(a));
     }
     n->flops_per_iter = count_flops(*n->rhs) + 1;
+    mark_enumerated_partitions(*n);
     bump(("reduce:" + s.reduce_op).c_str());
     return n;
   }

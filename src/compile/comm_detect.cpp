@@ -69,6 +69,11 @@ Table1Row classify_pair(const AffineSub& lhs_sub, const AffineSub& rhs_sub,
   return block_dist ? Table1Row::kOverlapShift : Table1Row::kTemporaryShift;
 }
 
+Table1Row classify_pair(const AffineSub& lhs_sub, const AffineSub& rhs_sub,
+                        const rts::DimMap& dim) {
+  return classify_pair(lhs_sub, rhs_sub, dim.kind == rts::DistKind::kBlock);
+}
+
 Table2Read classify_read(const AffineSub& sub) {
   if (sub.kind == AffineSub::Kind::kVector) return Table2Read::kGather;
   if (sub.kind == AffineSub::Kind::kAffine && sub.coefs.size() <= 1)

@@ -33,6 +33,16 @@ enum class Table1Row {
                                       const AffineSub& rhs_sub,
                                       bool block_dist);
 
+/// Distribution-aware wrapper: derives `block_dist` from the dimension's
+/// DimMap.  Only BLOCK qualifies for the overlap-shift row — CYCLIC and
+/// block-cyclic CYCLIC(k) take the temporary-shift row of Table 1, because
+/// a constant shift crosses a processor boundary at every k-cell block edge
+/// and ghost cells would be needed around each block, not just at the two
+/// ends of one contiguous chunk.
+[[nodiscard]] Table1Row classify_pair(const AffineSub& lhs_sub,
+                                      const AffineSub& rhs_sub,
+                                      const rts::DimMap& dim);
+
 /// Table 2, read side: how an untagged distributed RHS reference is brought
 /// in before the computation.
 enum class Table2Read {

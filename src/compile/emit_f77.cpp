@@ -124,23 +124,39 @@ class Emitter {
         int b = 1;
         for (const IndexPartition& ip : s.indices) {
           std::ostringstream sb;
-          sb << "call set_BOUND(lb" << b << ",ub" << b << ",st" << b << ","
-             << expr_str(ip.lo) << "," << expr_str(ip.hi) << ","
-             << (ip.st ? expr_str(ip.st) : "1");
-          if (!ip.array.empty())
-            sb << "," << ip.array << "_DIST," << ip.dim + 1;
-          else if (ip.synth_grid_dim >= 0)
-            sb << ",BLOCK," << ip.synth_grid_dim + 1;
-          sb << ")";
+          if (ip.enumerated) {
+            // Strided block-cyclic ranges own no lb:ub:st triplet: the
+            // runtime returns an explicit local index list instead.
+            sb << "call set_BOUND_list(cnt" << b << ",idx" << b << ","
+               << expr_str(ip.lo) << "," << expr_str(ip.hi) << ","
+               << (ip.st ? expr_str(ip.st) : "1") << "," << ip.array
+               << "_DIST," << ip.dim + 1 << ")";
+          } else {
+            sb << "call set_BOUND(lb" << b << ",ub" << b << ",st" << b << ","
+               << expr_str(ip.lo) << "," << expr_str(ip.hi) << ","
+               << (ip.st ? expr_str(ip.st) : "1");
+            if (!ip.array.empty())
+              sb << "," << ip.array << "_DIST," << ip.dim + 1;
+            else if (ip.synth_grid_dim >= 0)
+              sb << ",BLOCK," << ip.synth_grid_dim + 1;
+            sb << ")";
+          }
           line(sb.str());
           ++b;
         }
         for (const CommAction& a : s.pre) emit_action(a, s);
         b = 1;
         for (const IndexPartition& ip : s.indices) {
-          line("DO " + ip.var + " = lb" + std::to_string(b) + ", ub" +
-               std::to_string(b) + ", st" + std::to_string(b));
-          ++indent_;
+          if (ip.enumerated) {
+            line("DO L" + std::to_string(b) + " = 1, cnt" + std::to_string(b));
+            ++indent_;
+            line(ip.var + " = idx" + std::to_string(b) + "(L" +
+                 std::to_string(b) + ")");
+          } else {
+            line("DO " + ip.var + " = lb" + std::to_string(b) + ", ub" +
+                 std::to_string(b) + ", st" + std::to_string(b));
+            ++indent_;
+          }
           ++b;
         }
         if (s.mask) {

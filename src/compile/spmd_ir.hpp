@@ -90,6 +90,11 @@ struct IndexPartition {
   std::string array;
   int dim = -1;
   int synth_grid_dim = -1;
+  /// True when the local iteration set may not be an arithmetic
+  /// progression (strided range over a block-cyclic CYCLIC(k>1)
+  /// dimension): the node program must loop over an explicit index list
+  /// (set_BOUND_list) instead of a lb:ub:st triplet.
+  bool enumerated = false;
 
   [[nodiscard]] bool partitioned() const {
     return !array.empty() || synth_grid_dim >= 0;

@@ -176,11 +176,20 @@ struct AlignDirective {
   SourceLoc loc;
 };
 
-/// C$ DISTRIBUTE T(BLOCK, CYCLIC) [ONTO P]
+/// C$ DISTRIBUTE T(BLOCK, CYCLIC, CYCLIC(k)) [ONTO P]
 enum class DistSpec { kBlock, kCyclic, kStar };
+
+/// One dimension of a DISTRIBUTE directive: the distribution kind plus the
+/// optional CYCLIC(k) block-size expression (null means k = 1, i.e. the
+/// element-wise round-robin CYCLIC; constant-folded by sema).
+struct DistDim {
+  DistSpec kind = DistSpec::kStar;
+  ExprPtr block;
+};
+
 struct DistributeDirective {
   std::string templ;
-  std::vector<DistSpec> specs;
+  std::vector<DistDim> specs;
   std::string onto;  ///< processors arrangement name (may be empty)
   SourceLoc loc;
 };

@@ -285,21 +285,33 @@ class Parser {
   }
 
   DistributeDirective parse_distribute() {
-    // DISTRIBUTE T(BLOCK, CYCLIC) [ONTO P]
+    // DISTRIBUTE T(BLOCK, CYCLIC, CYCLIC(k)) [ONTO P]
     DistributeDirective d;
     d.loc = peek().loc;
     d.templ = expect_ident();
     expect(TokKind::kLParen, "(");
     for (;;) {
+      DistDim dim;
       if (accept(TokKind::kStar)) {
-        d.specs.push_back(DistSpec::kStar);
+        dim.kind = DistSpec::kStar;
       } else {
         const SourceLoc loc = peek().loc;
         const std::string kw = expect_ident();
-        if (kw == "BLOCK") d.specs.push_back(DistSpec::kBlock);
-        else if (kw == "CYCLIC") d.specs.push_back(DistSpec::kCyclic);
-        else throw ParseError(loc, "expected BLOCK, CYCLIC or *");
+        if (kw == "BLOCK") {
+          dim.kind = DistSpec::kBlock;
+        } else if (kw == "CYCLIC") {
+          dim.kind = DistSpec::kCyclic;
+          // Block-cyclic CYCLIC(k): any constant integer expression; sema
+          // folds it (so PARAMETERs work) and checks k >= 1.
+          if (accept(TokKind::kLParen)) {
+            dim.block = parse_expr();
+            expect(TokKind::kRParen, ")");
+          }
+        } else {
+          throw ParseError(loc, "expected BLOCK, CYCLIC, CYCLIC(k) or *");
+        }
       }
+      d.specs.push_back(std::move(dim));
       if (!accept(TokKind::kComma)) break;
     }
     expect(TokKind::kRParen, ")");

@@ -156,9 +156,28 @@ class Analyzer {
       info.name = t.name;
       for (const ExprPtr& e : t.extents)
         info.extents.push_back(eval_int_const(*e, syms_));
-      info.dist.assign(info.extents.size(), DistSpec::kStar);
+      info.dist.assign(info.extents.size(), DistInfo{});
       templates_.emplace(t.name, std::move(info));
     }
+  }
+
+  /// Fold the DISTRIBUTE dimension specs: evaluate CYCLIC(k) block sizes
+  /// (PARAMETERs allowed) and validate them.
+  std::vector<DistInfo> analyze_dist_specs(const DistributeDirective& d) {
+    std::vector<DistInfo> out;
+    out.reserve(d.specs.size());
+    for (const DistDim& dim : d.specs) {
+      DistInfo info;
+      info.kind = dim.kind;
+      if (dim.block) {
+        info.block = eval_int_const(*dim.block, syms_);
+        if (info.block < 1)
+          throw SemaError(d.loc, "CYCLIC block size must be >= 1 in "
+                                 "DISTRIBUTE of " + d.templ);
+      }
+      out.push_back(info);
+    }
+    return out;
   }
 
   void attach_directives() {
@@ -168,7 +187,7 @@ class Analyzer {
         TemplateInfo& t = it->second;
         if (d.specs.size() != t.extents.size())
           throw SemaError(d.loc, "DISTRIBUTE rank mismatch for " + d.templ);
-        t.dist = d.specs;
+        t.dist = analyze_dist_specs(d);
         t.distributed = true;
         continue;
       }
@@ -184,7 +203,7 @@ class Analyzer {
       TemplateInfo info;
       info.name = d.templ;
       info.extents = s.extent;
-      info.dist = d.specs;
+      info.dist = analyze_dist_specs(d);
       info.distributed = true;
       templates_.emplace(d.templ, std::move(info));
     }

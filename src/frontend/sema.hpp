@@ -28,11 +28,18 @@ struct Symbol {
   [[nodiscard]] int rank() const { return static_cast<int>(extent.size()); }
 };
 
+/// One analyzed DISTRIBUTE dimension: the kind plus the constant-folded
+/// CYCLIC(k) block size (1 for plain CYCLIC; unused for BLOCK and '*').
+struct DistInfo {
+  ast::DistSpec kind = ast::DistSpec::kStar;
+  long long block = 1;
+};
+
 struct TemplateInfo {
   std::string name;
   std::vector<long long> extents;
-  std::vector<ast::DistSpec> dist;  ///< per template dim; sized at rank
-  bool distributed = false;         ///< a DISTRIBUTE directive names it
+  std::vector<DistInfo> dist;  ///< per template dim; sized at rank
+  bool distributed = false;    ///< a DISTRIBUTE directive names it
 };
 
 struct ProcessorsInfo {

@@ -71,11 +71,21 @@ struct Value {
   }
 };
 
-/// One local iteration range of a forall variable (uniform stride).
+/// One local iteration range of a forall variable.  Uniform-stride ranges
+/// (BLOCK, CYCLIC, collapsed) use val0/step; block-cyclic CYCLIC(k) ranges
+/// may be irregular, in which case `values` enumerates the iteration values
+/// explicitly (val0/step still describe the first element for callers that
+/// only need it).
 struct VarRange {
   Index val0 = 0;   ///< first value (source coordinates)
   Index step = 1;
   Index count = 0;
+  std::vector<Index> values;  ///< non-empty = explicit enumeration
+
+  [[nodiscard]] Index value_at(Index i) const {
+    return values.empty() ? val0 + i * step
+                          : values[static_cast<size_t>(i)];
+  }
 };
 
 struct Shared {
@@ -405,6 +415,52 @@ class Node {
     Index count = 0;
   };
 
+  /// Convert one set_BOUND result into the iteration values of a forall
+  /// variable (source coordinates).  For BLOCK and CYCLIC(1) a uniform
+  /// local range maps to a uniform global progression, so the triplet
+  /// stays symbolic.  For block-cyclic CYCLIC(k>1) even a contiguous
+  /// local range crosses course boundaries in global space (locals
+  /// 0,1,2,3 may be globals 2,3,6,7), so every local index is mapped
+  /// through mu^-1 explicitly; the list collapses back to a progression
+  /// when it happens to be uniform.
+  VarRange range_from_bound(const Dad& dad, int dim, int coord,
+                            long long lower, const rts::LocalRange& lr,
+                            Index st) {
+    VarRange r;
+    if (lr.empty) {
+      r.count = 0;
+      return r;
+    }
+    r.count = lr.count();
+    const rts::DimMap& m = dad.dim(dim);
+    const bool block_cyclic =
+        m.kind == DistKind::kCyclic && m.block > 1;
+    if (lr.enumerated() || block_cyclic) {
+      r.values.reserve(static_cast<size_t>(r.count));
+      if (lr.enumerated()) {
+        for (Index l : lr.indices)
+          r.values.push_back(dad.global_of_local(dim, l, coord) + lower);
+      } else {
+        for (Index l = lr.lb; l <= lr.ub; l += lr.st)
+          r.values.push_back(dad.global_of_local(dim, l, coord) + lower);
+      }
+      r.val0 = r.values.front();
+      r.step = r.count > 1 ? r.values[1] - r.values[0] : st;
+      bool uniform = true;
+      for (size_t i = 2; i < r.values.size(); ++i)
+        uniform = uniform &&
+                  r.values[i] - r.values[i - 1] == r.step;
+      if (uniform) r.values.clear();  // progression form is exact
+    } else {
+      r.val0 = dad.global_of_local(dim, lr.lb, coord) + lower;
+      r.step = r.count > 1
+                   ? dad.global_of_local(dim, lr.lb + lr.st, coord) + lower -
+                         r.val0
+                   : st;
+    }
+    return r;
+  }
+
   /// Ranges a given processor (grid coords) iterates for the statement, or
   /// nullopt when guards mask it out.
   std::optional<std::vector<VarRange>> ranges_for_coords(
@@ -430,16 +486,7 @@ class Node {
         const int coord = coords[static_cast<size_t>(gd)];
         const rts::LocalRange lr =
             rts::set_bound(dad, ip.dim, coord, lo - lower, hi - lower, st);
-        if (lr.empty) {
-          r.count = 0;
-        } else {
-          r.count = lr.count();
-          r.val0 = dad.global_of_local(ip.dim, lr.lb, coord) + lower;
-          r.step = r.count > 1 ? dad.global_of_local(ip.dim, lr.lb + lr.st,
-                                                     coord) +
-                                     lower - r.val0
-                               : st;
-        }
+        r = range_from_bound(dad, ip.dim, coord, lower, lr, st);
       } else if (ip.synth_grid_dim >= 0) {
         const Index total = trip_count(lo, hi, st);
         const Index p = c_.mapping.grid.extent(ip.synth_grid_dim);
@@ -487,7 +534,7 @@ class Node {
         --k;
         VarState& v = st[k];
         if (++v.counter < v.count) {
-          v.value += ranges[k].step;
+          v.value = ranges[k].value_at(v.counter);
           frame_[s.indices[k].var] = v.value;
           var_state_[s.indices[k].var] = v;
           break;
@@ -811,7 +858,7 @@ class Node {
     VarState st;
     st.count = ranges[k].count;
     for (Index i = 0; i < ranges[k].count; ++i) {
-      st.value = ranges[k].val0 + i * ranges[k].step;
+      st.value = ranges[k].value_at(i);
       st.counter = i;
       frame_[vars[k]] = st.value;
       var_state_[vars[k]] = st;
@@ -846,14 +893,7 @@ class Node {
         const int coord = coords[static_cast<size_t>(gd)];
         const rts::LocalRange lr =
             rts::set_bound(dad, ip.dim, coord, lo - lower, hi - lower, st);
-        if (!lr.empty) {
-          vr.count = lr.count();
-          vr.val0 = dad.global_of_local(ip.dim, lr.lb, coord) + lower;
-          vr.step = vr.count > 1 ? dad.global_of_local(ip.dim, lr.lb + lr.st,
-                                                       coord) +
-                                       lower - vr.val0
-                                 : st;
-        }
+        vr = range_from_bound(dad, ip.dim, coord, lower, lr, st);
       } else if (ip.synth_grid_dim >= 0) {
         const Index total = trip_count(lo, hi, st);
         const Index p = c_.mapping.grid.extent(ip.synth_grid_dim);

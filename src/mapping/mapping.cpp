@@ -21,6 +21,13 @@ DistKind to_kind(ast::DistSpec s) {
   return DistKind::kCollapsed;
 }
 
+/// Stage-2 portion of a DimMap from one analyzed DISTRIBUTE dimension:
+/// kind plus the CYCLIC(k) block size the runtime algebra needs.
+void apply_dist(rts::DimMap& m, const frontend::DistInfo& info) {
+  m.kind = to_kind(info.kind);
+  if (m.kind == DistKind::kCyclic) m.block = info.block;
+}
+
 }  // namespace
 
 MappingTable build_mapping(const SemaResult& sema,
@@ -47,7 +54,7 @@ MappingTable build_mapping(const SemaResult& sema,
     std::vector<int> assignment(tinfo.extents.size(), -1);
     int next_grid_dim = 0;
     for (size_t td = 0; td < tinfo.dist.size(); ++td) {
-      if (tinfo.dist[td] == ast::DistSpec::kStar) continue;
+      if (tinfo.dist[td].kind == ast::DistSpec::kStar) continue;
       if (next_grid_dim >= grid.ndims())
         throw SemaError(SourceLoc{},
                         "template " + name +
@@ -77,7 +84,7 @@ MappingTable build_mapping(const SemaResult& sema,
       const auto& assignment = table.template_grid_dims.at(name);
       for (size_t d = 0; d < extents.size(); ++d) {
         DimMap& m = dims[d];
-        m.kind = to_kind(tinfo.dist[d]);
+        apply_dist(m, tinfo.dist[d]);
         m.template_extent = tinfo.extents[d];
         if (m.kind != DistKind::kCollapsed) {
           m.grid_dim = assignment[d];
@@ -96,7 +103,7 @@ MappingTable build_mapping(const SemaResult& sema,
         if (sub.star) continue;  // replication along this template dim
         const int ad = sub.dummy;
         DimMap& m = dims[static_cast<size_t>(ad)];
-        m.kind = to_kind(tinfo.dist[td]);
+        apply_dist(m, tinfo.dist[td]);
         m.template_extent = tinfo.extents[td];
         if (m.kind == DistKind::kCollapsed) continue;
         m.grid_dim = assignment[td];

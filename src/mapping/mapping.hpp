@@ -1,13 +1,18 @@
 #pragma once
 // Compilation of the distribution directives (paper §3, Figure 2): turns
 // the analyzed PROCESSORS / TEMPLATE / ALIGN / DISTRIBUTE directives into a
-// logical processor grid and one DAD per distributed array.
+// logical processor grid and one DAD per distributed array — i.e. this
+// module *fills in* the §6 descriptor table that rts::DimMap declares
+// (see src/rts/dad.hpp for the field-by-field correspondence).
 //
-//   stage 1: ALIGN  -> per-dimension (stride, offset) onto the template,
-//            converting the 1-based source coordinates to the 0-based
-//            run-time index space;
-//   stage 2: DISTRIBUTE -> BLOCK/CYCLIC DimMaps onto grid dimensions
-//            (distributed template dims are assigned grid dims in order);
+//   stage 1: ALIGN  -> per-dimension (align_stride, align_offset) onto the
+//            template, converting the 1-based source coordinates to the
+//            0-based run-time index space
+//            (t0 = stride*g0 + stride*lower + offset - 1);
+//   stage 2: DISTRIBUTE -> BLOCK / CYCLIC / block-cyclic CYCLIC(k) DimMaps
+//            onto grid dimensions (distributed template dims are assigned
+//            grid dims in order; the folded CYCLIC(k) block size from
+//            frontend::DistInfo lands in DimMap::block);
 //   stage 3: the grid's Gray-code embedding onto the physical machine
 //            (comm::ProcGrid handles phi/phi^-1).
 //
@@ -25,9 +30,16 @@
 
 namespace f90d::mapping {
 
+/// The complete data-mapping result the rest of the compiler consumes:
+/// codegen partitions iterations and classifies communication against the
+/// `dads`, and the interpreter allocates each processor's local pieces
+/// from them.
 struct MappingTable {
+  /// The logical processor arrangement (stage 3 owner).
   comm::ProcGrid grid;
-  /// One descriptor per declared array (replicated if undirected).
+  /// One descriptor per declared array (replicated if undirected).  Each
+  /// Dad carries the full §6 table: shape, per-dimension DimMap (kind,
+  /// grid_dim, CYCLIC(k) block, alignment, overlap) and the grid.
   std::map<std::string, rts::Dad> dads;
   /// Template-dim -> grid-dim assignment per template (for diagnostics).
   std::map<std::string, std::vector<int>> template_grid_dims;

@@ -1,5 +1,6 @@
 #include "rts/dad.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace f90d::rts {
@@ -12,6 +13,22 @@ const char* to_string(DistKind k) {
   }
   return "?";
 }
+
+namespace {
+
+/// Number of template cells t' in [0, t] owned by `coord` under CYCLIC(k)
+/// over p grid coordinates.  Owned cells within each course of k*p cells
+/// are the run [coord*k, coord*k + k - 1].
+Index cyclic_owned_upto(Index t, int coord, Index k, Index p) {
+  if (t < 0) return 0;
+  const Index course = k * p;
+  const Index full = (t / course) * k;  // cells from completed courses
+  const Index r = t % course;           // position within the current course
+  const Index in_run = r - static_cast<Index>(coord) * k + 1;
+  return full + std::clamp<Index>(in_run, 0, k);
+}
+
+}  // namespace
 
 Dad Dad::replicated(std::vector<Index> extents, const comm::ProcGrid& grid) {
   std::vector<DimMap> dims(extents.size());
@@ -37,6 +54,7 @@ Dad::Dad(std::vector<Index> extents, std::vector<DimMap> dims,
       if (m.kind == DistKind::kCyclic) {
         require(m.align_stride == 1,
                 "cyclic distribution requires unit alignment stride");
+        require(m.block >= 1, "CYCLIC(k) block size positive");
       }
       used[static_cast<size_t>(m.grid_dim)] = true;
     }
@@ -69,7 +87,8 @@ int Dad::owner_coord(int d, Index g) const {
   const Index t = m.align_stride * g + m.align_offset;
   require(t >= 0 && t < m.template_extent, "aligned index within template");
   if (m.kind == DistKind::kBlock) return static_cast<int>(t / block_chunk(d));
-  return static_cast<int>(t % grid_.extent(m.grid_dim));  // cyclic
+  // CYCLIC(k): blocks of k cells dealt round-robin (k == 1: t mod P).
+  return static_cast<int>((t / m.block) % grid_.extent(m.grid_dim));
 }
 
 Index Dad::local_of_global(int d, Index g) const {
@@ -95,8 +114,13 @@ Index Dad::local_of_global(int d, Index g) const {
     if (g_first < 0) g_first = 0;
     return g - g_first;
   }
-  // Cyclic (align_stride == 1 enforced): round-robin position.
-  return t / grid_.extent(m.grid_dim);
+  // CYCLIC(k) (align_stride == 1 enforced): local index = rank of t among
+  // the owning coordinate's cells, counting from the first aligned cell
+  // (t >= align_offset).  For k == 1, b == 0 this is the classic t / P.
+  const Index p = grid_.extent(m.grid_dim);
+  const int c = static_cast<int>((t / m.block) % p);
+  return cyclic_owned_upto(t, c, m.block, p) - 1 -
+         cyclic_owned_upto(m.align_offset - 1, c, m.block, p);
 }
 
 Index Dad::global_of_local(int d, Index l, int coord) const {
@@ -118,9 +142,15 @@ Index Dad::global_of_local(int d, Index l, int coord) const {
     if (g_first < 0) g_first = 0;
     return g_first + l;
   }
-  // Cyclic: t = coord + l*P, g = t - b.
-  return static_cast<Index>(coord) +
-         l * grid_.extent(m.grid_dim) - b;
+  // CYCLIC(k): the (l + skipped + 1)-th cell owned by `coord`, where
+  // `skipped` counts owned cells below the alignment origin.  Cells owned
+  // by a coordinate sit course-major: course l'/k, position l'%k inside the
+  // block at coord*k.  (k == 1, b == 0: t = coord + l*P.)
+  const Index p = grid_.extent(m.grid_dim);
+  const Index lp = l + cyclic_owned_upto(b - 1, coord, m.block, p);
+  const Index t = (lp / m.block) * m.block * p +
+                  static_cast<Index>(coord) * m.block + lp % m.block;
+  return t - b;
 }
 
 Index Dad::local_extent(int d, int coord) const {
@@ -149,13 +179,11 @@ Index Dad::local_extent(int d, int coord) const {
     g_hi = std::min<Index>(g_hi, n - 1);
     return g_hi >= g_lo ? g_hi - g_lo + 1 : 0;
   }
-  // Cyclic, a==1: g in [0,n), (g + b) mod P == coord.
+  // CYCLIC(k), a==1: count t in [b, n-1+b] with (t/k) mod P == coord.
   const Index p = grid_.extent(m.grid_dim);
   const Index b = m.align_offset;
-  // First g >= 0 with (g + b) mod P == coord:
-  Index first = ((static_cast<Index>(coord) - b) % p + p) % p;
-  if (first >= n) return 0;
-  return (n - 1 - first) / p + 1;
+  return cyclic_owned_upto(n - 1 + b, coord, m.block, p) -
+         cyclic_owned_upto(b - 1, coord, m.block, p);
 }
 
 int Dad::owner_logical(const std::vector<Index>& gidx,
@@ -185,6 +213,7 @@ bool Dad::same_mapping(const Dad& other) const {
     if (a.grid_dim != b.grid_dim || a.template_extent != b.template_extent ||
         a.align_stride != b.align_stride || a.align_offset != b.align_offset)
       return false;
+    if (a.kind == DistKind::kCyclic && a.block != b.block) return false;
   }
   return true;
 }
@@ -194,8 +223,10 @@ std::string Dad::signature() const {
   os << "r" << rank() << "[";
   for (int d = 0; d < rank(); ++d) {
     const DimMap& m = dim(d);
-    os << extent(d) << ":" << to_string(m.kind) << ":" << m.grid_dim << ":"
-       << m.template_extent << ":" << m.align_stride << ":" << m.align_offset
+    os << extent(d) << ":" << to_string(m.kind);
+    if (m.kind == DistKind::kCyclic && m.block > 1) os << "(" << m.block << ")";
+    os << ":" << m.grid_dim << ":" << m.template_extent << ":"
+       << m.align_stride << ":" << m.align_offset
        << (d + 1 < rank() ? "," : "");
   }
   os << "]g(";

@@ -26,19 +26,38 @@ using Index = long long;
 
 enum class DistKind {
   kBlock,      ///< contiguous chunks of ceil(T/P) template cells
-  kCyclic,     ///< round-robin template cells over the grid dimension
+  kCyclic,     ///< block-cyclic: blocks of `block` cells dealt round-robin;
+               ///< block == 1 is the paper's plain CYCLIC distribution
   kCollapsed,  ///< dimension not distributed ('*'): whole extent everywhere
 };
 
 [[nodiscard]] const char* to_string(DistKind k);
 
-/// Per-array-dimension mapping information.
+/// Per-array-dimension mapping information: one row of the paper's §6
+/// descriptor table.  "The DAD keeps, for each dimension, the distribution
+/// type, distribution block size, ... local and global sizes, local to
+/// global and global to local conversion parameters, and overlap
+/// information."  Field-by-field against that list:
+///
+///   distribution type        -> kind (+ grid_dim: which grid axis it uses)
+///   distribution block size  -> block (CYCLIC(k)); BLOCK derives its chunk
+///                               as ceil(template_extent / P), Dad::block_chunk
+///   global size              -> Dad::extents_ / template_extent
+///   local size               -> computed per coordinate, Dad::local_extent
+///   conversion parameters    -> align_stride/align_offset (stage 1) plus the
+///                               stage-2 mu/mu^-1 methods on Dad
+///   overlap information      -> overlap_lo / overlap_hi (ghost areas, [16])
 struct DimMap {
   DistKind kind = DistKind::kCollapsed;
   int grid_dim = -1;          ///< logical grid dimension; -1 when collapsed
   Index template_extent = 0;  ///< extent of the aligned template dimension
   Index align_stride = 1;     ///< a in t = a*g + b (f of stage 1)
   Index align_offset = 0;     ///< b in t = a*g + b
+  /// Distribution block size: for kCyclic, the CYCLIC(k) block width —
+  /// template cells are dealt to the grid dimension in contiguous runs of
+  /// `block` (block == 1 degenerates to element-wise round-robin CYCLIC).
+  /// Ignored for kBlock (chunk = ceil(T/P)) and kCollapsed.  Must be >= 1.
+  Index block = 1;
   int overlap_lo = 0;         ///< ghost width below (overlap area, ref [16])
   int overlap_hi = 0;         ///< ghost width above
 };
@@ -73,6 +92,11 @@ class Dad {
   [[nodiscard]] Index global_size() const;
 
   // --- stage-2 algebra, per dimension -------------------------------------
+  // BLOCK:      template cell t lives on coord t / ceil(T/P).
+  // CYCLIC(k):  t lives on coord (t / k) mod P; the local index is the rank
+  //             of t among the coordinate's owned cells (course-major:
+  //             course t / (k*P), then position t mod k within the block).
+  //             k == 1 reduces to the classic t mod P round-robin.
   /// Block chunk size: ceil(template_extent / grid_extent).
   [[nodiscard]] Index block_chunk(int d) const;
 

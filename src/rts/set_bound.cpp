@@ -76,6 +76,67 @@ LocalRange set_bound(const Dad& dad, int d, int coord, Index glb, Index gub,
     return r;
   }
 
+  if (m.block > 1) {
+    // Block-cyclic CYCLIC(k): owned template cells come in runs of k every
+    // k*P cells, so the owned subset of a strided range is generally not an
+    // arithmetic progression.
+    const Index p = dad.grid().extent(m.grid_dim);
+    const Index b = m.align_offset;
+    const Index k = m.block;
+    const Index course = k * p;
+    // Template range covered by the global range.
+    const Index t_lo = glb + b, t_hi = gub + b;
+    if (gst == 1) {
+      // Unit stride (the dominant FORALL shape): the owned subset of a
+      // template *interval* has contiguous ranks, so the local range is
+      // lb:ub:1 — computable in O(1) from the first/last owned cell.
+      const Index off = static_cast<Index>(coord) * k;
+      Index first = (t_lo / course) * course + off;
+      if (first + k - 1 < t_lo) first += course;  // block entirely below
+      first = std::max(first, t_lo);
+      Index last_bs = (t_hi / course) * course + off;
+      if (last_bs > t_hi) last_bs -= course;  // block starts past the range
+      const Index last = std::min(last_bs + k - 1, t_hi);
+      if (first > t_hi || last < t_lo || first > last) return r;
+      r.lb = dad.local_of_global(d, first - b);
+      r.ub = dad.local_of_global(d, last - b);
+      r.st = 1;
+      r.empty = false;
+      return r;
+    }
+    // Strided range: enumerate owned blocks and intersect each with the
+    // global lattice {glb, glb+gst, ...}; fall back to the triplet form
+    // when the local indices happen to be uniformly strided.
+    std::vector<Index> locals;
+    // First course containing an owned cell >= t_lo.
+    for (Index t_blk = (t_lo / course) * course + static_cast<Index>(coord) * k;
+         t_blk <= t_hi; t_blk += course) {
+      const Index blk_lo = std::max(t_blk, t_lo);
+      const Index blk_hi = std::min(t_blk + k - 1, t_hi);
+      if (blk_lo > blk_hi) continue;
+      // Lattice points g = glb + j*gst with g+b in [blk_lo, blk_hi].
+      const Index j_lo = ceildiv(blk_lo - b - glb, gst);
+      const Index j_hi = floordiv(blk_hi - b - glb, gst);
+      for (Index j = std::max<Index>(j_lo, 0); j <= j_hi; ++j)
+        locals.push_back(dad.local_of_global(d, glb + j * gst));
+    }
+    if (locals.empty()) return r;
+    r.empty = false;
+    // Uniform stride (or a single point): return the triplet form.
+    bool uniform = true;
+    const Index st0 = locals.size() > 1 ? locals[1] - locals[0] : 1;
+    for (size_t i = 2; i < locals.size(); ++i)
+      uniform = uniform && locals[i] - locals[i - 1] == st0;
+    if (uniform) {
+      r.lb = locals.front();
+      r.ub = locals.back();
+      r.st = st0 > 0 ? st0 : 1;
+      return r;
+    }
+    r.indices = std::move(locals);
+    return r;
+  }
+
   // CYCLIC (align_stride == 1): owned global indices satisfy
   //   (g + b) mod P == coord.
   // Solutions of glb + k*gst = g with that congruence:

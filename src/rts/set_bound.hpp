@@ -12,19 +12,29 @@
 // Our version takes the distribution information from a DAD dimension and
 // the calling processor's grid coordinate.  Indices are 0-based; the global
 // range is inclusive: {glb, glb+gst, ...} up to gub.
+#include <vector>
+
 #include "rts/dad.hpp"
 
 namespace f90d::rts {
 
 /// A local iteration range in local index space (inclusive bounds).
 /// When `empty` the processor is masked out (owns no iterations).
+///
+/// BLOCK and CYCLIC(1) ranges are always uniform (lb:ub:st).  Block-cyclic
+/// CYCLIC(k>1) intersected with a strided global range is in general NOT an
+/// arithmetic progression in local index space; in that case `indices`
+/// holds the explicit ascending local index list and lb/ub/st are unused.
 struct LocalRange {
   Index lb = 0;
   Index ub = -1;
   Index st = 1;
   bool empty = true;
+  std::vector<Index> indices;  ///< non-empty = explicit enumeration form
 
+  [[nodiscard]] bool enumerated() const { return !indices.empty(); }
   [[nodiscard]] Index count() const {
+    if (enumerated()) return static_cast<Index>(indices.size());
     return empty ? 0 : (ub - lb) / st + 1;
   }
 };

@@ -1,0 +1,39 @@
+      DO K = 1, (N-1)
+  C     reduction MAXLOC -> R_1
+        R_1 = MAXLOC_local(ABS(A(I_1,K)))
+        call reduce_tree(R_1, MAXLOC)
+        IM = R_1
+        IF ((IM.NE.K)) THEN
+    C     FORALL compiled: TMPR(I_2) = A(K,I_2)
+          call set_BOUND(lb1,ub1,st1,K,(N+1),1,TMPR_DIST,1)
+          DO I_2 = lb1, ub1, st1
+            TMPR(I_2) = A(K,I_2)
+          END DO
+    C     FORALL compiled: A(K,I_3) = A(IM,I_3)
+          call set_BOUND(lb1,ub1,st1,K,(N+1),1,A_DIST,2)
+          DO I_3 = lb1, ub1, st1
+            A(K,I_3) = A(IM,I_3)
+          END DO
+    C     FORALL compiled: A(IM,I_4) = TMPR(I_4)
+          call set_BOUND(lb1,ub1,st1,K,(N+1),1,A_DIST,2)
+          DO I_4 = lb1, ub1, st1
+            A(IM,I_4) = TMPR(I_4)
+          END DO
+        END IF
+  C     FORALL compiled: L(I_5) = (A(I_5,K)/A(K,K))
+        if (my_proc(2) .ne. global_to_proc(K)) goto 100
+        call set_BOUND(lb1,ub1,st1,(K+1),N,1)
+        DO I_5 = lb1, ub1, st1
+          L(I_5) = (A(I_5,K)/A(K,K))
+        END DO
+        call concatenation(L, VAL)
+        100  continue
+  C     FORALL compiled: A(I,J) = (A(I,J)-(L(I)*A(K,J)))
+        call set_BOUND(lb1,ub1,st1,(K+1),N,1)
+        call set_BOUND(lb2,ub2,st2,(K+1),(N+1),1,A_DIST,2)
+        DO I = lb1, ub1, st1
+          DO J = lb2, ub2, st2
+            A(I,J) = (A(I,J)-(L(I)*A(K,J)))
+          END DO
+        END DO
+      END DO

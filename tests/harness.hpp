@@ -40,15 +40,18 @@ void on_machine(int p, F&& body,
 }
 
 /// 1-D Dad helper: extent-n array distributed with `kind` onto `g`.
+/// `block` is the CYCLIC(k) block size (ignored unless kind is kCyclic).
 inline rts::Dad dist1d(rts::Index n, const comm::ProcGrid& g,
                        rts::DistKind kind = rts::DistKind::kBlock,
-                       int overlap_lo = 0, int overlap_hi = 0) {
+                       int overlap_lo = 0, int overlap_hi = 0,
+                       rts::Index block = 1) {
   rts::DimMap m;
   m.kind = kind;
   m.grid_dim = 0;
   m.template_extent = n;
   m.overlap_lo = overlap_lo;
   m.overlap_hi = overlap_hi;
+  m.block = block;
   return rts::Dad({n}, {m}, g);
 }
 
@@ -109,8 +112,10 @@ inline std::vector<double> jacobi_oracle(int n, int iters) {
   return a;
 }
 
-inline DiffRun run_jacobi(int n, int iters, int p, int q) {
-  auto compiled = compile::compile_source(apps::jacobi_source(n, p, q, iters));
+inline DiffRun run_jacobi(int n, int iters, int p, int q,
+                          const char* dist = "BLOCK") {
+  auto compiled =
+      compile::compile_source(apps::jacobi_source(n, p, q, iters, dist));
   machine::SimMachine m = make_machine(p * q);
   interp::Init init;
   init.real["A"] = [](std::span<const Index> g) {

@@ -81,6 +81,18 @@ TEST(CommDetect, OverlapShiftsForJacobi) {
   EXPECT_NE(c.listing.find("call overlap_shift(A"), std::string::npos);
 }
 
+TEST(CommDetect, TemporaryShiftsForBlockCyclicJacobi) {
+  // The same stencil on CYCLIC(2) dims must take the temporary-shift row
+  // of Table 1: a constant shift crosses a processor boundary at every
+  // 2-cell block edge, so overlap areas do not apply and no ghost widths
+  // may be recorded.
+  auto c = compile_source(apps::jacobi_source(16, 2, 2, 1, "CYCLIC(2)"));
+  EXPECT_EQ(count_action(c, "overlap_shift"), 0);
+  EXPECT_EQ(count_action(c, "temporary_shift"), 4);
+  EXPECT_EQ(c.program.overlaps.count("A"), 0u);
+  EXPECT_NE(c.listing.find("call temporary_shift(A"), std::string::npos);
+}
+
 TEST(CommDetect, TemporaryShiftForRuntimeAmount) {
   auto c = compile_stmt(
       "      FORALL (I = 1:N, J = 1:M-4) A(I, J) = B(I, J + S)");

@@ -19,27 +19,41 @@ using rts::Index;
 using rts::LocalRange;
 
 Dad make1d(Index n, int p, DistKind kind, Index a = 1, Index b = 0,
-           Index template_extent = -1) {
+           Index template_extent = -1, Index block = 1) {
   DimMap m;
   m.kind = kind;
   m.grid_dim = 0;
   m.template_extent = template_extent < 0 ? (a > 0 ? a * n + b : n + b) : template_extent;
   m.align_stride = a;
   m.align_offset = b;
+  m.block = block;
   return Dad({n}, {m}, comm::ProcGrid({p}));
+}
+
+/// Iterate a LocalRange in either of its forms (uniform triplet or the
+/// explicit enumeration block-cyclic ranges may produce).
+template <typename F>
+void for_each_local(const LocalRange& r, F&& f) {
+  if (r.empty) return;
+  if (r.enumerated()) {
+    for (Index l : r.indices) f(l);
+    return;
+  }
+  for (Index l = r.lb; l <= r.ub; l += r.st) f(l);
 }
 
 struct DistCase {
   Index n;
   int p;
   DistKind kind;
+  Index block = 1;  ///< CYCLIC(k) block size
 };
 
 class DistAlgebra : public ::testing::TestWithParam<DistCase> {};
 
 TEST_P(DistAlgebra, OwnershipPartitionsEveryElementExactlyOnce) {
-  const auto [n, p, kind] = GetParam();
-  Dad dad = make1d(n, p, kind);
+  const auto [n, p, kind, block] = GetParam();
+  Dad dad = make1d(n, p, kind, 1, 0, -1, block);
   std::vector<Index> seen(static_cast<size_t>(n), 0);
   Index total = 0;
   for (int c = 0; c < p; ++c) {
@@ -61,16 +75,15 @@ TEST_P(DistAlgebra, OwnershipPartitionsEveryElementExactlyOnce) {
 }
 
 TEST_P(DistAlgebra, SetBoundCoversStridedRangesExactlyOnce) {
-  const auto [n, p, kind] = GetParam();
-  Dad dad = make1d(n, p, kind);
+  const auto [n, p, kind, block] = GetParam();
+  Dad dad = make1d(n, p, kind, 1, 0, -1, block);
   for (Index st : {1, 2, 3, 5}) {
     for (Index lo : {Index{0}, Index{1}, n / 3}) {
       const Index hi = n - 1;
       std::multiset<Index> visited;
       for (int c = 0; c < p; ++c) {
         const LocalRange r = rts::set_bound(dad, 0, c, lo, hi, st);
-        if (r.empty) continue;
-        for (Index l = r.lb; l <= r.ub; l += r.st) {
+        for_each_local(r, [&](Index l) {
           const Index g = dad.global_of_local(0, l, c);
           // Owned and on the lattice lo, lo+st, ...
           EXPECT_EQ(dad.owner_coord(0, g), c);
@@ -78,7 +91,7 @@ TEST_P(DistAlgebra, SetBoundCoversStridedRangesExactlyOnce) {
           EXPECT_GE(g, lo);
           EXPECT_LE(g, hi);
           visited.insert(g);
-        }
+        });
       }
       // Exactly the global iteration set, each element once.
       std::multiset<Index> expected;
@@ -90,18 +103,14 @@ TEST_P(DistAlgebra, SetBoundCoversStridedRangesExactlyOnce) {
 }
 
 TEST_P(DistAlgebra, SetBoundNegativeStrideMatchesAscendingSet) {
-  const auto [n, p, kind] = GetParam();
-  Dad dad = make1d(n, p, kind);
+  const auto [n, p, kind, block] = GetParam();
+  Dad dad = make1d(n, p, kind, 1, 0, -1, block);
   std::multiset<Index> down, up;
   for (int c = 0; c < p; ++c) {
     const LocalRange d = rts::set_bound(dad, 0, c, n - 1, 0, -2);
-    if (!d.empty)
-      for (Index l = d.lb; l <= d.ub; l += d.st)
-        down.insert(dad.global_of_local(0, l, c));
+    for_each_local(d, [&](Index l) { down.insert(dad.global_of_local(0, l, c)); });
     const LocalRange u = rts::set_bound(dad, 0, c, (n - 1) % 2, n - 1, 2);
-    if (!u.empty)
-      for (Index l = u.lb; l <= u.ub; l += u.st)
-        up.insert(dad.global_of_local(0, l, c));
+    for_each_local(u, [&](Index l) { up.insert(dad.global_of_local(0, l, c)); });
   }
   EXPECT_EQ(down, up);
 }
@@ -118,7 +127,16 @@ INSTANTIATE_TEST_SUITE_P(
                       DistCase{100, 7, DistKind::kCyclic},
                       DistCase{1023, 16, DistKind::kCyclic},
                       DistCase{5, 8, DistKind::kBlock},
-                      DistCase{5, 8, DistKind::kCyclic}));
+                      DistCase{5, 8, DistKind::kCyclic},
+                      // Block-cyclic CYCLIC(k): even/ragged courses, k both
+                      // dividing and not dividing n, and P*k > n.
+                      DistCase{16, 4, DistKind::kCyclic, 2},
+                      DistCase{17, 4, DistKind::kCyclic, 2},
+                      DistCase{23, 4, DistKind::kCyclic, 3},
+                      DistCase{100, 7, DistKind::kCyclic, 4},
+                      DistCase{1023, 16, DistKind::kCyclic, 5},
+                      DistCase{5, 8, DistKind::kCyclic, 2},
+                      DistCase{7, 2, DistKind::kCyclic, 16}));
 
 TEST(DadAlignment, OffsetAlignmentShiftsOwnership) {
   // ALIGN A(I) WITH T(I+2) on T(12) BLOCK over 3 procs: chunk 4.
@@ -153,6 +171,99 @@ TEST(DadAlignment, CyclicOffsetRoundRobins) {
   Dad dad = make1d(10, 4, DistKind::kCyclic, 1, 1, 16);
   for (Index g = 0; g < 10; ++g)
     EXPECT_EQ(dad.owner_coord(0, g), static_cast<int>((g + 1) % 4));
+}
+
+TEST(DadBlockCyclic, Cyclic1MatchesPlainCyclicEverywhere) {
+  // CYCLIC(1) must degenerate to the element-wise round-robin exactly:
+  // same owners, same local indices, same set_BOUND ranges.
+  const Index n = 29;
+  const int p = 4;
+  Dad plain = make1d(n, p, DistKind::kCyclic);
+  Dad k1 = make1d(n, p, DistKind::kCyclic, 1, 0, -1, 1);
+  for (Index g = 0; g < n; ++g) {
+    EXPECT_EQ(plain.owner_coord(0, g), k1.owner_coord(0, g));
+    EXPECT_EQ(plain.local_of_global(0, g), k1.local_of_global(0, g));
+  }
+  for (int c = 0; c < p; ++c) {
+    EXPECT_EQ(plain.local_extent(0, c), k1.local_extent(0, c));
+    const LocalRange a = rts::set_bound(plain, 0, c, 1, n - 1, 2);
+    const LocalRange b = rts::set_bound(k1, 0, c, 1, n - 1, 2);
+    EXPECT_EQ(a.empty, b.empty);
+    EXPECT_EQ(a.lb, b.lb);
+    EXPECT_EQ(a.ub, b.ub);
+    EXPECT_EQ(a.st, b.st);
+  }
+  EXPECT_TRUE(plain.same_mapping(k1));
+}
+
+TEST(DadBlockCyclic, Cyclic2DealsPairsRoundRobin) {
+  // T(12) CYCLIC(2) over 3 procs: cells 0,1 -> 0; 2,3 -> 1; 4,5 -> 2;
+  // 6,7 -> 0; ...  Local indices are course-major within each owner.
+  Dad dad = make1d(12, 3, DistKind::kCyclic, 1, 0, -1, 2);
+  const int want_owner[12] = {0, 0, 1, 1, 2, 2, 0, 0, 1, 1, 2, 2};
+  const Index want_local[12] = {0, 1, 0, 1, 0, 1, 2, 3, 2, 3, 2, 3};
+  for (Index g = 0; g < 12; ++g) {
+    EXPECT_EQ(dad.owner_coord(0, g), want_owner[g]) << "g=" << g;
+    EXPECT_EQ(dad.local_of_global(0, g), want_local[g]) << "g=" << g;
+    EXPECT_EQ(dad.global_of_local(0, want_local[g], want_owner[g]), g);
+  }
+  for (int c = 0; c < 3; ++c) EXPECT_EQ(dad.local_extent(0, c), 4);
+}
+
+TEST(DadBlockCyclic, OversizeBlockBehavesLikeBlock) {
+  // k >= ceil(T/P) puts everything in the first course: CYCLIC(8) on T(16)
+  // over 2 procs owns [0,7] / [8,15], same partition as BLOCK.
+  Dad bc = make1d(16, 2, DistKind::kCyclic, 1, 0, -1, 8);
+  Dad blk = make1d(16, 2, DistKind::kBlock);
+  for (Index g = 0; g < 16; ++g) {
+    EXPECT_EQ(bc.owner_coord(0, g), blk.owner_coord(0, g));
+    EXPECT_EQ(bc.local_of_global(0, g), blk.local_of_global(0, g));
+  }
+}
+
+TEST(DadBlockCyclic, SetBoundEnumeratesIrregularRanges) {
+  // T(16) CYCLIC(2) over 2 procs: coord 0 owns globals {0,1,4,5,8,9,12,13}
+  // (locals 0..7).  The strided range 0:15:3 = {0,3,6,9,12,15} hits coord
+  // 0 at globals {0,9,12} -> locals {0,5,6}: not an arithmetic
+  // progression, so set_BOUND must return the enumerated form.
+  Dad dad = make1d(16, 2, DistKind::kCyclic, 1, 0, -1, 2);
+  const LocalRange r = rts::set_bound(dad, 0, 0, 0, 15, 3);
+  ASSERT_FALSE(r.empty);
+  ASSERT_TRUE(r.enumerated());
+  EXPECT_EQ(r.indices, (std::vector<Index>{0, 5, 6}));
+  // Coord 1 gets globals {3,6,15} -> locals {1,2,7}, also irregular.
+  const LocalRange r1 = rts::set_bound(dad, 0, 1, 0, 15, 3);
+  ASSERT_FALSE(r1.empty);
+  ASSERT_TRUE(r1.enumerated());
+  EXPECT_EQ(r1.indices, (std::vector<Index>{1, 2, 7}));
+  // A unit-stride range over one whole course is locally contiguous: the
+  // triplet form survives.
+  const LocalRange r2 = rts::set_bound(dad, 0, 0, 0, 3, 1);
+  ASSERT_FALSE(r2.empty);
+  EXPECT_FALSE(r2.enumerated());
+  EXPECT_EQ(r2.lb, 0);
+  EXPECT_EQ(r2.ub, 1);
+  EXPECT_EQ(r2.st, 1);
+}
+
+TEST(DadBlockCyclic, SignatureAndMappingDistinguishBlockSizes) {
+  Dad k2 = make1d(16, 4, DistKind::kCyclic, 1, 0, -1, 2);
+  Dad k3 = make1d(16, 4, DistKind::kCyclic, 1, 0, -1, 3);
+  Dad k1 = make1d(16, 4, DistKind::kCyclic);
+  EXPECT_NE(k2.signature(), k3.signature());
+  EXPECT_NE(k2.signature(), k1.signature());
+  EXPECT_FALSE(k2.same_mapping(k3));
+  EXPECT_FALSE(k2.same_mapping(k1));
+  EXPECT_TRUE(k2.same_mapping(make1d(16, 4, DistKind::kCyclic, 1, 0, -1, 2)));
+}
+
+TEST(DadBlockCyclic, RejectsNonPositiveBlock) {
+  DimMap m;
+  m.kind = DistKind::kCyclic;
+  m.grid_dim = 0;
+  m.template_extent = 16;
+  m.block = 0;
+  EXPECT_THROW(Dad({16}, {m}, comm::ProcGrid({4})), Error);
 }
 
 TEST(Dad, CyclicRejectsNonUnitAlignmentStride) {

@@ -57,6 +57,30 @@ TEST(EmitListing, JacobiShowsOverlapShifts) {
             std::string::npos);
 }
 
+TEST(EmitListing, StridedBlockCyclicLoopsOverIndexList) {
+  // A strided FORALL over a CYCLIC(2) dimension owns local indices that
+  // form no lb:ub:st triplet (e.g. {0,5,6} — see the set_BOUND unit
+  // tests), so the node program must loop over an explicit index list.
+  auto c = compile_source(R"(PROGRAM SBC
+      INTEGER N
+      PARAMETER (N = 16)
+      REAL A(N)
+C$ PROCESSORS P(2)
+C$ TEMPLATE T(N)
+C$ DISTRIBUTE T(CYCLIC(2))
+C$ ALIGN A(I) WITH T(I)
+      FORALL (I = 1:16:3) A(I) = 2.0
+      END PROGRAM SBC
+)");
+  EXPECT_NE(c.listing.find("call set_BOUND_list(cnt1,idx1,1,16,3,A_DIST,1)"),
+            std::string::npos);
+  EXPECT_NE(c.listing.find("DO L1 = 1, cnt1"), std::string::npos);
+  EXPECT_NE(c.listing.find("I = idx1(L1)"), std::string::npos);
+  // Unit-stride block-cyclic loops keep the classic triplet form.
+  auto u = compile_source(apps::gauss_source(16, 4, "CYCLIC(2)"));
+  EXPECT_EQ(u.listing.find("set_BOUND_list"), std::string::npos);
+}
+
 TEST(Driver, GridOverrideMustMatchMachine) {
   // Compile for 8 although the source says 4: the grid override wins.
   auto c = compile_source(apps::gauss_source(16, 4), {8});

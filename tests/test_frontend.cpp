@@ -137,6 +137,51 @@ TEST(Parser, Errors) {
   EXPECT_THROW(parse_program("REAL A(10)\n"), ParseError);  // no PROGRAM
 }
 
+TEST(Parser, DistributeBlockCyclic) {
+  ast::Program p = parse_program(R"(PROGRAM BC
+      REAL A(24, 24)
+C$ TEMPLATE T(24, 24)
+C$ DISTRIBUTE T(CYCLIC(2), CYCLIC)
+C$ ALIGN A(I, J) WITH T(I, J)
+      END PROGRAM BC
+)");
+  ASSERT_EQ(p.distributes.size(), 1u);
+  const ast::DistributeDirective& d = p.distributes[0];
+  ASSERT_EQ(d.specs.size(), 2u);
+  EXPECT_EQ(d.specs[0].kind, ast::DistSpec::kCyclic);
+  ASSERT_NE(d.specs[0].block, nullptr);
+  EXPECT_EQ(d.specs[0].block->int_value, 2);
+  EXPECT_EQ(d.specs[1].kind, ast::DistSpec::kCyclic);
+  EXPECT_EQ(d.specs[1].block, nullptr);  // plain CYCLIC: k defaults to 1
+}
+
+TEST(Sema, BlockCyclicFoldsParameterBlockSizes) {
+  SemaResult r = analyze(parse_program(R"(PROGRAM BC
+      INTEGER KB
+      PARAMETER (KB = 3)
+      REAL A(24)
+C$ TEMPLATE T(24)
+C$ DISTRIBUTE T(CYCLIC(KB))
+C$ ALIGN A(I) WITH T(I)
+      END PROGRAM BC
+)"));
+  const TemplateInfo& t = r.templates.at("T");
+  ASSERT_EQ(t.dist.size(), 1u);
+  EXPECT_EQ(t.dist[0].kind, ast::DistSpec::kCyclic);
+  EXPECT_EQ(t.dist[0].block, 3);
+}
+
+TEST(Sema, BlockCyclicRejectsNonPositiveBlockSize) {
+  EXPECT_THROW(analyze(parse_program(R"(PROGRAM BC
+      REAL A(24)
+C$ TEMPLATE T(24)
+C$ DISTRIBUTE T(CYCLIC(0))
+C$ ALIGN A(I) WITH T(I)
+      END PROGRAM BC
+)")),
+               SemaError);
+}
+
 TEST(Sema, SymbolsAndParameterFolding) {
   SemaResult r = analyze(parse_program(kSmallProgram));
   const Symbol& n = r.symbols.at("N");

@@ -83,6 +83,14 @@ TEST(GoldenListing, GaussCyclicP4) {
       compile::compile_source(apps::gauss_source(16, 4, "CYCLIC")).listing);
 }
 
+TEST(GoldenListing, GaussCyclic2P4) {
+  // Block-cyclic CYCLIC(2): same temporary-shift communication shape as
+  // CYCLIC, but the set_BOUND dimension carries the k=2 descriptor.
+  check_golden(
+      "gauss_cyclic2_p4",
+      compile::compile_source(apps::gauss_source(16, 4, "CYCLIC(2)")).listing);
+}
+
 TEST(GoldenListing, Jacobi2x2) {
   check_golden("jacobi_2x2",
                compile::compile_source(apps::jacobi_source(16, 2, 2, 3)).listing);

@@ -48,6 +48,28 @@ TEST_P(GridSweep, GaussCyclic) {
       << "grid " << GetParam();
 }
 
+// Block-cyclic CYCLIC(k), k = 1..3: CYCLIC(1) must be indistinguishable
+// from plain CYCLIC, and k > 1 exercises the enumerated (non-uniform)
+// set_BOUND ranges through the whole compile-and-execute path.
+TEST_P(GridSweep, GaussCyclicK) {
+  const int n = 24;
+  for (const char* dist : {"CYCLIC(1)", "CYCLIC(2)", "CYCLIC(3)"}) {
+    auto r = harness::run_gauss(n, nprocs(), dist);
+    ASSERT_EQ(r.got.size(), r.want.size());
+    EXPECT_LE(harness::max_abs_diff(r, harness::gauss_defined_region(n)), 1e-6)
+        << "grid " << GetParam() << " dist " << dist;
+  }
+}
+
+TEST_P(GridSweep, JacobiCyclicK) {
+  for (const char* dist : {"CYCLIC(1)", "CYCLIC(2)", "CYCLIC(3)"}) {
+    auto r = harness::run_jacobi(/*n=*/16, /*iters=*/3, p(), q(), dist);
+    ASSERT_EQ(r.got.size(), r.want.size());
+    EXPECT_LE(harness::max_abs_diff(r), 1e-9)
+        << "grid " << GetParam() << " dist " << dist;
+  }
+}
+
 TEST_P(GridSweep, FftButterfly) {
   auto r = harness::run_fft(/*nx=*/32, /*stages=*/4, nprocs());
   ASSERT_EQ(r.got.size(), r.want.size());

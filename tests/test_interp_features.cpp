@@ -107,6 +107,38 @@ TEST(InterpFeatures, CyclicDistributionEndToEnd) {
     EXPECT_DOUBLE_EQ(a[static_cast<size_t>(i)], (i + 2) * 3.0);
 }
 
+TEST(InterpFeatures, MismatchedBlockCyclicMappingsCommunicate) {
+  // A on CYCLIC(2), B on CYCLIC(3), same 1-D grid: the (i, i) reference is
+  // NOT local — the interleavings own different element sets, so the
+  // compiler must emit communication and the copy must still be exact.
+  const std::string src = R"(PROGRAM MIX
+      INTEGER N
+      PARAMETER (N = 24)
+      REAL A(N)
+      REAL B(N)
+C$ PROCESSORS P(4)
+C$ TEMPLATE T1(N)
+C$ TEMPLATE T2(N)
+C$ DISTRIBUTE T1(CYCLIC(2))
+C$ DISTRIBUTE T2(CYCLIC(3))
+C$ ALIGN A(I) WITH T1(I)
+C$ ALIGN B(I) WITH T2(I)
+      FORALL (I = 1:N) A(I) = B(I)
+      END PROGRAM MIX
+)";
+  auto compiled = compile::compile_source(src);
+  EXPECT_FALSE(compiled.program.action_histogram.empty())
+      << "mismatched CYCLIC(k) mappings misclassified as local:\n"
+      << compiled.listing;
+  machine::SimMachine m = ideal(4);
+  interp::Init init;
+  init.real["B"] = [](std::span<const Index> g) { return 10.0 + g[0]; };
+  auto r = interp::run_compiled(compiled, m, init);
+  const auto& a = r.real_arrays.at("A");
+  for (int i = 0; i < 24; ++i)
+    EXPECT_DOUBLE_EQ(a[static_cast<size_t>(i)], 10.0 + i) << "A(" << i << ")";
+}
+
 TEST(InterpFeatures, MaskedForall) {
   auto r = run(prelude("BLOCK") +
                R"(      FORALL (I = 1:N, B(I) .GT. 4.0) A(I) = 1.0

@@ -228,5 +228,73 @@ TEST(Remap, BlockCyclicRoundTripPreservesValues) {
   }
 }
 
+/// BLOCK -> CYCLIC(k) -> BLOCK for k in {2, 3}: the block-cyclic descriptor
+/// must route every element to its new owner and back without loss, on a
+/// size that leaves ragged trailing blocks.
+TEST(Remap, BlockCyclicKRoundTripPreservesValues) {
+  for (int p : {2, 4}) {
+    for (Index k : {Index{2}, Index{3}}) {
+      on_machine(p, [&](comm::GridComm& gc) {
+        const Index n = 23;  // not divisible by k*p: ragged last course
+        DistArray<double> a(block1d(n, gc.grid(), 0, 0), gc);
+        a.fill_global([](std::span<const Index> g) { return 1.5 + 2.0 * g[0]; });
+
+        DistArray<double> c = rts::redistribute(
+            gc, a,
+            harness::dist1d(n, gc.grid(), DistKind::kCyclic, 0, 0, k));
+        c.for_each_owned([&](const std::vector<Index>& g, double& v) {
+          EXPECT_DOUBLE_EQ(v, 1.5 + 2.0 * g[0]) << "k=" << k;
+        });
+
+        DistArray<double> back = rts::redistribute(gc, c, a.dad());
+        back.for_each_owned([&](const std::vector<Index>& g, double& v) {
+          EXPECT_DOUBLE_EQ(v, 1.5 + 2.0 * g[0]) << "k=" << k;
+        });
+      });
+    }
+  }
+}
+
+/// CYCLIC(2) -> CYCLIC(3): redistribution between two block-cyclic layouts
+/// with different block sizes (the mappings interleave differently, so
+/// almost every element moves).
+TEST(Remap, CyclicTwoToCyclicThreePreservesValues) {
+  const int p = 4;
+  on_machine(p, [&](comm::GridComm& gc) {
+    const Index n = 26;
+    DistArray<double> a(
+        harness::dist1d(n, gc.grid(), DistKind::kCyclic, 0, 0, 2), gc);
+    a.fill_global([](std::span<const Index> g) { return 4.0 - 0.5 * g[0]; });
+
+    DistArray<double> c = rts::redistribute(
+        gc, a, harness::dist1d(n, gc.grid(), DistKind::kCyclic, 0, 0, 3));
+    c.for_each_owned([&](const std::vector<Index>& g, double& v) {
+      EXPECT_DOUBLE_EQ(v, 4.0 - 0.5 * g[0]);
+    });
+  });
+}
+
+/// temporary_shift on a CYCLIC(k) array: the shifted temporary is exact for
+/// amounts that cross block and course boundaries, both directions.
+TEST(TemporaryShift, BlockCyclicShiftsAcrossBlockBoundaries) {
+  const int p = 4;
+  on_machine(p, [&](comm::GridComm& gc) {
+    const Index n = 21;
+    DistArray<double> a(
+        harness::dist1d(n, gc.grid(), DistKind::kCyclic, 0, 0, 2), gc);
+    a.fill_global([](std::span<const Index> g) { return 3.0 * g[0] + 1.0; });
+
+    for (Index amount : {Index{1}, Index{-1}, Index{3}, Index{10}}) {
+      DistArray<double> tmp =
+          rts::temporary_shift(gc, a, 0, amount, /*circular=*/true);
+      tmp.for_each_owned([&](const std::vector<Index>& g, double& v) {
+        const Index src = ((g[0] + amount) % n + n) % n;
+        EXPECT_DOUBLE_EQ(v, 3.0 * src + 1.0)
+            << "tmp(" << g[0] << ") amount " << amount;
+      });
+    }
+  });
+}
+
 }  // namespace
 }  // namespace f90d
