@@ -2,8 +2,12 @@
 //   (a) eliminate unnecessary communications — the redundant A(K,K)
 //       broadcast in compiled GE (the very gap Table 4 exhibits);
 //   (b) shift union — FORALL(I) A(I)=B(I+2)+B(I+3) needs one overlap_shift
-//       of 3, not two.
+//       of 3, not two;
+//   (c) the comm_opt pass ladder — per-pass messages_sent / bytes_sent on
+//       the hoistable Jacobi workload (loop-invariant coefficient array),
+//       from all-off through each pass alone to the full pipeline.
 #include <cstdio>
+#include <cstdint>
 
 #include "bench_util.hpp"
 
@@ -61,6 +65,67 @@ C$ ALIGN B(I) WITH T(I)
                        : "naive (two overlap_shifts)");
 }
 BENCHMARK(BM_ShiftUnion)->Arg(0)->Arg(1)->Iterations(1);
+
+// --- (c) per-pass ablation on the hoistable Jacobi ----------------------------
+
+struct PassConfig {
+  const char* label;
+  compile::CodegenOptions opt;
+};
+
+const PassConfig& pass_config(int idx) {
+  static const std::vector<PassConfig> ladder = [] {
+    std::vector<PassConfig> v;
+    v.push_back({"all passes off", compile::CodegenOptions::all_off()});
+    compile::CodegenOptions elim = compile::CodegenOptions::all_off();
+    elim.eliminate_redundant_comm = true;
+    elim.cross_stmt_elimination = true;
+    v.push_back({"redundancy elimination only", elim});
+    compile::CodegenOptions hoist = compile::CodegenOptions::all_off();
+    hoist.hoist_invariant_comm = true;
+    v.push_back({"loop-invariant hoisting only", hoist});
+    compile::CodegenOptions coal = compile::CodegenOptions::all_off();
+    coal.merge_shifts = true;
+    coal.coalesce_messages = true;
+    v.push_back({"message coalescing only", coal});
+    v.push_back({"full comm_opt pipeline", compile::CodegenOptions{}});
+    return v;
+  }();
+  return ladder[static_cast<size_t>(idx)];
+}
+
+void BM_CommOptPassLadder(benchmark::State& state) {
+  const PassConfig& cfg = pass_config(static_cast<int>(state.range(0)));
+  const int n = 256, p = 4, q = 4, iters = 10;
+  std::uint64_t messages = 0, bytes = 0;
+  double secs = 0;
+  for (auto _ : state) {
+    auto compiled = compile::compile_source(
+        apps::jacobi_hoisted_source(n, p, q, iters), {}, cfg.opt);
+    machine::SimMachine m =
+        bench::make_machine(p * q, machine::CostModel::ipsc860());
+    interp::Init init;
+    init.real["A"] = [](std::span<const rts::Index> g) {
+      return static_cast<double>((g[0] * 13 + g[1] * 7) % 11);
+    };
+    init.real["C"] = [](std::span<const rts::Index> g) {
+      return static_cast<double>((g[0] * 5 + g[1] * 3) % 7) * 0.5;
+    };
+    interp::RunOptions ro;
+    ro.skeleton = true;
+    auto r = interp::run_compiled(compiled, m, init, ro);
+    messages = r.machine.total_messages();
+    bytes = r.machine.total_bytes();
+    secs = r.machine.exec_time;
+  }
+  state.counters["sim_seconds"] = secs;
+  state.counters["messages_sent"] = static_cast<double>(messages);
+  state.counters["bytes_sent"] = static_cast<double>(bytes);
+  state.SetLabel(cfg.label);
+}
+BENCHMARK(BM_CommOptPassLadder)
+    ->DenseRange(0, 4)
+    ->Iterations(1);
 
 }  // namespace
 

@@ -30,6 +30,9 @@ struct GeRun {
 
 inline GeRun run_ge_compiled(int n, int p, const machine::CostModel& cm,
                              bool eliminate_redundant_comm = false) {
+  // The paper's compiled code keeps every optimization except the Table-4
+  // redundant broadcast; this arm ablates exactly that one (the full
+  // all_off() baseline lives in BM_CommOptPassLadder).
   compile::CodegenOptions opt;
   opt.eliminate_redundant_comm = eliminate_redundant_comm;
   auto compiled = compile::compile_source(apps::gauss_source(n, p), {}, opt);

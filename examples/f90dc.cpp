@@ -56,13 +56,8 @@ int main(int argc, char** argv) {
     source = ss.str();
   }
 
-  compile::CodegenOptions opt;
-  if (!optimize) {
-    opt.eliminate_redundant_comm = false;
-    opt.merge_shifts = false;
-    opt.fuse_multicast_shift = false;
-    opt.reuse_schedules = false;
-  }
+  const compile::CodegenOptions opt =
+      optimize ? compile::CodegenOptions{} : compile::CodegenOptions::all_off();
 
   try {
     compile::Compiled compiled = compile::compile_source(source, grid, opt);

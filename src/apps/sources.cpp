@@ -56,6 +56,35 @@ C$ ALIGN B(I, J) WITH T(I, J)
                    n, p, q, dist, dist, iters);
 }
 
+std::string jacobi_hoisted_source(int n, int p, int q, int iters,
+                                  const char* dist) {
+  return strformat(R"(PROGRAM JACOBIH
+      INTEGER N
+      PARAMETER (N = %d)
+      REAL A(N, N)
+      REAL B(N, N)
+      REAL C(N, N)
+      REAL S
+      INTEGER IT
+C$ PROCESSORS P(%d, %d)
+C$ TEMPLATE T(N, N)
+C$ DISTRIBUTE T(%s, %s)
+C$ ALIGN A(I, J) WITH T(I, J)
+C$ ALIGN B(I, J) WITH T(I, J)
+C$ ALIGN C(I, J) WITH T(I, J)
+      DO IT = 1, %d
+        S = C(1, 1)
+        FORALL (I = 2:N-1, J = 2:N-1)
+          B(I, J) = C(I-1, J) + 0.25 * (A(I-1, J) + A(I+1, J) + &
+              A(I, J-1) + A(I, J+1))
+        END FORALL
+        FORALL (I = 2:N-1, J = 2:N-1) A(I, J) = B(I, J) + C(I-1, J) - S
+      END DO
+      END PROGRAM JACOBIH
+)",
+                   n, p, q, dist, dist, iters);
+}
+
 std::string fft_source(int nx, int nprocs, int stages) {
   // The paper's non-canonical example:
   //   forall (i=1:incrm, j=1:nx/2)

@@ -24,6 +24,14 @@ namespace f90d::apps {
 [[nodiscard]] std::string jacobi_source(int n, int p, int q, int iters,
                                         const char* dist = "BLOCK");
 
+/// Jacobi variant with a loop-invariant coefficient array C and a
+/// loop-invariant corner read S = C(1,1): both sweeps of the iteration
+/// read C(I-1,J), so the second sweep's shift is redundant and the first
+/// one (plus the corner broadcast) is hoistable out of the DO loop — the
+/// workload the §7 program-level comm_opt passes are measured on.
+[[nodiscard]] std::string jacobi_hoisted_source(int n, int p, int q, int iters,
+                                                const char* dist = "BLOCK");
+
 /// One FFT butterfly stage sweep: the non-canonical lhs example.
 [[nodiscard]] std::string fft_source(int nx, int nprocs, int stages);
 

@@ -374,7 +374,6 @@ class Generator {
 
     n->flops_per_iter = count_flops(*n->rhs) + (n->mask ? count_flops(*n->mask) : 0);
     mark_enumerated_partitions(*n);
-    run_stmt_optimizations(*n);
     return n;
   }
 
@@ -436,7 +435,8 @@ class Generator {
     // owning grid line); recognizing that is the §7 "eliminate unnecessary
     // communications" optimization.  Without it the compiler broadcasts the
     // element — the extra O(log P) communication §8.2 attributes the
-    // hand-written/compiled gap to.
+    // hand-written/compiled gap to.  Codegen only records the coverage fact
+    // (`covered`); the comm_opt elimination pass acts on it.
     {
       bool all_scalar = true;
       for (const AffineSub& sub : ref.subs)
@@ -448,12 +448,9 @@ class Generator {
           covered = covered && dim_covered_by_partition(
                                    n, ref, d, ref.subs[static_cast<size_t>(d)]);
         }
-        if (covered && opt_.eliminate_redundant_comm) {
-          ref.access = Access::kDirect;
-          return;
-        }
         CommAction a;
         a.kind = CommKind::kBcastElement;
+        a.covered = covered;
         if (covered) a.note = "redundant: executing processors own the element";
         a.ref_id = static_cast<int>(&ref - n.refs.data());
         a.buffer_id = n_buffers_++;
@@ -644,9 +641,10 @@ class Generator {
         n_mcast == 0 && n_xfer == 0 && n_unstr == 0) {
       a.kind = CommKind::kTemporaryShift;  // (i, i+s) row of Table 1
     }
-    if (opt_.fuse_multicast_shift && a.kind == CommKind::kPrecompRead &&
-        n_mcast > 0 && n_shift > 0)
-      a.note = "multicast_shift (fused)";
+    if (a.kind == CommKind::kPrecompRead) {
+      a.fused_mcast_dims = n_mcast;
+      a.fused_shift_dims = n_shift;
+    }
     a.ref_id = static_cast<int>(&ref - n.refs.data());
     a.buffer_id = n_buffers_++;
     a.sched_key =
@@ -839,58 +837,6 @@ class Generator {
     mark_enumerated_partitions(*n);
     bump(("reduce:" + s.reduce_op).c_str());
     return n;
-  }
-
-  // --- per-statement optimizations (§7) ---------------------------------------------
-  void run_stmt_optimizations(SpmdStmt& n) {
-    if (opt_.merge_shifts) {
-      // Union of overlap shifts: same (array, dim, direction) keeps only
-      // the largest amount (ghost areas cover the smaller offsets).
-      for (size_t i = 0; i < n.pre.size(); ++i) {
-        CommAction& a = n.pre[i];
-        if (a.kind != CommKind::kOverlapShift || a.eliminated) continue;
-        for (size_t j = i + 1; j < n.pre.size(); ++j) {
-          CommAction& b = n.pre[j];
-          if (b.kind != CommKind::kOverlapShift || b.eliminated) continue;
-          if (n.refs[static_cast<size_t>(a.ref_id)].array !=
-                  n.refs[static_cast<size_t>(b.ref_id)].array ||
-              a.array_dim != b.array_dim)
-            continue;
-          if ((a.shift_amount > 0) != (b.shift_amount > 0)) continue;
-          if (std::llabs(b.shift_amount) <= std::llabs(a.shift_amount)) {
-            b.eliminated = true;
-            b.note = "merged into larger shift";
-          } else {
-            a.eliminated = true;
-            a.note = "merged into larger shift";
-            break;
-          }
-        }
-      }
-    }
-    if (opt_.eliminate_redundant_comm) {
-      // A broadcast of an element the executing processors already own
-      // (guards pin the owning line) is unnecessary communication.
-      for (CommAction& a : n.pre) {
-        if (a.kind != CommKind::kBcastElement || a.eliminated) continue;
-        RefInfo& ref = n.refs[static_cast<size_t>(a.ref_id)];
-        const Dad* dad = dad_of(ref.array);
-        if (dad == nullptr) continue;
-        bool covered = true;
-        for (int d = 0; d < dad->rank(); ++d) {
-          if (dad->dim(d).kind == DistKind::kCollapsed) continue;
-          covered = covered &&
-                    dim_covered_by_partition(n, ref, d,
-                                             ref.subs[static_cast<size_t>(d)]);
-        }
-        if (covered) {
-          a.eliminated = true;
-          a.note = "eliminated: executing processors own the element";
-          ref.access = Access::kDirect;
-          prog_.action_histogram["eliminated_bcast"] += 1;
-        }
-      }
-    }
   }
 
   const NormProgram& norm_;

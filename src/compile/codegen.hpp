@@ -18,10 +18,33 @@ namespace f90d::compile {
 
 struct CodegenOptions {
   /// §7 optimizations (independently toggleable for the ablation benches).
+  /// Codegen itself is pure lowering: every flag below is applied by the
+  /// comm_opt pass pipeline that runs over the generated SpmdProgram
+  /// (src/compile/comm_opt.hpp), except reuse_schedules which only controls
+  /// whether codegen attaches schedule-cache keys.
   bool eliminate_redundant_comm = true;  ///< drop provably local broadcasts
   bool merge_shifts = true;              ///< union of overlap shifts
   bool fuse_multicast_shift = true;      ///< fused multicast_shift primitive
   bool reuse_schedules = true;           ///< schedule cache keys
+
+  /// Program-level passes (cross-statement; new in the comm_opt pipeline).
+  bool cross_stmt_elimination = true;  ///< ghost/buffer liveness dataflow
+  bool hoist_invariant_comm = true;    ///< move comm to kSeqDo preheaders
+  bool coalesce_messages = true;       ///< widen adjacent same-peer shifts
+
+  /// Every optimization off: the paper's unoptimized compiled code, and the
+  /// baseline of the ablation benches / differential property tests.
+  [[nodiscard]] static CodegenOptions all_off() {
+    CodegenOptions o;
+    o.eliminate_redundant_comm = false;
+    o.merge_shifts = false;
+    o.fuse_multicast_shift = false;
+    o.reuse_schedules = false;
+    o.cross_stmt_elimination = false;
+    o.hoist_invariant_comm = false;
+    o.coalesce_messages = false;
+    return o;
+  }
 };
 
 [[nodiscard]] SpmdProgram generate(

@@ -1,0 +1,540 @@
+#include "compile/comm_opt.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace f90d::compile {
+
+namespace {
+
+// --- common analysis helpers -------------------------------------------------
+
+/// Every variable / array name mentioned in an expression (conservative
+/// read set: forall variables are included and simply never appear in any
+/// kill set under a different meaning than a spurious kill).
+void collect_names(const ast::Expr& e, std::set<std::string>& out) {
+  if (e.kind == ast::ExprKind::kVarRef || e.kind == ast::ExprKind::kArrayRef)
+    out.insert(e.name);
+  for (const ast::ExprPtr& a : e.args)
+    if (a) collect_names(*a, out);
+}
+
+/// Names written anywhere in a statement subtree: forall/intrinsic lhs
+/// arrays, scalar-assign / reduction targets, DO variables.
+void collect_writes(const SpmdStmt& s, std::set<std::string>& out) {
+  switch (s.kind) {
+    case SpmdKind::kForall:
+      if (!s.refs.empty()) out.insert(s.refs[0].array);
+      break;
+    case SpmdKind::kScalarAssign:
+    case SpmdKind::kReduce:
+      out.insert(s.target);
+      break;
+    case SpmdKind::kArrayIntrinsic:
+      out.insert(s.dest_array);
+      break;
+    case SpmdKind::kSeqDo:
+      out.insert(s.do_var);
+      for (const SpmdStmtPtr& b : s.body) collect_writes(*b, out);
+      break;
+    case SpmdKind::kIf:
+      for (const SpmdStmtPtr& b : s.body) collect_writes(*b, out);
+      for (const SpmdStmtPtr& b : s.else_body) collect_writes(*b, out);
+      break;
+    case SpmdKind::kPrint:
+      break;
+  }
+}
+
+/// Identity of a comm action for the liveness dataflow: a key string equal
+/// for actions that perform the same communication and fill equivalently
+/// laid-out destinations, plus the set of names whose redefinition
+/// invalidates the action's result.
+struct Identity {
+  std::string key;
+  std::set<std::string> deps;
+};
+
+/// `stmt` supplies the iteration-space context a multicast key needs; the
+/// context-free kinds (overlap_shift, broadcast) work with `stmt == nullptr`
+/// (preheader actions).
+std::optional<Identity> identity_of(const RefInfo& ref, const CommAction& a,
+                                    const SpmdStmt* stmt) {
+  Identity id;
+  std::ostringstream os;
+  switch (a.kind) {
+    case CommKind::kOverlapShift:
+      os << "shift|" << ref.array << "|" << a.array_dim << "|"
+         << a.shift_amount;
+      id.deps.insert(ref.array);
+      break;
+    case CommKind::kBcastElement:
+      os << "bcast|" << ref.array << "|";
+      for (const ast::ExprPtr& e : ref.expr->args) {
+        os << ast::to_fortran(*e) << ",";
+        collect_names(*e, id.deps);
+      }
+      id.deps.insert(ref.array);
+      break;
+    case CommKind::kMulticast: {
+      if (stmt == nullptr) return std::nullopt;
+      os << "mcast|" << ref.array << "|";
+      for (const auto& [d, sub] : a.root_subs) {
+        const ast::ExprPtr e = affine_to_expr(sub);
+        os << d << ":" << ast::to_fortran(*e) << ",";
+        collect_names(*e, id.deps);
+      }
+      os << "|";
+      for (const ast::ExprPtr& e : ref.expr->args) {
+        os << ast::to_fortran(*e) << ",";
+        collect_names(*e, id.deps);
+      }
+      os << "|";
+      for (const std::string& v : ref.slab_vars) os << v << ",";
+      os << "|";
+      // The slab layout follows the iterating ranges of the slab variables:
+      // equal bounds + equal partitioning dims mean equal buffers.
+      for (const IndexPartition& ip : stmt->indices) {
+        if (std::find(ref.slab_vars.begin(), ref.slab_vars.end(), ip.var) ==
+            ref.slab_vars.end())
+          continue;
+        os << ip.var << "=" << ast::to_fortran(*ip.lo) << ":"
+           << ast::to_fortran(*ip.hi) << ":"
+           << (ip.st ? ast::to_fortran(*ip.st) : std::string("1")) << "@"
+           << ip.array << "." << ip.dim << "." << ip.synth_grid_dim << ";";
+        collect_names(*ip.lo, id.deps);
+        collect_names(*ip.hi, id.deps);
+        if (ip.st) collect_names(*ip.st, id.deps);
+      }
+      id.deps.insert(ref.array);
+      break;
+    }
+    default:
+      return std::nullopt;  // schedule-based / write actions: not tracked
+  }
+  id.key = os.str();
+  return id;
+}
+
+template <typename F>
+void for_each_stmt(const std::vector<SpmdStmtPtr>& body, F&& f) {
+  for (const SpmdStmtPtr& sp : body) {
+    f(*sp);
+    for_each_stmt(sp->body, f);
+    for_each_stmt(sp->else_body, f);
+  }
+}
+
+// --- pass 1: fuse annotation -------------------------------------------------
+
+void annotate_fused(const std::vector<SpmdStmtPtr>& body) {
+  for_each_stmt(body, [](SpmdStmt& s) {
+    for (CommAction& a : s.pre) {
+      if (a.kind == CommKind::kPrecompRead && a.fused_mcast_dims > 0 &&
+          a.fused_shift_dims > 0) {
+        // The combined read round is the paper's fused multicast_shift.
+        a.note = "multicast_shift (fused)";
+      }
+    }
+  });
+}
+
+// --- pass 2: redundancy elimination ------------------------------------------
+
+class EliminatePass {
+ public:
+  explicit EliminatePass(const CodegenOptions& opt) : opt_(opt) {}
+
+  void run(std::vector<SpmdStmtPtr>& body) {
+    Avail avail;
+    walk(body, avail);
+  }
+
+ private:
+  /// A still-valid earlier action: the buffer it filled (for rewiring
+  /// eliminated consumers) and the names its result depends on.
+  struct Entry {
+    int buffer_id = -1;
+    std::set<std::string> deps;
+  };
+  using Avail = std::map<std::string, Entry>;
+
+  static void kill(Avail& av, const std::set<std::string>& written) {
+    for (auto it = av.begin(); it != av.end();) {
+      bool dead = false;
+      for (const std::string& d : it->second.deps)
+        if (written.count(d) != 0) {
+          dead = true;
+          break;
+        }
+      it = dead ? av.erase(it) : std::next(it);
+    }
+  }
+
+  static Avail intersect(const Avail& a, const Avail& b) {
+    Avail out;
+    for (const auto& [k, e] : a) {
+      auto it = b.find(k);
+      if (it != b.end() && it->second.buffer_id == e.buffer_id) out.emplace(k, e);
+    }
+    return out;
+  }
+
+  void walk(std::vector<SpmdStmtPtr>& body, Avail& avail) {
+    for (SpmdStmtPtr& sp : body) {
+      SpmdStmt& s = *sp;
+      switch (s.kind) {
+        case SpmdKind::kForall:
+        case SpmdKind::kScalarAssign:
+        case SpmdKind::kReduce: {
+          process_actions(s, avail);
+          std::set<std::string> w;
+          collect_writes(s, w);
+          kill(avail, w);
+          break;
+        }
+        case SpmdKind::kArrayIntrinsic: {
+          std::set<std::string> w;
+          collect_writes(s, w);
+          kill(avail, w);
+          break;
+        }
+        case SpmdKind::kSeqDo: {
+          // Entries must stay valid at *every* iteration entry: drop
+          // anything the loop body (or the DO variable) redefines, then let
+          // the body both consume the survivors and do purely intra-body
+          // elimination (an earlier in-body action re-executes each
+          // iteration, so it stays a valid provider).
+          std::set<std::string> w;
+          collect_writes(s, w);
+          kill(avail, w);
+          Avail inner = avail;
+          walk(s.body, inner);
+          // Body-generated entries do not flow out: the loop may be
+          // zero-trip at runtime.  `avail` is already loop-kill-filtered.
+          break;
+        }
+        case SpmdKind::kIf: {
+          Avail then_av = avail;
+          Avail else_av = avail;
+          walk(s.body, then_av);
+          walk(s.else_body, else_av);
+          avail = intersect(then_av, else_av);
+          break;
+        }
+        case SpmdKind::kPrint:
+          break;
+      }
+    }
+  }
+
+  void process_actions(SpmdStmt& s, Avail& avail) {
+    for (CommAction& a : s.pre) {
+      if (a.eliminated) continue;
+      // (a) §7 "eliminate unnecessary communications", per statement: a
+      // broadcast of an element the executing processors already own (the
+      // guards / partitioning pin them to the owning grid line).
+      if (opt_.eliminate_redundant_comm && a.covered &&
+          a.kind == CommKind::kBcastElement) {
+        a.eliminated = true;
+        a.note = "executing processors own the element";
+        s.refs[static_cast<size_t>(a.ref_id)].access = Access::kDirect;
+        continue;
+      }
+      if (!opt_.cross_stmt_elimination) continue;
+      // (b) cross-statement: identical action with an unbroken dependency
+      // chain since it last ran.
+      const RefInfo& ref = s.refs[static_cast<size_t>(a.ref_id)];
+      auto id = identity_of(ref, a, &s);
+      if (!id) continue;
+      auto it = avail.find(id->key);
+      if (it != avail.end()) {
+        a.eliminated = true;
+        a.note = "identical communication already performed";
+        if (a.buffer_id >= 0 && it->second.buffer_id >= 0) {
+          // The consumer reads the provider's (still valid) buffer.
+          s.refs[static_cast<size_t>(a.ref_id)].buffer_id =
+              it->second.buffer_id;
+          a.buffer_id = it->second.buffer_id;
+        }
+      } else {
+        avail[id->key] = Entry{a.buffer_id, id->deps};
+      }
+    }
+  }
+
+  const CodegenOptions& opt_;
+};
+
+// --- pass 3: loop-invariant hoisting -----------------------------------------
+
+class HoistPass {
+ public:
+  void run(std::vector<SpmdStmtPtr>& body) {
+    for (SpmdStmtPtr& sp : body) {
+      SpmdStmt& s = *sp;
+      if (s.kind == SpmdKind::kIf) {
+        run(s.body);
+        run(s.else_body);
+      } else if (s.kind == SpmdKind::kSeqDo) {
+        run(s.body);  // innermost loops hoist first
+        hoist_from(s);
+      }
+    }
+  }
+
+ private:
+  /// Only context-free kinds can leave their statement: overlap_shift fills
+  /// the array's own ghost area, broadcast fills a program-global slot.
+  [[nodiscard]] static bool hoistable_kind(CommKind k) {
+    return k == CommKind::kOverlapShift || k == CommKind::kBcastElement;
+  }
+
+  void hoist_from(SpmdStmt& loop) {
+    std::set<std::string> kills;
+    collect_writes(loop, kills);  // body writes + the DO variable
+    for (SpmdStmtPtr& cp : loop.body) {
+      SpmdStmt& c = *cp;
+      if (c.kind == SpmdKind::kSeqDo) {
+        // An inner loop's preheader action still invariant here moves up —
+        // but lifting it past the inner loop's own trip-count guard is only
+        // sound when that loop provably executes (otherwise the original
+        // program never performs the access at all).
+        if (!const_positive_trip(c)) continue;
+        auto& ph = c.preheader;
+        for (auto it = ph.begin(); it != ph.end();) {
+          auto id = identity_of(it->ref, it->action, nullptr);
+          const bool lift = id && !depends_on(*id, kills);
+          if (lift) {
+            it->action.note = "hoisted: loop-invariant in DO " + loop.do_var;
+            loop.preheader.push_back(std::move(*it));
+            it = ph.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        continue;
+      }
+      if (c.kind != SpmdKind::kForall && c.kind != SpmdKind::kScalarAssign &&
+          c.kind != SpmdKind::kReduce)
+        continue;
+      for (auto it = c.pre.begin(); it != c.pre.end();) {
+        CommAction& a = *it;
+        bool move = !a.eliminated && hoistable_kind(a.kind);
+        if (move) {
+          auto id = identity_of(c.refs[static_cast<size_t>(a.ref_id)], a, &c);
+          move = id && !depends_on(*id, kills);
+        }
+        if (!move) {
+          ++it;
+          continue;
+        }
+        PreheaderAction pa;
+        pa.ref = c.refs[static_cast<size_t>(a.ref_id)].clone();
+        pa.action = std::move(a);
+        pa.action.hoisted = true;
+        pa.action.note = "hoisted: loop-invariant in DO " + loop.do_var;
+        loop.preheader.push_back(std::move(pa));
+        it = c.pre.erase(it);
+      }
+    }
+  }
+
+  [[nodiscard]] static bool depends_on(const Identity& id,
+                                       const std::set<std::string>& kills) {
+    for (const std::string& d : id.deps)
+      if (kills.count(d) != 0) return true;
+    return false;
+  }
+
+  /// Compile-time positive trip count (literal bounds only).
+  [[nodiscard]] static bool const_positive_trip(const SpmdStmt& loop) {
+    auto lit = [](const ast::ExprPtr& e, long long& out) {
+      if (!e) return false;
+      if (e->kind == ast::ExprKind::kIntLit) {
+        out = e->int_value;
+        return true;
+      }
+      if (e->kind == ast::ExprKind::kUnOp &&
+          e->un_op == ast::UnOpKind::kNeg &&
+          e->args[0]->kind == ast::ExprKind::kIntLit) {
+        out = -e->args[0]->int_value;
+        return true;
+      }
+      return false;
+    };
+    long long lo = 0, hi = 0, st = 1;
+    if (!lit(loop.do_lo, lo) || !lit(loop.do_hi, hi)) return false;
+    if (loop.do_st && !lit(loop.do_st, st)) return false;
+    if (st == 0) return false;
+    return st > 0 ? hi >= lo : hi <= lo;
+  }
+};
+
+// --- pass 4: message coalescing ----------------------------------------------
+
+class CoalescePass {
+ public:
+  explicit CoalescePass(const CodegenOptions& opt) : opt_(opt) {}
+
+  void run(std::vector<SpmdStmtPtr>& body) { walk(body); }
+
+ private:
+  /// One live overlap shift with the array it serves (pre lists resolve the
+  /// array through the statement's refs, preheader lists carry their own).
+  struct Shift {
+    CommAction* action;
+    const std::string* array;
+  };
+
+  void walk(std::vector<SpmdStmtPtr>& body) {
+    // Per-statement union first (§7 "combining messages": ghost areas cover
+    // the smaller offsets of the same direction).
+    if (opt_.merge_shifts) {
+      for (SpmdStmtPtr& sp : body) {
+        std::vector<Shift> shifts = live_shifts(*sp);
+        shift_union(shifts);
+        std::vector<Shift> ph = preheader_shifts(*sp);
+        shift_union(ph);
+      }
+    }
+    // Cross-statement widening: a later statement's same-peer shift folds
+    // into an earlier statement's, as long as no intervening statement
+    // writes the array.  Entering a loop or branch resets the providers
+    // (their actions would not re-execute per iteration / per path).
+    std::map<std::string, Shift> prov;
+    for (SpmdStmtPtr& sp : body) {
+      SpmdStmt& s = *sp;
+      if (s.kind == SpmdKind::kSeqDo || s.kind == SpmdKind::kIf) {
+        walk(s.body);
+        walk(s.else_body);
+        prov.clear();
+        continue;
+      }
+      if (opt_.coalesce_messages) {
+        // Strictly cross-statement: consume against providers from earlier
+        // statements first, then register this statement's survivors
+        // (intra-statement pairs are merge_shifts' job).
+        for (Shift sh : live_shifts(s)) {
+          auto it = prov.find(shift_key(sh));
+          if (it == prov.end()) continue;
+          CommAction* p = it->second.action;
+          if (std::llabs(sh.action->shift_amount) >
+              std::llabs(p->shift_amount)) {
+            // Widening is safe: the ghost area was already sized for the
+            // larger amount when this (now coalesced) action was generated.
+            p->shift_amount = sh.action->shift_amount;
+            p->note = "coalesced: widened to cover a later statement";
+          }
+          sh.action->eliminated = true;
+          sh.action->note = "coalesced into earlier shift";
+        }
+        for (Shift sh : live_shifts(s)) {
+          auto [it, inserted] = prov.emplace(shift_key(sh), sh);
+          if (!inserted && std::llabs(sh.action->shift_amount) >
+                               std::llabs(it->second.action->shift_amount))
+            it->second = sh;  // the wider fill covers later consumers
+        }
+      }
+      std::set<std::string> w;
+      collect_writes(s, w);
+      for (auto it = prov.begin(); it != prov.end();) {
+        it = w.count(*it->second.array) != 0 ? prov.erase(it) : std::next(it);
+      }
+    }
+  }
+
+  /// Same peer: same array, same dimension, same direction.
+  [[nodiscard]] static std::string shift_key(const Shift& sh) {
+    std::ostringstream key;
+    key << *sh.array << "|" << sh.action->array_dim << "|"
+        << (sh.action->shift_amount > 0);
+    return key.str();
+  }
+
+  [[nodiscard]] static std::vector<Shift> live_shifts(SpmdStmt& s) {
+    std::vector<Shift> out;
+    for (CommAction& a : s.pre)
+      if (a.kind == CommKind::kOverlapShift && !a.eliminated)
+        out.push_back({&a, &s.refs[static_cast<size_t>(a.ref_id)].array});
+    return out;
+  }
+
+  [[nodiscard]] static std::vector<Shift> preheader_shifts(SpmdStmt& s) {
+    std::vector<Shift> out;
+    for (PreheaderAction& pa : s.preheader)
+      if (pa.action.kind == CommKind::kOverlapShift && !pa.action.eliminated)
+        out.push_back({&pa.action, &pa.ref.array});
+    return out;
+  }
+
+  static void shift_union(std::vector<Shift>& shifts) {
+    for (size_t i = 0; i < shifts.size(); ++i) {
+      CommAction& a = *shifts[i].action;
+      if (a.eliminated) continue;
+      for (size_t j = i + 1; j < shifts.size(); ++j) {
+        CommAction& b = *shifts[j].action;
+        if (b.eliminated) continue;
+        if (*shifts[i].array != *shifts[j].array ||
+            a.array_dim != b.array_dim)
+          continue;
+        if ((a.shift_amount > 0) != (b.shift_amount > 0)) continue;
+        if (std::llabs(b.shift_amount) <= std::llabs(a.shift_amount)) {
+          b.eliminated = true;
+          b.note = "merged into larger shift";
+        } else {
+          a.eliminated = true;
+          a.note = "merged into larger shift";
+          break;
+        }
+      }
+    }
+  }
+
+  const CodegenOptions& opt_;
+};
+
+// --- histogram rebuild -------------------------------------------------------
+
+void rebuild_histogram(SpmdProgram& prog) {
+  static constexpr CommKind kAllKinds[] = {
+      CommKind::kOverlapShift, CommKind::kTemporaryShift, CommKind::kMulticast,
+      CommKind::kTransfer,     CommKind::kPrecompRead,    CommKind::kGather,
+      CommKind::kPostcompWrite, CommKind::kScatter,       CommKind::kConcatWrite,
+      CommKind::kBcastElement};
+  for (CommKind k : kAllKinds) {
+    prog.action_histogram.erase(to_string(k));
+    prog.action_histogram.erase(std::string(to_string(k)) + "(eliminated)");
+  }
+  auto count = [&prog](const CommAction& a) {
+    std::string key = to_string(a.kind);
+    if (a.eliminated) key += "(eliminated)";
+    prog.action_histogram[key] += 1;
+  };
+  for_each_stmt(prog.body, [&](const SpmdStmt& s) {
+    for (const CommAction& a : s.pre) count(a);
+    for (const CommAction& a : s.post) count(a);
+    for (const PreheaderAction& pa : s.preheader) count(pa.action);
+  });
+}
+
+}  // namespace
+
+void optimize_comm(SpmdProgram& prog, const CodegenOptions& options) {
+  if (options.fuse_multicast_shift) annotate_fused(prog.body);
+  if (options.eliminate_redundant_comm || options.cross_stmt_elimination)
+    EliminatePass(options).run(prog.body);
+  if (options.hoist_invariant_comm) HoistPass().run(prog.body);
+  if (options.merge_shifts || options.coalesce_messages)
+    CoalescePass(options).run(prog.body);
+  rebuild_histogram(prog);
+}
+
+}  // namespace f90d::compile

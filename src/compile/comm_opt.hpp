@@ -1,0 +1,41 @@
+#pragma once
+// Program-level communication optimizer (paper §7): an ordered pass
+// pipeline over the whole generated SpmdProgram.  Code generation is pure
+// lowering — every §7 decision (what to eliminate, merge, fuse, hoist or
+// coalesce) is made here, where the passes can see across statements:
+//
+//   1. fuse annotation      — mark precomp_reads that combine multicast and
+//                             shift dimensions as the fused multicast_shift
+//                             primitive (CodegenOptions::fuse_multicast_shift).
+//   2. redundancy elimination — (a) per-statement: broadcasts of elements
+//                             the executing processors provably own
+//                             (eliminate_redundant_comm); (b) cross-statement:
+//                             ghost-region / buffer liveness dataflow — an
+//                             overlap_shift / broadcast / multicast identical
+//                             to an earlier one whose source array and
+//                             referenced scalars have not been written since
+//                             is removed, across kIf/kSeqDo boundaries when
+//                             the kill set allows it (cross_stmt_elimination).
+//   3. loop-invariant hoisting — context-free comm actions (overlap_shift,
+//                             broadcast) inside kSeqDo bodies whose arrays
+//                             and scalars are loop-invariant move to the
+//                             loop's preheader slot (hoist_invariant_comm).
+//   4. message coalescing   — per-statement overlap-shift union
+//                             (merge_shifts) plus cross-statement widening:
+//                             same-peer same-array shifts in adjacent
+//                             statements merge into one wider ghost fill
+//                             (coalesce_messages).
+//
+// The pipeline finishes by rebuilding SpmdProgram::action_histogram so
+// eliminated actions are counted under "<kind>(eliminated)" keys and the
+// live keys reflect what actually executes.
+#include "compile/codegen.hpp"
+#include "compile/spmd_ir.hpp"
+
+namespace f90d::compile {
+
+/// Run the pass pipeline in place.  Always rebuilds the action histogram;
+/// individual passes are gated by the corresponding CodegenOptions toggles.
+void optimize_comm(SpmdProgram& prog, const CodegenOptions& options);
+
+}  // namespace f90d::compile

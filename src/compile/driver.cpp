@@ -1,5 +1,6 @@
 #include "compile/driver.hpp"
 
+#include "compile/comm_opt.hpp"
 #include "frontend/parser.hpp"
 
 namespace f90d::compile {
@@ -13,6 +14,7 @@ Compiled compile_source(const std::string& source,
       mapping::build_mapping(sema, grid_override, default_nprocs);
   NormProgram norm = normalize(sema.program, sema.symbols);
   SpmdProgram prog = generate(norm, mapping, sema.symbols, options);
+  optimize_comm(prog, options);
   std::string listing = emit_f77(prog);
   return Compiled{std::move(sema), std::move(mapping), std::move(prog),
                   std::move(listing)};

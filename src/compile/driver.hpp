@@ -2,8 +2,9 @@
 // The compiler driver: the full Figure-1 pipeline.
 //   Fortran 90D/HPF source
 //     -> lexer & parser -> sema -> partitioning (mapping) -> normalization
-//     -> communication detection & insertion (+ optimizations)
-//     -> SPMD code generation (IR + Fortran77+MP listing)
+//     -> communication detection & insertion (codegen: pure lowering)
+//     -> program-level communication optimizer (comm_opt pass pipeline)
+//     -> Fortran77+MP listing (emit_f77) / SPMD execution (interp)
 #include <string>
 
 #include "compile/codegen.hpp"

@@ -35,8 +35,13 @@ class Emitter {
     return ast::to_fortran(*affine_to_expr(s));
   }
 
+  /// Pre/post actions resolve their RefInfo through the owning statement;
+  /// preheader actions carry their own.
   void emit_action(const CommAction& a, const SpmdStmt& n) {
-    const RefInfo& ref = n.refs[static_cast<size_t>(a.ref_id)];
+    emit_action(a, n.refs[static_cast<size_t>(a.ref_id)]);
+  }
+
+  void emit_action(const CommAction& a, const RefInfo& ref) {
     std::ostringstream call;
     if (a.eliminated) {
       comment("eliminated " + std::string(to_string(a.kind)) + " of " +
@@ -198,6 +203,19 @@ class Emitter {
         break;
       }
       case SpmdKind::kSeqDo:
+        // Loop-invariant communication hoisted by comm_opt runs once, just
+        // above the DO line — guarded so a zero-trip loop communicates
+        // nothing (n_trips is the runtime's DO trip-count helper).
+        if (!s.preheader.empty()) {
+          line("IF (n_trips(" + expr_str(s.do_lo) + ", " + expr_str(s.do_hi) +
+               ", " + (s.do_st ? expr_str(s.do_st) : std::string("1")) +
+               ") .GT. 0) THEN");
+          ++indent_;
+          for (const PreheaderAction& pa : s.preheader)
+            emit_action(pa.action, pa.ref);
+          --indent_;
+          line("END IF");
+        }
         line("DO " + s.do_var + " = " + expr_str(s.do_lo) + ", " +
              expr_str(s.do_hi) +
              (s.do_st ? ", " + expr_str(s.do_st) : std::string{}));

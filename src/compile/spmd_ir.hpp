@@ -38,6 +38,19 @@ struct RefInfo {
   /// kSlabBuf: forall variables (in spec order) that index the slab — the
   /// ones appearing in the reference's non-communicated dimensions.
   std::vector<std::string> slab_vars;
+
+  /// Deep copy (AffineSub owns cloned runtime expressions; `expr` stays a
+  /// non-owning pointer into the origin statement's AST).
+  [[nodiscard]] RefInfo clone() const {
+    RefInfo r;
+    r.array = array;
+    r.expr = expr;
+    for (const AffineSub& s : subs) r.subs.push_back(s.clone());
+    r.access = access;
+    r.buffer_id = buffer_id;
+    r.slab_vars = slab_vars;
+    return r;
+  }
 };
 
 // --- communication actions -----------------------------------------------------
@@ -72,10 +85,38 @@ struct CommAction {
 
   /// Schedule-cache key (unstructured actions); empty = do not cache.
   std::string sched_key;
+
+  // --- analysis provenance (written by codegen, consumed by comm_opt) ---
+  /// The executing processors already own the referenced data (the guards
+  /// or the iteration partitioning pin them to the owning grid line): the
+  /// action is a candidate for the §7 "eliminate unnecessary
+  /// communications" pass.
+  bool covered = false;
+  /// kPrecompRead only: how many dimensions of the serviced reference
+  /// classified as multicast / constant-shift before falling through to the
+  /// unstructured path — the precondition of the fused multicast_shift
+  /// primitive.
+  int fused_mcast_dims = 0;
+  int fused_shift_dims = 0;
+
+  // --- optimizer results ---
   /// Set by the optimizer: action proven redundant and removed.
   bool eliminated = false;
+  /// Set by the optimizer: action moved to an enclosing kSeqDo preheader.
+  bool hoisted = false;
   /// Human-readable note for the emitted listing.
   std::string note;
+};
+
+/// A communication action hoisted out of a kSeqDo body into the loop's
+/// preheader (§7 loop-invariant communication): self-contained — it owns a
+/// clone of the RefInfo it serves, so it executes without its origin
+/// statement's iteration context.  Only context-free kinds are hoisted
+/// (kOverlapShift fills the array's own ghost area; kBcastElement fills a
+/// program-global scalar slot).
+struct PreheaderAction {
+  CommAction action;
+  RefInfo ref;
 };
 
 // --- iteration space ------------------------------------------------------------
@@ -156,6 +197,9 @@ struct SpmdStmt {
   // kSeqDo
   std::string do_var;
   ast::ExprPtr do_lo, do_hi, do_st;
+  /// Loop-invariant communication hoisted out of `body`: executed once
+  /// before the first iteration (and emitted just above the DO line).
+  std::vector<PreheaderAction> preheader;
 
   // kIf: mask is the condition
   std::vector<SpmdStmtPtr> body;

@@ -579,6 +579,17 @@ class Node {
         const Index lo = eval(*s.do_lo).as_i();
         const Index hi = eval(*s.do_hi).as_i();
         const Index st = s.do_st ? eval(*s.do_st).as_i() : 1;
+        // Hoisted loop-invariant communication: once, before the first
+        // iteration.  Guarded on the trip count so a zero-trip loop stays
+        // communication-free (and never evaluates hoisted subscripts the
+        // original program would not have touched).  Collective-consistent:
+        // the bounds are replicated scalars, so every processor agrees.
+        if (trip_count(lo, hi, st) > 0) {
+          for (const PreheaderAction& pa : s.preheader) {
+            if (pa.action.eliminated) continue;
+            run_hoisted_action(pa);
+          }
+        }
         for (Index v = lo; st > 0 ? v <= hi : v >= hi; v += st) {
           scalars_[s.do_var] = Value::integer(v);
           for (const SpmdStmtPtr& b : s.body) exec(*b);
@@ -735,39 +746,12 @@ class Node {
                   const std::optional<std::vector<VarRange>>& my_ranges) {
     const RefInfo& ref = s.refs[static_cast<size_t>(a.ref_id)];
     switch (a.kind) {
-      case CommKind::kOverlapShift: {
-        const Symbol& sm = sym(ref.array);
-        if (sm.type == ast::BaseType::kReal)
-          rts::overlap_shift(gc_, dar_.at(ref.array), a.array_dim,
-                             static_cast<int>(a.shift_amount));
-        else if (sm.type == ast::BaseType::kInteger)
-          rts::overlap_shift(gc_, iar_.at(ref.array), a.array_dim,
-                             static_cast<int>(a.shift_amount));
-        else
-          rts::overlap_shift(gc_, lar_.at(ref.array), a.array_dim,
-                             static_cast<int>(a.shift_amount));
+      case CommKind::kOverlapShift:
+        run_overlap_shift(a, ref);
         break;
-      }
-      case CommKind::kBcastElement: {
-        // Owner (canonical line) broadcasts one element to all.
-        const Dad& dad = dads_.at(ref.array);
-        std::vector<Index> g(ref.subs.size());
-        for (size_t d = 0; d < ref.subs.size(); ++d)
-          g[d] = eval(*ref.expr->args[d]).as_i() -
-                 lower_of(ref.array, static_cast<int>(d));
-        const std::vector<int> zeros(
-            static_cast<size_t>(c_.mapping.grid.ndims()), 0);
-        const int root = dad.owner_logical(g, zeros);
-        std::vector<double> data;
-        if (gc_.my_logical() == root)
-          data.push_back(read_element(ref.array, g, false).as_d());
-        gc_.bcast_all(root, data);
-        Buf& b = bufs_[static_cast<size_t>(a.buffer_id)];
-        b.scalar = sym(ref.array).type == ast::BaseType::kInteger
-                       ? Value::integer(static_cast<long long>(data.at(0)))
-                       : Value::real(data.at(0));
+      case CommKind::kBcastElement:
+        run_bcast_element(a, ref);
         break;
-      }
       case CommKind::kMulticast:
       case CommKind::kTransfer:
         run_slab_action(s, a, ref);
@@ -780,6 +764,55 @@ class Node {
       default:
         throw RtsError("unexpected pre-action");
     }
+  }
+
+  /// Preheader actions are context-free by construction (comm_opt hoists
+  /// only overlap shifts and element broadcasts, which carry their own
+  /// RefInfo clone).
+  void run_hoisted_action(const PreheaderAction& pa) {
+    switch (pa.action.kind) {
+      case CommKind::kOverlapShift:
+        run_overlap_shift(pa.action, pa.ref);
+        break;
+      case CommKind::kBcastElement:
+        run_bcast_element(pa.action, pa.ref);
+        break;
+      default:
+        throw RtsError("unexpected preheader action");
+    }
+  }
+
+  void run_overlap_shift(const CommAction& a, const RefInfo& ref) {
+    const Symbol& sm = sym(ref.array);
+    if (sm.type == ast::BaseType::kReal)
+      rts::overlap_shift(gc_, dar_.at(ref.array), a.array_dim,
+                         static_cast<int>(a.shift_amount));
+    else if (sm.type == ast::BaseType::kInteger)
+      rts::overlap_shift(gc_, iar_.at(ref.array), a.array_dim,
+                         static_cast<int>(a.shift_amount));
+    else
+      rts::overlap_shift(gc_, lar_.at(ref.array), a.array_dim,
+                         static_cast<int>(a.shift_amount));
+  }
+
+  /// Owner (canonical line) broadcasts one element to all.
+  void run_bcast_element(const CommAction& a, const RefInfo& ref) {
+    const Dad& dad = dads_.at(ref.array);
+    std::vector<Index> g(ref.subs.size());
+    for (size_t d = 0; d < ref.subs.size(); ++d)
+      g[d] = eval(*ref.expr->args[d]).as_i() -
+             lower_of(ref.array, static_cast<int>(d));
+    const std::vector<int> zeros(static_cast<size_t>(c_.mapping.grid.ndims()),
+                                 0);
+    const int root = dad.owner_logical(g, zeros);
+    std::vector<double> data;
+    if (gc_.my_logical() == root)
+      data.push_back(read_element(ref.array, g, false).as_d());
+    gc_.bcast_all(root, data);
+    Buf& b = bufs_[static_cast<size_t>(a.buffer_id)];
+    b.scalar = sym(ref.array).type == ast::BaseType::kInteger
+                   ? Value::integer(static_cast<long long>(data.at(0)))
+                   : Value::real(data.at(0));
   }
 
   /// Multicast / transfer: the owning grid line packs the slab the

@@ -23,6 +23,7 @@
   C     FORALL compiled: L(I_5) = (A(I_5,K)/A(K,K))
         if (my_proc(2) .ne. global_to_proc(K)) goto 100
         call set_BOUND(lb1,ub1,st1,(K+1),N,1)
+  C     eliminated broadcast of A (executing processors own the element)
         DO I_5 = lb1, ub1, st1
           L(I_5) = (A(I_5,K)/A(K,K))
         END DO

@@ -1,0 +1,30 @@
+      IF (n_trips(1, 3, 1) .GT. 0) THEN
+  C     hoisted: loop-invariant in DO IT
+        call broadcast(C, C_DAD, TMP0, root=global_to_proc(1,1))
+  C     hoisted: loop-invariant in DO IT
+        call overlap_shift(C, C_DAD, dim=1, shift=-1)
+      END IF
+      DO IT = 1, 3
+        S = C(1,1)
+  C     FORALL compiled: B(I,J) = (C((I-1),J)+(0.25*(((A((I-1),J)+A((I+1),J))+A(I,(J-1)))+A(I,(J+1)))))
+        call set_BOUND(lb1,ub1,st1,2,(N-1),1,B_DIST,1)
+        call set_BOUND(lb2,ub2,st2,2,(N-1),1,B_DIST,2)
+        call overlap_shift(A, A_DAD, dim=1, shift=-1)
+        call overlap_shift(A, A_DAD, dim=1, shift=1)
+        call overlap_shift(A, A_DAD, dim=2, shift=-1)
+        call overlap_shift(A, A_DAD, dim=2, shift=1)
+        DO I = lb1, ub1, st1
+          DO J = lb2, ub2, st2
+            B(I,J) = (C((I-1),J)+(0.25*(((A((I-1),J)+A((I+1),J))+A(I,(J-1)))+A(I,(J+1)))))
+          END DO
+        END DO
+  C     FORALL compiled: A(I,J) = ((B(I,J)+C((I-1),J))-S)
+        call set_BOUND(lb1,ub1,st1,2,(N-1),1,A_DIST,1)
+        call set_BOUND(lb2,ub2,st2,2,(N-1),1,A_DIST,2)
+  C     eliminated overlap_shift of C (identical communication already performed)
+        DO I = lb1, ub1, st1
+          DO J = lb2, ub2, st2
+            A(I,J) = ((B(I,J)+C((I-1),J))-S)
+          END DO
+        END DO
+      END DO

@@ -6,6 +6,7 @@
 // grid.  Generalizes the ad-hoc oracles that used to live inline in
 // test_integration_compiled.cpp.
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <utility>
@@ -126,6 +127,65 @@ inline DiffRun run_jacobi(int n, int iters, int p, int q,
                  result.schedule_hits, result.schedule_misses};
 }
 
+// --- Jacobi with loop-invariant coefficients (comm_opt workload) -------------
+
+inline double jacobi_c_entry(Index i, Index j) {
+  return static_cast<double>((i * 5 + j * 3) % 7) * 0.5;
+}
+
+inline std::vector<double> jacobi_hoisted_oracle(int n, int iters) {
+  std::vector<double> a(static_cast<size_t>(n * n));
+  std::vector<double> b(static_cast<size_t>(n * n), 0.0);
+  auto c = [](int i, int j) { return jacobi_c_entry(i, j); };
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      a[static_cast<size_t>(i * n + j)] = jacobi_entry(i, j);
+  const double s = c(0, 0);
+  for (int it = 0; it < iters; ++it) {
+    for (int i = 1; i < n - 1; ++i)
+      for (int j = 1; j < n - 1; ++j)
+        b[static_cast<size_t>(i * n + j)] =
+            c(i - 1, j) + 0.25 * (a[static_cast<size_t>((i - 1) * n + j)] +
+                                  a[static_cast<size_t>((i + 1) * n + j)] +
+                                  a[static_cast<size_t>(i * n + j - 1)] +
+                                  a[static_cast<size_t>(i * n + j + 1)]);
+    for (int i = 1; i < n - 1; ++i)
+      for (int j = 1; j < n - 1; ++j)
+        a[static_cast<size_t>(i * n + j)] =
+            b[static_cast<size_t>(i * n + j)] + c(i - 1, j) - s;
+  }
+  return a;
+}
+
+/// DiffRun plus the simulated machine's wire counters, for the comm_opt
+/// ablation assertions (fewer messages at identical results).
+struct CountedRun {
+  DiffRun diff;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+inline CountedRun run_jacobi_hoisted(int n, int iters, int p, int q,
+                                     const char* dist = "BLOCK",
+                                     const compile::CodegenOptions& opt = {}) {
+  auto compiled = compile::compile_source(
+      apps::jacobi_hoisted_source(n, p, q, iters, dist), {}, opt);
+  machine::SimMachine m = make_machine(p * q);
+  interp::Init init;
+  init.real["A"] = [](std::span<const Index> g) {
+    return jacobi_entry(g[0], g[1]);
+  };
+  init.real["C"] = [](std::span<const Index> g) {
+    return jacobi_c_entry(g[0], g[1]);
+  };
+  auto result = interp::run_compiled(compiled, m, init);
+  return CountedRun{DiffRun{"A", result.real_arrays.at("A"),
+                            jacobi_hoisted_oracle(n, iters),
+                            result.schedule_hits, result.schedule_misses},
+                    result.machine.total_messages(),
+                    result.machine.total_bytes()};
+}
+
 // --- Gaussian elimination ----------------------------------------------------
 
 /// Sequential GE with partial pivoting on the N x (N+1) augmented system
@@ -187,6 +247,23 @@ inline DiffRun run_gauss(int n, int p, const char* dist = "BLOCK") {
   auto result = interp::run_compiled(compiled, m, init);
   return DiffRun{"A", result.real_arrays.at("A"), gauss_oracle(n),
                  result.schedule_hits, result.schedule_misses};
+}
+
+/// Gauss with explicit codegen options, counted (comm_opt property tests).
+inline CountedRun run_gauss_counted(int n, int p, const char* dist,
+                                    const compile::CodegenOptions& opt) {
+  auto compiled =
+      compile::compile_source(apps::gauss_source(n, p, dist), {}, opt);
+  machine::SimMachine m = make_machine(p);
+  interp::Init init;
+  init.real["A"] = [n](std::span<const Index> g) {
+    return apps::gauss_matrix_entry(n, g[0], g[1]);
+  };
+  auto result = interp::run_compiled(compiled, m, init);
+  return CountedRun{DiffRun{"A", result.real_arrays.at("A"), gauss_oracle(n),
+                            result.schedule_hits, result.schedule_misses},
+                    result.machine.total_messages(),
+                    result.machine.total_bytes()};
 }
 
 // --- Irregular gather/scatter ------------------------------------------------

@@ -96,6 +96,16 @@ TEST(GoldenListing, Jacobi2x2) {
                compile::compile_source(apps::jacobi_source(16, 2, 2, 3)).listing);
 }
 
+TEST(GoldenListing, JacobiHoistedP4) {
+  // The comm_opt showcase: the loop-invariant C shift and the corner
+  // broadcast move to the DO preheader, and the second sweep's identical C
+  // shift is eliminated (rendered as a C-comment inside the loop).
+  check_golden(
+      "jacobi_hoisted_p4",
+      compile::compile_source(apps::jacobi_hoisted_source(16, 2, 2, 3))
+          .listing);
+}
+
 TEST(GoldenListing, FftButterflyP4) {
   check_golden("fft_butterfly_p4",
                compile::compile_source(apps::fft_source(32, 4, 4)).listing);
@@ -109,14 +119,10 @@ TEST(GoldenListing, IrregularP4) {
 TEST(GoldenListing, GaussUnoptimizedP4) {
   // The -O0 pipeline keeps the redundant broadcasts; snapshotting it pins
   // the ablation surface the benchmarks sweep.
-  compile::CodegenOptions opt;
-  opt.eliminate_redundant_comm = false;
-  opt.merge_shifts = false;
-  opt.fuse_multicast_shift = false;
-  opt.reuse_schedules = false;
-  check_golden(
-      "gauss_block_p4_noopt",
-      compile::compile_source(apps::gauss_source(16, 4), {}, opt).listing);
+  check_golden("gauss_block_p4_noopt",
+               compile::compile_source(apps::gauss_source(16, 4), {},
+                                       compile::CodegenOptions::all_off())
+                   .listing);
 }
 
 }  // namespace
