@@ -5,6 +5,9 @@
 //     -p N[,M]   override the PROCESSORS grid (e.g. -p 16 or -p 4,4)
 //     -O0        disable the §7 communication optimizations
 //     -run       execute on the simulated iPSC/860 after compiling
+//     --stats    run in full (non-skeleton) mode and print the
+//                per-processor traffic/time statistics and the
+//                execution-plan + schedule cache summaries (implies -run)
 //     (no file: compiles the built-in Gaussian elimination program)
 //
 // Prints the Fortran77+MP node program and the communication-action
@@ -25,6 +28,7 @@ int main(int argc, char** argv) {
   std::vector<int> grid;
   bool optimize = true;
   bool run = false;
+  bool stats = false;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "-p") == 0 && i + 1 < argc) {
@@ -35,6 +39,9 @@ int main(int argc, char** argv) {
       optimize = false;
     } else if (std::strcmp(argv[i], "-run") == 0) {
       run = true;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      run = true;
+      stats = true;
     } else {
       path = argv[i];
     }
@@ -78,8 +85,25 @@ int main(int argc, char** argv) {
                             machine::make_hypercube());
       interp::Init init;  // arrays default to zero fill
       interp::RunOptions ro;
-      ro.skeleton = true;  // arbitrary programs: report costs
-      auto r = interp::run_compiled(compiled, m, init, ro);
+      // Skeleton mode reports costs for arbitrary programs; --stats wants
+      // the execution-plan counters, which only full execution exercises.
+      ro.skeleton = !stats;
+      interp::ProgramResult r;
+      try {
+        r = interp::run_compiled(compiled, m, init, ro);
+      } catch (const Error& e) {
+        if (!stats) throw;
+        // Full mode interprets every element on zero-filled inputs; some
+        // programs (e.g. indirection through a zero-initialized index
+        // array) cannot run that way.
+        std::fprintf(stderr,
+                     "f90dc: --stats full-mode execution failed: %s\n"
+                     "       (zero-initialized inputs may not satisfy this "
+                     "program; try plain -run, which uses the cost-faithful "
+                     "skeleton mode)\n",
+                     e.what());
+        return 1;
+      }
       std::printf("\n=== simulated run (iPSC/860, %d nodes) ===\n", p);
       std::printf("  virtual time : %.6f s\n", r.machine.exec_time);
       std::printf("  messages     : %llu (%llu bytes)\n",
@@ -87,6 +111,21 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(r.machine.total_bytes()));
       std::printf("  schedules    : %d built, %d reused\n",
                   r.schedule_misses, r.schedule_hits);
+      if (stats) {
+        std::printf("  exec plans   : %d built, %d reused, %d invalidated\n",
+                    r.plan_misses, r.plan_hits, r.plan_invalidations);
+        std::printf("\n=== per-processor statistics ===\n");
+        std::printf("  %4s %12s %12s %12s %12s %12s\n", "rank", "msgs_sent",
+                    "bytes_sent", "msgs_recv", "compute_s", "comm_s");
+        for (size_t k = 0; k < r.machine.stats.size(); ++k) {
+          const machine::ProcStats& ps = r.machine.stats[k];
+          std::printf("  %4zu %12llu %12llu %12llu %12.6f %12.6f\n", k,
+                      static_cast<unsigned long long>(ps.messages_sent),
+                      static_cast<unsigned long long>(ps.bytes_sent),
+                      static_cast<unsigned long long>(ps.messages_received),
+                      ps.compute_time, ps.comm_time);
+        }
+      }
     }
   } catch (const Error& e) {
     std::fprintf(stderr, "f90dc: %s\n", e.what());

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Run the benchmark binaries and record their JSON output.
+
+Executes the perf binaries with --benchmark_format=json and writes the
+results to BENCH_*.json files, so every PR leaves a machine-readable
+performance record next to the sources:
+
+    BENCH_interp.json  <- bench_ablation_exec_plan (tree-walk vs exec-plan
+                          vs skeleton on jacobi/gauss; wall time + plan
+                          cache counters)
+    BENCH_fig6.json    <- bench_fig6_speedup (paper Figure 6: GE speed-up,
+                          hand-written vs compiler-generated)
+
+Usage:
+    scripts/run_benchmarks.py --build-dir build [--out-dir .] [--quick]
+
+--quick shrinks the problem sizes through F90D_GE_N (useful in CI, where
+the point is that the recording pipeline works, not the absolute numbers).
+"""
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+BENCH_MAP = {
+    "BENCH_interp.json": "bench_ablation_exec_plan",
+    "BENCH_fig6.json": "bench_fig6_speedup",
+}
+
+
+def run_one(binary: str, out_path: str, env: dict) -> None:
+    cmd = [binary, "--benchmark_format=json"]
+    print(f"[run_benchmarks] {' '.join(cmd)} -> {out_path}", flush=True)
+    proc = subprocess.run(cmd, env=env, stdout=subprocess.PIPE, check=True)
+    # stdout is the benchmark library's JSON document; table printers
+    # (bench_fig6's Figure-6 summary) go to the end of the stream, so cut
+    # the document at the final closing brace before parsing.
+    text = proc.stdout.decode()
+    end = text.rfind("}")
+    if end < 0:
+        raise RuntimeError(f"{binary}: no JSON in output")
+    doc = json.loads(text[: end + 1])
+    with open(out_path, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=False)
+        f.write("\n")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default="build",
+                    help="CMake build directory holding the bench binaries")
+    ap.add_argument("--out-dir", default=".",
+                    help="directory the BENCH_*.json files are written to")
+    ap.add_argument("--quick", action="store_true",
+                    help="shrink problem sizes (F90D_GE_N=64) for CI smoke")
+    args = ap.parse_args()
+
+    env = dict(os.environ)
+    if args.quick:
+        env.setdefault("F90D_GE_N", "64")
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    failures = []
+    for out_name, bench in BENCH_MAP.items():
+        binary = os.path.join(args.build_dir, bench)
+        if not os.path.exists(binary):
+            print(f"[run_benchmarks] missing binary: {binary}", file=sys.stderr)
+            failures.append(bench)
+            continue
+        try:
+            run_one(binary, os.path.join(args.out_dir, out_name), env)
+        except (subprocess.CalledProcessError, RuntimeError, ValueError) as e:
+            print(f"[run_benchmarks] {bench} failed: {e}", file=sys.stderr)
+            failures.append(bench)
+    if failures:
+        print(f"[run_benchmarks] FAILED: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    print("[run_benchmarks] all benchmark records written")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

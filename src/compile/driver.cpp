@@ -5,6 +5,20 @@
 
 namespace f90d::compile {
 
+namespace {
+
+/// Pre-order statement numbering over the optimized program: the stable
+/// identity the per-processor execution-plan caches key on.
+void number_stmts(std::vector<SpmdStmtPtr>& body, int& next) {
+  for (SpmdStmtPtr& s : body) {
+    s->stmt_id = next++;
+    number_stmts(s->body, next);
+    number_stmts(s->else_body, next);
+  }
+}
+
+}  // namespace
+
 Compiled compile_source(const std::string& source,
                         const std::vector<int>& grid_override,
                         const CodegenOptions& options, int default_nprocs) {
@@ -15,6 +29,8 @@ Compiled compile_source(const std::string& source,
   NormProgram norm = normalize(sema.program, sema.symbols);
   SpmdProgram prog = generate(norm, mapping, sema.symbols, options);
   optimize_comm(prog, options);
+  int next_id = 0;
+  number_stmts(prog.body, next_id);
   std::string listing = emit_f77(prog);
   return Compiled{std::move(sema), std::move(mapping), std::move(prog),
                   std::move(listing)};

@@ -169,6 +169,10 @@ using SpmdStmtPtr = std::unique_ptr<SpmdStmt>;
 struct SpmdStmt {
   SpmdKind kind;
   SourceLoc loc;
+  /// Stable statement id (pre-order over the optimized program), assigned
+  /// by the driver after the comm_opt pipeline: provenance for the
+  /// execution-plan cache keys (exec/exec_plan.hpp) and --stats reporting.
+  int stmt_id = -1;
 
   // kForall
   std::vector<IndexPartition> indices;

@@ -1,0 +1,96 @@
+#include "exec/exec_env.hpp"
+
+namespace f90d::exec {
+
+using frontend::Symbol;
+using rts::Dad;
+using rts::DistArray;
+
+Env::Env(const compile::Compiled& c, comm::GridComm& grid_comm)
+    : compiled(c), gc(grid_comm) {
+  for (const auto& [name, dad0] : c.mapping.dads) {
+    Dad dad = dad0;
+    auto ov = c.program.overlaps.find(name);
+    if (ov != c.program.overlaps.end()) {
+      for (int d = 0; d < dad.rank(); ++d) {
+        dad.dim(d).overlap_lo = ov->second[static_cast<size_t>(d)].first;
+        dad.dim(d).overlap_hi = ov->second[static_cast<size_t>(d)].second;
+      }
+    }
+    dads.emplace(name, dad);
+    switch (sym(name).type) {
+      case ast::BaseType::kReal:
+        dar.emplace(name, DistArray<double>(dad, gc));
+        break;
+      case ast::BaseType::kInteger:
+        iar.emplace(name, DistArray<long long>(dad, gc));
+        break;
+      case ast::BaseType::kLogical:
+        lar.emplace(name, DistArray<unsigned char>(dad, gc));
+        break;
+    }
+  }
+  for (const auto& [name, s] : c.sema.symbols) {
+    if (s.is_array()) continue;
+    Value v;
+    if (s.is_parameter) {
+      v = s.type == ast::BaseType::kInteger ? Value::integer(s.int_value)
+                                            : Value::real(s.real_value);
+    } else {
+      v = s.type == ast::BaseType::kInteger ? Value::integer(0)
+                                            : Value::real(0.0);
+    }
+    scalars.emplace(name, v);
+  }
+  bufs.resize(static_cast<size_t>(c.program.buffer_count));
+}
+
+Value Env::read_element(const std::string& name, std::span<const Index> g,
+                        bool ghost) {
+  try {
+    return read_element_inner(name, g, ghost);
+  } catch (const Error& e) {
+    std::string idx;
+    for (Index v : g) idx += std::to_string(v) + ",";
+    throw Error("reading " + name + "(" + idx + "): " + e.what());
+  }
+}
+
+Value Env::read_element_inner(const std::string& name,
+                              std::span<const Index> g, bool ghost) {
+  const Symbol& s = sym(name);
+  switch (s.type) {
+    case ast::BaseType::kReal: {
+      auto& a = dar.at(name);
+      return Value::real(ghost ? a.at_global_ghost(g) : a.at_global(g));
+    }
+    case ast::BaseType::kInteger: {
+      auto& a = iar.at(name);
+      return Value::integer(ghost ? a.at_global_ghost(g) : a.at_global(g));
+    }
+    case ast::BaseType::kLogical: {
+      auto& a = lar.at(name);
+      return Value::logical((ghost ? a.at_global_ghost(g) : a.at_global(g)) !=
+                            0);
+    }
+  }
+  return Value::real(0);
+}
+
+void Env::write_element(const std::string& name, std::span<const Index> g,
+                        const Value& v) {
+  const Symbol& s = sym(name);
+  switch (s.type) {
+    case ast::BaseType::kReal:
+      dar.at(name).at_global(g) = v.as_d();
+      break;
+    case ast::BaseType::kInteger:
+      iar.at(name).at_global(g) = v.as_i();
+      break;
+    case ast::BaseType::kLogical:
+      lar.at(name).at_global(g) = static_cast<unsigned char>(v.as_b() ? 1 : 0);
+      break;
+  }
+}
+
+}  // namespace f90d::exec

@@ -1,0 +1,905 @@
+#include "exec/exec_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "compile/affine.hpp"
+#include "rts/set_bound.hpp"
+
+namespace f90d::exec {
+
+using ast::BinOpKind;
+using ast::Expr;
+using ast::ExprKind;
+using ast::ExprPtr;
+using ast::UnOpKind;
+using compile::Access;
+using compile::AffineSub;
+using compile::CommAction;
+using compile::CommKind;
+using compile::IndexPartition;
+using compile::ProcGuard;
+using compile::RefInfo;
+using compile::SpmdKind;
+using compile::SpmdStmt;
+using frontend::Symbol;
+using rts::Dad;
+using rts::DimMap;
+using rts::DistKind;
+using rts::LocalRange;
+
+// --- shared Value semantics ---------------------------------------------------
+// One implementation serves the plan tapes, the planner's scalar-context
+// evaluation AND the tree-walking fallback (interp/ delegates here), so
+// the two execution paths cannot diverge.
+
+Value un_value(Op op, const Value& v) {
+  switch (op) {
+    case Op::kNeg:
+      return v.k == Value::K::kI ? Value::integer(-v.as_i())
+                                 : Value::real(-v.as_d());
+    case Op::kNot: return Value::logical(!v.as_b());
+    default: break;
+  }
+  throw RtsError("exec plan: bad unary op");
+}
+
+Value bin_value(Op op, const Value& l, const Value& r) {
+  // AND/OR need no short-circuit here: plan operands are pure loads, so
+  // evaluating both sides is value-identical to the interpreter.
+  if (op == Op::kAnd) return Value::logical(l.as_b() && r.as_b());
+  if (op == Op::kOr) return Value::logical(l.as_b() || r.as_b());
+  const bool both_int = l.k == Value::K::kI && r.k == Value::K::kI;
+  switch (op) {
+    case Op::kAdd:
+      return both_int ? Value::integer(l.i + r.i)
+                      : Value::real(l.as_d() + r.as_d());
+    case Op::kSub:
+      return both_int ? Value::integer(l.i - r.i)
+                      : Value::real(l.as_d() - r.as_d());
+    case Op::kMul:
+      return both_int ? Value::integer(l.i * r.i)
+                      : Value::real(l.as_d() * r.as_d());
+    case Op::kDiv:
+      if (both_int) return Value::integer(r.i == 0 ? 0 : l.i / r.i);
+      return Value::real(l.as_d() / r.as_d());
+    case Op::kPow:
+      if (both_int) {
+        long long acc = 1;
+        for (long long k = 0; k < r.i; ++k) acc *= l.i;
+        return Value::integer(acc);
+      }
+      return Value::real(std::pow(l.as_d(), r.as_d()));
+    case Op::kEq: return Value::logical(l.as_d() == r.as_d());
+    case Op::kNe: return Value::logical(l.as_d() != r.as_d());
+    case Op::kLt: return Value::logical(l.as_d() < r.as_d());
+    case Op::kLe: return Value::logical(l.as_d() <= r.as_d());
+    case Op::kGt: return Value::logical(l.as_d() > r.as_d());
+    case Op::kGe: return Value::logical(l.as_d() >= r.as_d());
+    default: break;
+  }
+  throw RtsError("exec plan: bad binary op");
+}
+
+Value intrinsic_value(Op op, std::span<const Value> args) {
+  switch (op) {
+    case Op::kAbs: {
+      const Value& v = args[0];
+      return v.k == Value::K::kI ? Value::integer(std::llabs(v.i))
+                                 : Value::real(std::fabs(v.as_d()));
+    }
+    case Op::kSqrt: return Value::real(std::sqrt(args[0].as_d()));
+    case Op::kExp: return Value::real(std::exp(args[0].as_d()));
+    case Op::kLog: return Value::real(std::log(args[0].as_d()));
+    case Op::kSin: return Value::real(std::sin(args[0].as_d()));
+    case Op::kCos: return Value::real(std::cos(args[0].as_d()));
+    case Op::kMod: {
+      const Value& a = args[0];
+      const Value& b = args[1];
+      if (a.k == Value::K::kI && b.k == Value::K::kI)
+        return Value::integer(b.i == 0 ? 0 : a.i % b.i);
+      return Value::real(std::fmod(a.as_d(), b.as_d()));
+    }
+    case Op::kMin:
+    case Op::kMax: {
+      Value acc = args[0];
+      for (size_t k = 1; k < args.size(); ++k) {
+        const Value& v = args[k];
+        const bool take = op == Op::kMin ? v.as_d() < acc.as_d()
+                                         : v.as_d() > acc.as_d();
+        if (take) acc = v;
+      }
+      return acc;
+    }
+    case Op::kToReal: return Value::real(args[0].as_d());
+    case Op::kToInt: return Value::integer(args[0].as_i());
+    case Op::kNint:
+      return Value::integer(
+          static_cast<long long>(std::llround(args[0].as_d())));
+    default: break;
+  }
+  throw RtsError("exec plan: bad intrinsic op");
+}
+
+Op bin_op_of(BinOpKind k) {
+  switch (k) {
+    case BinOpKind::kAdd: return Op::kAdd;
+    case BinOpKind::kSub: return Op::kSub;
+    case BinOpKind::kMul: return Op::kMul;
+    case BinOpKind::kDiv: return Op::kDiv;
+    case BinOpKind::kPow: return Op::kPow;
+    case BinOpKind::kEq: return Op::kEq;
+    case BinOpKind::kNe: return Op::kNe;
+    case BinOpKind::kLt: return Op::kLt;
+    case BinOpKind::kLe: return Op::kLe;
+    case BinOpKind::kGt: return Op::kGt;
+    case BinOpKind::kGe: return Op::kGe;
+    case BinOpKind::kAnd: return Op::kAnd;
+    case BinOpKind::kOr: return Op::kOr;
+  }
+  throw RtsError("exec plan: bad binop kind");
+}
+
+bool intrinsic_op_of(const std::string& n, Op& op, int& argc) {
+  struct Row {
+    const char* name;
+    Op op;
+    int argc;
+  };
+  static const Row kRows[] = {
+      {"ABS", Op::kAbs, 1},    {"SQRT", Op::kSqrt, 1}, {"EXP", Op::kExp, 1},
+      {"LOG", Op::kLog, 1},    {"SIN", Op::kSin, 1},   {"COS", Op::kCos, 1},
+      {"MOD", Op::kMod, 2},    {"MIN", Op::kMin, -1},  {"MAX", Op::kMax, -1},
+      {"REAL", Op::kToReal, 1}, {"INT", Op::kToInt, 1}, {"NINT", Op::kNint, 1},
+  };
+  for (const Row& r : kRows) {
+    if (n == r.name) {
+      op = r.op;
+      argc = r.argc;
+      return true;
+    }
+  }
+  return false;
+}
+
+Index trip_count(Index lo, Index hi, Index st) {
+  if (st > 0) return hi < lo ? 0 : (hi - lo) / st + 1;
+  return hi > lo ? 0 : (lo - hi) / (-st) + 1;
+}
+
+namespace {
+
+/// Internal control flow of the planner: a decline unwinds the build and
+/// becomes a cached PlanEntry with a null plan.
+struct Decline {
+  std::string reason;
+  bool structural = true;
+};
+
+/// Add an affine (stride-per-counter) contribution into a merged term.
+void term_add_affine(OffsetTerm& t, long long stride, Index count) {
+  if (t.table.empty()) {
+    t.stride += stride;
+  } else {
+    for (Index c = 0; c < count; ++c)
+      t.table[static_cast<size_t>(c)] += stride * c;
+  }
+}
+
+/// Add a per-counter table contribution (scaled by `scale`).
+void term_add_table(OffsetTerm& t, const std::vector<long long>& tab,
+                    long long scale, Index count) {
+  if (t.table.empty()) {
+    t.table.resize(static_cast<size_t>(count));
+    for (Index c = 0; c < count; ++c)
+      t.table[static_cast<size_t>(c)] = t.stride * c;
+    t.stride = 0;
+  }
+  for (Index c = 0; c < count; ++c)
+    t.table[static_cast<size_t>(c)] += scale * tab[static_cast<size_t>(c)];
+}
+
+/// Two array dimensions share one element-to-coordinate mapping.
+bool same_dim_map(const DimMap& a, const DimMap& b) {
+  return a.kind == b.kind && a.grid_dim == b.grid_dim &&
+         a.template_extent == b.template_extent &&
+         a.align_stride == b.align_stride && a.align_offset == b.align_offset &&
+         a.block == b.block;
+}
+
+// --- planner -----------------------------------------------------------------
+
+class Builder {
+ public:
+  Builder(const SpmdStmt& s, Env& env)
+      : s_(s), env_(env), coords_(env.gc.my_coords()) {}
+
+  PlanEntry build() {
+    try {
+      structural_gates();
+      plan_ = std::make_shared<ExecPlan>();
+      plan_->stmt_id = s_.stmt_id;
+      if (!guards_pass()) {
+        plan_->masked_out = true;
+        return PlanEntry{plan_, {}, false};
+      }
+      build_loops();
+      for (const PlanLoop& l : plan_->loops)
+        if (l.count == 0) return PlanEntry{plan_, {}, false};  // empty nest
+      for (const RefInfo& r : s_.refs)
+        if (r.expr != nullptr) ref_of_.emplace(r.expr, &r);
+      plan_->lhs = build_ref_plan(s_.refs.at(0), /*is_write=*/true);
+      plan_->rhs = compile_tape(*s_.rhs);
+      if (s_.mask) plan_->mask = compile_tape(*s_.mask);
+      plan_->arrays.assign(arrays_.begin(), arrays_.end());
+      return PlanEntry{plan_, {}, false};
+    } catch (const Decline& d) {
+      return PlanEntry{nullptr, d.reason, d.structural};
+    }
+  }
+
+ private:
+  [[noreturn]] static void decline(std::string reason, bool structural = true) {
+    throw Decline{std::move(reason), structural};
+  }
+
+  void structural_gates() const {
+    if (s_.kind != SpmdKind::kForall) decline("not a forall");
+    if (s_.lhs_buffered) decline("buffered lhs (PARTI/concat write path)");
+    if (!s_.post.empty()) decline("post-communication actions");
+    for (const CommAction& a : s_.pre) {
+      if (a.eliminated) continue;
+      if (a.kind == CommKind::kPrecompRead || a.kind == CommKind::kGather ||
+          a.kind == CommKind::kTemporaryShift)
+        decline("schedule-based read buffers (PARTI)");
+    }
+    if (s_.indices.empty()) decline("no iteration variables");
+    if (s_.refs.empty() || !s_.lhs || !s_.rhs) decline("incomplete forall");
+  }
+
+  /// Mirror of the interpreter's scalar-context eval(): literals, scalar
+  /// variables, arithmetic and elementwise intrinsics.  Used for loop
+  /// bounds, guard subscripts and runtime subscript terms.
+  Value eval_scalar(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIntLit: return Value::integer(e.int_value);
+      case ExprKind::kRealLit: return Value::real(e.real_value);
+      case ExprKind::kLogicalLit: return Value::logical(e.logical_value);
+      case ExprKind::kVarRef: {
+        auto it = env_.scalars.find(e.name);
+        if (it == env_.scalars.end()) decline("unbound scalar " + e.name);
+        return it->second;
+      }
+      case ExprKind::kUnOp: {
+        const Value v = eval_scalar(*e.args[0]);
+        if (e.un_op == UnOpKind::kPlus) return v;
+        return un_value(e.un_op == UnOpKind::kNeg ? Op::kNeg : Op::kNot, v);
+      }
+      case ExprKind::kBinOp:
+        return bin_value(bin_op_of(e.bin_op), eval_scalar(*e.args[0]),
+                         eval_scalar(*e.args[1]));
+      case ExprKind::kArrayRef: {
+        if (env_.compiled.sema.symbols.count(e.name) &&
+            env_.compiled.sema.symbols.at(e.name).is_array())
+          decline("array element in scalar context");
+        Op op{};
+        int argc = 0;
+        if (!intrinsic_op_of(e.name, op, argc))
+          decline("unsupported intrinsic " + e.name);
+        if (argc >= 0 ? e.args.size() != static_cast<size_t>(argc)
+                      : e.args.empty())
+          decline("bad intrinsic arity " + e.name);
+        std::vector<Value> args;
+        args.reserve(e.args.size());
+        for (const ExprPtr& a : e.args) args.push_back(eval_scalar(*a));
+        return intrinsic_value(op, args);
+      }
+      default:
+        decline("unsupported expression in scalar context");
+    }
+  }
+
+  bool guards_pass() {
+    for (const ProcGuard& g : s_.guards) {
+      const Dad& dad = env_.dads.at(g.array);
+      const Index val = eval_scalar(*compile::affine_to_expr(g.sub)).as_i() -
+                        env_.lower_of(g.array, g.dim);
+      const int owner = dad.owner_coord(g.dim, val);
+      const int gd = dad.dim(g.dim).grid_dim;
+      if (coords_[static_cast<size_t>(gd)] != owner) return false;
+    }
+    return true;
+  }
+
+  int level_of(const std::string& var) const {
+    for (size_t k = 0; k < s_.indices.size(); ++k)
+      if (s_.indices[k].var == var) return static_cast<int>(k);
+    decline("free variable " + var + " in subscript");
+  }
+
+  /// set_BOUND-resolved loop levels; mirrors the interpreter's
+  /// ranges_for_coords()/range_from_bound() so the planned iteration order
+  /// and values are identical to the tree walk's.
+  void build_loops() {
+    for (const IndexPartition& ip : s_.indices) {
+      const Index lo = eval_scalar(*ip.lo).as_i();
+      const Index hi = eval_scalar(*ip.hi).as_i();
+      const Index st = ip.st ? eval_scalar(*ip.st).as_i() : 1;
+      if (st == 0) decline("zero stride", /*structural=*/false);
+      PlanLoop L;
+      L.var = ip.var;
+      std::optional<LocalRange> lr;
+      if (!ip.array.empty()) {
+        const Dad& dad = env_.dads.at(ip.array);
+        const long long lower = env_.lower_of(ip.array, ip.dim);
+        const int gd = dad.dim(ip.dim).grid_dim;
+        const int coord = coords_[static_cast<size_t>(gd)];
+        const LocalRange b =
+            rts::set_bound(dad, ip.dim, coord, lo - lower, hi - lower, st);
+        lr = b;
+        if (!b.empty) {
+          L.count = b.count();
+          const DimMap& m = dad.dim(ip.dim);
+          const bool block_cyclic = m.kind == DistKind::kCyclic && m.block > 1;
+          if (b.enumerated() || block_cyclic) {
+            L.values.reserve(static_cast<size_t>(L.count));
+            if (b.enumerated()) {
+              for (Index l : b.indices)
+                L.values.push_back(dad.global_of_local(ip.dim, l, coord) +
+                                   lower);
+            } else {
+              for (Index l = b.lb; l <= b.ub; l += b.st)
+                L.values.push_back(dad.global_of_local(ip.dim, l, coord) +
+                                   lower);
+            }
+            L.val0 = L.values.front();
+            L.step = L.count > 1 ? L.values[1] - L.values[0] : st;
+            bool uniform = true;
+            for (size_t i = 2; i < L.values.size(); ++i)
+              uniform = uniform && L.values[i] - L.values[i - 1] == L.step;
+            if (uniform) L.values.clear();  // progression form is exact
+          } else {
+            L.val0 = dad.global_of_local(ip.dim, b.lb, coord) + lower;
+            L.step = L.count > 1
+                         ? dad.global_of_local(ip.dim, b.lb + b.st, coord) +
+                               lower - L.val0
+                         : st;
+          }
+        }
+      } else if (ip.synth_grid_dim >= 0) {
+        const Index total = trip_count(lo, hi, st);
+        const Index p = env_.compiled.mapping.grid.extent(ip.synth_grid_dim);
+        const Index chunk = (total + p - 1) / p;
+        const int coord = coords_[static_cast<size_t>(ip.synth_grid_dim)];
+        const Index first = static_cast<Index>(coord) * chunk;
+        const Index last = std::min(first + chunk, total);
+        L.count = std::max<Index>(0, last - first);
+        L.val0 = lo + first * st;
+        L.step = st;
+      } else {
+        L.count = trip_count(lo, hi, st);
+        L.val0 = lo;
+        L.step = st;
+      }
+      plan_->loops.push_back(std::move(L));
+      lrs_.push_back(std::move(lr));
+      ips_.push_back(&ip);
+    }
+  }
+
+  RefPlan build_ref_plan(const RefInfo& ref, bool is_write) {
+    const size_t nv = plan_->loops.size();
+    switch (ref.access) {
+      case Access::kScalarSlot: {
+        RefPlan r;
+        r.kind = RefPlan::Kind::kScalarSlot;
+        r.buf = &env_.bufs.at(static_cast<size_t>(ref.buffer_id));
+        r.terms.resize(nv);
+        return r;
+      }
+      case Access::kSlabBuf: {
+        if (is_write) decline("slab-buffered lhs");
+        if (env_.sym(ref.array).type != ast::BaseType::kReal)
+          decline("non-REAL slab buffer");
+        RefPlan r;
+        r.kind = RefPlan::Kind::kRealSlab;
+        r.buf = &env_.bufs.at(static_cast<size_t>(ref.buffer_id));
+        r.terms.resize(nv);
+        // Slab index: odometer over the slab variables in spec order, last
+        // variable fastest (matches the pack order).
+        long long mult = 1;
+        for (auto it = ref.slab_vars.rbegin(); it != ref.slab_vars.rend();
+             ++it) {
+          const int k = level_of(*it);
+          r.terms[static_cast<size_t>(k)].stride = mult;
+          mult *= plan_->loops[static_cast<size_t>(k)].count;
+        }
+        return r;
+      }
+      case Access::kIterBuf:
+        decline("iteration buffer (PARTI)");
+      case Access::kDirect:
+        break;
+    }
+    return direct_ref_plan(ref, is_write);
+  }
+
+  RefPlan direct_ref_plan(const RefInfo& ref, bool is_write) {
+    const size_t nv = plan_->loops.size();
+    RefPlan rp;
+    const Dad* dad = nullptr;
+    std::vector<Index> aext;
+    const Symbol& sm = env_.sym(ref.array);
+    switch (sm.type) {
+      case ast::BaseType::kReal: {
+        auto& a = env_.dar.at(ref.array);
+        rp.kind = RefPlan::Kind::kRealDirect;
+        rp.dbase = a.storage().data();
+        dad = &a.dad();
+        for (int d = 0; d < a.rank(); ++d) aext.push_back(a.alloc_extent(d));
+        break;
+      }
+      case ast::BaseType::kInteger: {
+        auto& a = env_.iar.at(ref.array);
+        rp.kind = RefPlan::Kind::kIntDirect;
+        rp.ibase = a.storage().data();
+        dad = &a.dad();
+        for (int d = 0; d < a.rank(); ++d) aext.push_back(a.alloc_extent(d));
+        break;
+      }
+      case ast::BaseType::kLogical: {
+        auto& a = env_.lar.at(ref.array);
+        rp.kind = RefPlan::Kind::kLogicalDirect;
+        rp.lbase = a.storage().data();
+        dad = &a.dad();
+        for (int d = 0; d < a.rank(); ++d) aext.push_back(a.alloc_extent(d));
+        break;
+      }
+    }
+    const int rank = dad->rank();
+    if (static_cast<int>(ref.subs.size()) != rank)
+      decline("subscript rank mismatch");
+    std::vector<long long> strides(static_cast<size_t>(rank), 1);
+    for (int d = rank - 2; d >= 0; --d)
+      strides[static_cast<size_t>(d)] =
+          strides[static_cast<size_t>(d + 1)] * aext[static_cast<size_t>(d + 1)];
+
+    rp.terms.resize(nv);
+    long long base = 0;
+    for (int d = 0; d < rank; ++d) {
+      const AffineSub& sub = ref.subs[static_cast<size_t>(d)];
+      if (sub.kind != AffineSub::Kind::kAffine)
+        decline("non-affine subscript");
+      const DimMap& m = dad->dim(d);
+      const int coord = m.kind == DistKind::kCollapsed
+                            ? 0
+                            : coords_[static_cast<size_t>(m.grid_dim)];
+      const Index lext = dad->local_extent(d, coord);
+
+      // Per-dim local-index decomposition: constant + per-level terms.
+      long long c0 = 0;
+      std::vector<OffsetTerm> dterms(nv);
+      const bool simple =
+          m.kind == DistKind::kCollapsed ||
+          (m.kind == DistKind::kBlock && m.align_stride == 1);
+      if (simple) {
+        const long long rt =
+            sub.runtime ? eval_scalar(*sub.runtime).as_i() : 0;
+        c0 = sub.cst + rt - env_.lower_of(ref.array, d);
+        if (m.kind == DistKind::kBlock) {
+          // local = global - first owned global (unit alignment stride).
+          if (lext == 0) decline("empty local block");
+          c0 -= dad->global_of_local(d, 0, coord);
+        }
+        for (const auto& [var, coef] : sub.coefs) {
+          if (coef == 0) continue;
+          const int k = level_of(var);
+          const PlanLoop& L = plan_->loops[static_cast<size_t>(k)];
+          OffsetTerm& t = dterms[static_cast<size_t>(k)];
+          if (L.values.empty()) {
+            c0 += coef * L.val0;
+            t.stride += coef * L.step;
+          } else {
+            t.table.resize(static_cast<size_t>(L.count));
+            for (Index c = 0; c < L.count; ++c)
+              t.table[static_cast<size_t>(c)] =
+                  coef * L.values[static_cast<size_t>(c)];
+          }
+        }
+      } else {
+        // CYCLIC / CYCLIC(k) / strided alignment: only the identity access
+        // on the dimension the iteration was partitioned by — the local
+        // index progression is then exactly the set_BOUND LocalRange.
+        const std::string var = sub.single_var();
+        if (var.empty() || sub.coef(var) != 1 || sub.has_runtime())
+          decline("non-identity subscript on cyclic dimension");
+        const int k = level_of(var);
+        if (!lrs_[static_cast<size_t>(k)])
+          decline("cyclic subscript variable not set_BOUND partitioned");
+        const IndexPartition& ip = *ips_[static_cast<size_t>(k)];
+        const Dad& pdad = env_.dads.at(ip.array);
+        if (!same_dim_map(m, pdad.dim(ip.dim)) ||
+            dad->extent(d) != pdad.extent(ip.dim))
+          decline("cyclic dimension mapped differently from partition source");
+        if (sub.cst - env_.lower_of(ref.array, d) !=
+            -env_.lower_of(ip.array, ip.dim))
+          decline("offset subscript on cyclic dimension");
+        const LocalRange& b = *lrs_[static_cast<size_t>(k)];
+        OffsetTerm& t = dterms[static_cast<size_t>(k)];
+        if (b.enumerated()) {
+          t.table.assign(b.indices.begin(), b.indices.end());
+        } else {
+          c0 += b.lb;
+          t.stride = b.st;
+        }
+      }
+
+      // Verify every touched local index stays inside the allocation: reads
+      // may use the overlap (ghost) area, writes must be owned.  This is
+      // the planner's replacement for the per-element at_global/_ghost
+      // require() checks; anything outside falls back to the tree walk.
+      long long mn = c0;
+      long long mx = c0;
+      for (size_t k = 0; k < nv; ++k) {
+        const OffsetTerm& t = dterms[k];
+        const Index count = plan_->loops[k].count;
+        if (!t.table.empty()) {
+          const auto [lo_it, hi_it] =
+              std::minmax_element(t.table.begin(), t.table.end());
+          mn += *lo_it;
+          mx += *hi_it;
+        } else if (t.stride != 0) {
+          const long long end = t.stride * (count - 1);
+          mn += std::min<long long>(0, end);
+          mx += std::max<long long>(0, end);
+        }
+      }
+      const long long lo_ok = is_write ? 0 : -static_cast<long long>(m.overlap_lo);
+      const long long hi_ok =
+          is_write ? lext - 1 : lext + static_cast<long long>(m.overlap_hi) - 1;
+      if (mn < lo_ok || mx > hi_ok)
+        decline("subscript range outside local allocation",
+                /*structural=*/false);
+
+      // Flatten into the merged per-level flat-offset recurrence.
+      const long long sd = strides[static_cast<size_t>(d)];
+      base += sd * (c0 + m.overlap_lo);
+      for (size_t k = 0; k < nv; ++k) {
+        const Index count = plan_->loops[k].count;
+        if (!dterms[k].table.empty())
+          term_add_table(rp.terms[k], dterms[k].table, sd, count);
+        else if (dterms[k].stride != 0)
+          term_add_affine(rp.terms[k], sd * dterms[k].stride, count);
+      }
+    }
+    rp.base = base;
+    arrays_.insert(ref.array);
+    return rp;
+  }
+
+  int ref_id_of(const RefInfo* ref) {
+    auto it = ref_ids_.find(ref);
+    if (it != ref_ids_.end()) return it->second;
+    RefPlan rp = build_ref_plan(*ref, /*is_write=*/false);
+    const int id = static_cast<int>(plan_->refs.size());
+    plan_->refs.push_back(std::move(rp));
+    ref_ids_.emplace(ref, id);
+    return id;
+  }
+
+  Tape compile_tape(const Expr& e) {
+    Tape t;
+    emit(e, t.ins);
+    return t;
+  }
+
+  void emit(const Expr& e, std::vector<Ins>& out) {
+    switch (e.kind) {
+      case ExprKind::kIntLit:
+        out.push_back({Op::kConst, 0, nullptr, Value::integer(e.int_value)});
+        return;
+      case ExprKind::kRealLit:
+        out.push_back({Op::kConst, 0, nullptr, Value::real(e.real_value)});
+        return;
+      case ExprKind::kLogicalLit:
+        out.push_back(
+            {Op::kConst, 0, nullptr, Value::logical(e.logical_value)});
+        return;
+      case ExprKind::kVarRef: {
+        for (size_t k = 0; k < s_.indices.size(); ++k) {
+          if (s_.indices[k].var == e.name) {
+            out.push_back({Op::kVar, static_cast<int>(k), nullptr, {}});
+            return;
+          }
+        }
+        auto it = env_.scalars.find(e.name);
+        if (it == env_.scalars.end()) decline("unbound scalar " + e.name);
+        out.push_back({Op::kScalar, 0, &it->second, {}});
+        return;
+      }
+      case ExprKind::kUnOp: {
+        if (e.un_op == UnOpKind::kPlus) {
+          emit(*e.args[0], out);
+          return;
+        }
+        emit(*e.args[0], out);
+        out.push_back({e.un_op == UnOpKind::kNeg ? Op::kNeg : Op::kNot, 0,
+                       nullptr, {}});
+        return;
+      }
+      case ExprKind::kBinOp: {
+        emit(*e.args[0], out);
+        emit(*e.args[1], out);
+        out.push_back({bin_op_of(e.bin_op), 0, nullptr, {}});
+        return;
+      }
+      case ExprKind::kArrayRef: {
+        if (env_.compiled.sema.symbols.count(e.name) &&
+            env_.compiled.sema.symbols.at(e.name).is_array()) {
+          auto rit = ref_of_.find(&e);
+          if (rit == ref_of_.end()) decline("unclassified array reference");
+          out.push_back({Op::kRef, ref_id_of(rit->second), nullptr, {}});
+          return;
+        }
+        Op op{};
+        int argc = 0;
+        if (!intrinsic_op_of(e.name, op, argc))
+          decline("unsupported intrinsic " + e.name);
+        if (argc >= 0 ? e.args.size() != static_cast<size_t>(argc)
+                      : e.args.empty())
+          decline("bad intrinsic arity " + e.name);
+        for (const ExprPtr& a : e.args) emit(*a, out);
+        out.push_back({op, static_cast<int>(e.args.size()), nullptr, {}});
+        return;
+      }
+      default:
+        decline("unsupported expression kind in forall body");
+    }
+  }
+
+  const SpmdStmt& s_;
+  Env& env_;
+  std::vector<int> coords_;
+  std::shared_ptr<ExecPlan> plan_;
+  std::vector<std::optional<LocalRange>> lrs_;
+  std::vector<const IndexPartition*> ips_;
+  std::map<const Expr*, const RefInfo*> ref_of_;
+  std::map<const RefInfo*, int> ref_ids_;
+  std::set<std::string> arrays_;
+};
+
+// --- runner ------------------------------------------------------------------
+
+Value load_ref(const RefPlan& r, long long off) {
+  switch (r.kind) {
+    case RefPlan::Kind::kRealDirect:
+      return Value::real(r.dbase[off]);
+    case RefPlan::Kind::kIntDirect:
+      return Value::integer(r.ibase[off]);
+    case RefPlan::Kind::kLogicalDirect:
+      return Value::logical(r.lbase[off] != 0);
+    case RefPlan::Kind::kRealSlab:
+      return Value::real(r.buf->dvals[static_cast<size_t>(off)]);
+    case RefPlan::Kind::kScalarSlot:
+      return r.buf->scalar;
+  }
+  return Value::real(0);
+}
+
+Value eval_tape(const Tape& t, const ExecPlan& p, const Index* varvals,
+                const long long* offs, std::vector<Value>& stack) {
+  stack.clear();
+  for (const Ins& ins : t.ins) {
+    switch (ins.op) {
+      case Op::kConst: stack.push_back(ins.cst); break;
+      case Op::kScalar: stack.push_back(*ins.scalar); break;
+      case Op::kVar:
+        stack.push_back(Value::integer(varvals[ins.a]));
+        break;
+      case Op::kRef:
+        stack.push_back(load_ref(p.refs[static_cast<size_t>(ins.a)],
+                                 offs[ins.a]));
+        break;
+      case Op::kNeg:
+      case Op::kNot:
+        stack.back() = un_value(ins.op, stack.back());
+        break;
+      case Op::kAbs:
+      case Op::kSqrt:
+      case Op::kExp:
+      case Op::kLog:
+      case Op::kSin:
+      case Op::kCos:
+      case Op::kMod:
+      case Op::kMin:
+      case Op::kMax:
+      case Op::kToReal:
+      case Op::kToInt:
+      case Op::kNint: {
+        const size_t argc = static_cast<size_t>(ins.a);
+        const Value v = intrinsic_value(
+            ins.op, std::span<const Value>(stack.data() + stack.size() - argc,
+                                           argc));
+        stack.resize(stack.size() - argc);
+        stack.push_back(v);
+        break;
+      }
+      default: {
+        const Value r = stack.back();
+        stack.pop_back();
+        stack.back() = bin_value(ins.op, stack.back(), r);
+        break;
+      }
+    }
+  }
+  return stack.back();
+}
+
+}  // namespace
+
+Index run_exec_plan(const ExecPlan& p, PlanScratch& scratch) {
+  if (p.masked_out) return 0;
+  const size_t nv = p.loops.size();
+  if (nv == 0) return 0;
+  for (const PlanLoop& l : p.loops)
+    if (l.count == 0) return 0;
+
+  const size_t nr = p.refs.size();
+  std::vector<Index>& counters = scratch.counters;
+  std::vector<Index>& varvals = scratch.varvals;
+  counters.assign(nv, 0);
+  varvals.resize(nv);
+  for (size_t k = 0; k < nv; ++k) varvals[k] = p.loops[k].value_at(0);
+
+  // Current flat offsets (reads, then the lhs at index nr), maintained
+  // incrementally: when a counter changes, only that level's contribution
+  // is swapped out.
+  auto ref_at = [&](size_t r) -> const RefPlan& {
+    return r < nr ? p.refs[r] : p.lhs;
+  };
+  std::vector<long long>& offs = scratch.offs;
+  std::vector<long long>& contrib = scratch.contrib;
+  offs.resize(nr + 1);
+  contrib.resize((nr + 1) * nv);
+  for (size_t r = 0; r <= nr; ++r) {
+    long long off = ref_at(r).base;
+    for (size_t k = 0; k < nv; ++k) {
+      const long long c = ref_at(r).terms[k].at(0);
+      contrib[r * nv + k] = c;
+      off += c;
+    }
+    offs[r] = off;
+  }
+  auto update_level = [&](size_t k, Index c) {
+    for (size_t r = 0; r <= nr; ++r) {
+      const long long nc = ref_at(r).terms[k].at(c);
+      offs[r] += nc - contrib[r * nv + k];
+      contrib[r * nv + k] = nc;
+    }
+  };
+
+  std::vector<Value>& stack = scratch.stack;
+  stack.reserve(p.rhs.ins.size() + p.mask.ins.size() + 4);
+
+  Index iters = 0;
+  for (;;) {
+    ++iters;
+    bool store = true;
+    if (!p.mask.empty())
+      store = eval_tape(p.mask, p, varvals.data(), offs.data(), stack).as_b();
+    if (store) {
+      const Value v =
+          eval_tape(p.rhs, p, varvals.data(), offs.data(), stack);
+      const long long off = offs[nr];
+      switch (p.lhs.kind) {
+        case RefPlan::Kind::kRealDirect: p.lhs.dbase[off] = v.as_d(); break;
+        case RefPlan::Kind::kIntDirect: p.lhs.ibase[off] = v.as_i(); break;
+        case RefPlan::Kind::kLogicalDirect:
+          p.lhs.lbase[off] = static_cast<unsigned char>(v.as_b() ? 1 : 0);
+          break;
+        default:
+          throw RtsError("exec plan: bad lhs kind");
+      }
+    }
+    // Odometer, last variable fastest (matches the tree walk).
+    size_t k = nv;
+    for (;;) {
+      if (k == 0) return iters;
+      --k;
+      if (++counters[k] < p.loops[k].count) {
+        varvals[k] = p.loops[k].value_at(counters[k]);
+        update_level(k, counters[k]);
+        break;
+      }
+      counters[k] = 0;
+      varvals[k] = p.loops[k].value_at(0);
+      update_level(k, 0);
+    }
+  }
+}
+
+PlanEntry build_exec_plan(const SpmdStmt& s, Env& env) {
+  return Builder(s, env).build();
+}
+
+std::vector<std::string> plan_key_scalars(const SpmdStmt& s, const Env& env) {
+  std::set<std::string> names;
+  auto walk = [&](const Expr& e, auto&& self) -> void {
+    if (e.kind == ExprKind::kVarRef && env.scalars.count(e.name))
+      names.insert(e.name);
+    for (const ExprPtr& x : e.args)
+      if (x) self(*x, self);
+  };
+  for (const IndexPartition& ip : s.indices) {
+    walk(*ip.lo, walk);
+    walk(*ip.hi, walk);
+    if (ip.st) walk(*ip.st, walk);
+  }
+  for (const ProcGuard& g : s.guards)
+    if (g.sub.runtime) walk(*g.sub.runtime, walk);
+  for (const RefInfo& ref : s.refs)
+    for (const AffineSub& sub : ref.subs)
+      if (sub.runtime) walk(*sub.runtime, walk);
+  return std::vector<std::string>(names.begin(), names.end());
+}
+
+std::string plan_key(const SpmdStmt& s, const Env& env,
+                     const std::vector<std::string>& scalars) {
+  std::ostringstream os;
+  os << "plan:" << s.stmt_id << "@";
+  // Record the values exactly as the planner bakes them (as_i everywhere:
+  // bounds, guards and runtime subscript terms are integer contexts), so
+  // equal keys imply equal plans.
+  for (const std::string& nm : scalars)
+    os << nm << "=" << env.scalars.at(nm).as_i() << ";";
+  return os.str();
+}
+
+const PlanEntry& PlanCache::get_or_build(
+    int stmt_id, const std::string& key,
+    const std::function<PlanEntry()>& build) {
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  PlanEntry e = build();
+  if (!e.plan && e.structural && stmt_id >= 0)
+    structural_declines_.insert(stmt_id);
+  return map_.emplace(key, std::move(e)).first->second;
+}
+
+const std::vector<std::string>& PlanCache::key_scalars(
+    int stmt_id, const std::function<std::vector<std::string>()>& collect) {
+  auto it = key_scalars_.find(stmt_id);
+  if (it != key_scalars_.end()) return it->second;
+  return key_scalars_.emplace(stmt_id, collect()).first->second;
+}
+
+void PlanCache::invalidate_array(const std::string& array) {
+  for (auto it = map_.begin(); it != map_.end();) {
+    const PlanEntry& e = it->second;
+    const bool bound =
+        e.plan != nullptr &&
+        std::find(e.plan->arrays.begin(), e.plan->arrays.end(), array) !=
+            e.plan->arrays.end();
+    if (bound) {
+      it = map_.erase(it);
+      ++invalidations_;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PlanCache::clear() {
+  map_.clear();
+  structural_declines_.clear();
+  key_scalars_.clear();
+  hits_ = misses_ = invalidations_ = 0;
+}
+
+}  // namespace f90d::exec

@@ -1,0 +1,220 @@
+#pragma once
+// Execution plans: the "decide once, run many" split of the SPMD executor.
+//
+// The paper's generated node programs (§4–§5, Fig. 3) resolve ownership
+// once per statement — set_BOUND computes the local loop bounds, and the
+// inner loops are strength-reduced local-index loops over preallocated
+// storage.  The tree-walking interpreter instead re-evaluated subscript
+// trees and re-queried the DAD owner/local algebra for every element on
+// every DO-loop trip.  An ExecPlan recovers the compiled shape at run time:
+//
+//   plan-build (once per statement × runtime-scalar values):
+//     * guards evaluated, set_BOUND local ranges resolved (including the
+//       enumerated CYCLIC(k) case)
+//     * every affine subscript strength-reduced to a per-loop-level
+//       base + stride (or per-counter table) flat-offset recurrence with a
+//       pre-bound storage pointer
+//     * mask and rhs flattened into a compact postfix tape whose loads go
+//       through Value* scalar slots and the pre-bound references
+//   plan-run (every trip): a counter odometer, incremental offsets, and a
+//     stack machine — zero Expr-tree walks, zero DAD calls, zero map
+//     lookups per element.
+//
+// Plans are cached per processor in a PlanCache keyed on the statement id
+// plus the runtime scalars the plan bakes in (loop bounds, guard and
+// subscript scalars), mirroring the PARTI ScheduleCache.  Statements the
+// planner declines — PARTI gather/scatter, buffered writes, non-affine
+// subscripts — fall back to the tree walk; the decline itself is cached.
+#include <functional>
+#include <memory>
+#include <set>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "compile/spmd_ir.hpp"
+#include "exec/exec_env.hpp"
+
+namespace f90d::exec {
+
+/// One loop level of the planned nest, iterating source-coordinate values.
+/// Uniform progressions stay symbolic; block-cyclic CYCLIC(k) intersections
+/// that are not arithmetic progressions enumerate their values.
+struct PlanLoop {
+  std::string var;
+  Index count = 0;
+  Index val0 = 0;
+  Index step = 1;
+  std::vector<Index> values;  ///< non-empty = explicit enumeration
+
+  [[nodiscard]] Index value_at(Index i) const {
+    return values.empty() ? val0 + i * step : values[static_cast<size_t>(i)];
+  }
+};
+
+/// Per-loop-level contribution to a reference's flat local offset: either
+/// an affine stride in the loop counter or an explicit per-counter table
+/// (enumerated CYCLIC(k) local index lists).
+struct OffsetTerm {
+  long long stride = 0;
+  std::vector<long long> table;
+
+  [[nodiscard]] long long at(Index c) const {
+    return table.empty() ? stride * c : table[static_cast<size_t>(c)];
+  }
+};
+
+/// A pre-bound array reference: storage pointer + offset recurrence.
+struct RefPlan {
+  enum class Kind {
+    kRealDirect,     ///< flat offset into the local REAL chunk (incl. ghosts)
+    kIntDirect,      ///< ... INTEGER chunk
+    kLogicalDirect,  ///< ... LOGICAL chunk
+    kRealSlab,       ///< multicast/transfer slab, offset into Buf::dvals
+    kScalarSlot,     ///< broadcast element in Buf::scalar
+  };
+  Kind kind = Kind::kRealDirect;
+  double* dbase = nullptr;
+  long long* ibase = nullptr;
+  unsigned char* lbase = nullptr;
+  Buf* buf = nullptr;            ///< kRealSlab / kScalarSlot
+  long long base = 0;            ///< flat offset at all-counters-zero
+  std::vector<OffsetTerm> terms; ///< one per loop level
+};
+
+/// Postfix tape instruction.  Operands live on an explicit Value stack.
+enum class Op : unsigned char {
+  kConst, kScalar, kVar, kRef,
+  kNeg, kNot,
+  kAdd, kSub, kMul, kDiv, kPow,
+  kEq, kNe, kLt, kLe, kGt, kGe, kAnd, kOr,
+  kAbs, kSqrt, kExp, kLog, kSin, kCos, kMod, kMin, kMax,
+  kToReal, kToInt, kNint,
+};
+
+struct Ins {
+  Op op = Op::kConst;
+  int a = 0;                      ///< kVar: loop level; kRef: ref id; kMin/kMax: argc
+  const Value* scalar = nullptr;  ///< kScalar: bound slot in Env::scalars
+  Value cst;                      ///< kConst
+};
+
+struct Tape {
+  std::vector<Ins> ins;
+  [[nodiscard]] bool empty() const { return ins.empty(); }
+};
+
+// --- shared Value semantics --------------------------------------------------
+// One implementation serves both the plan tape runner and the tree-walking
+// fallback in interp/ — the two execution paths must stay bit-identical,
+// so they share the operator tables instead of mirroring them.
+
+[[nodiscard]] Value un_value(Op op, const Value& v);
+[[nodiscard]] Value bin_value(Op op, const Value& l, const Value& r);
+[[nodiscard]] Value intrinsic_value(Op op, std::span<const Value> args);
+[[nodiscard]] Op bin_op_of(ast::BinOpKind k);
+/// Intrinsic name -> op + required arg count (-1 = one or more).
+/// False when the name is not a supported elementwise intrinsic.
+[[nodiscard]] bool intrinsic_op_of(const std::string& n, Op& op, int& argc);
+/// Trip count of the inclusive triplet lo:hi:st (st != 0).
+[[nodiscard]] Index trip_count(Index lo, Index hi, Index st);
+
+struct ExecPlan {
+  int stmt_id = -1;
+  /// Guards rejected this processor: the local loop is empty by ownership.
+  bool masked_out = false;
+  std::vector<PlanLoop> loops;
+  std::vector<RefPlan> refs;  ///< read references addressed by kRef
+  RefPlan lhs;
+  Tape mask;                  ///< empty = unconditional
+  Tape rhs;
+  /// Arrays whose storage the plan binds (PlanCache invalidation).
+  std::vector<std::string> arrays;
+};
+
+using PlanPtr = std::shared_ptr<const ExecPlan>;
+
+/// Build outcome.  A null plan is a decline: the statement runs on the
+/// tree-walk fallback.  `structural` declines do not depend on runtime
+/// scalar values, so the driver can skip planning the statement for good.
+struct PlanEntry {
+  PlanPtr plan;
+  std::string decline;
+  bool structural = false;
+};
+
+/// The names of every runtime scalar a statement's plan bakes in (loop
+/// bounds, guard subscripts, subscript runtime terms).  Static per
+/// statement — only the values change between executions — so callers
+/// memoize it (PlanCache::key_scalars).  Scalars that only appear in the
+/// mask/rhs are loaded through Value* slots at run time and do not key
+/// the plan.
+[[nodiscard]] std::vector<std::string> plan_key_scalars(
+    const compile::SpmdStmt& s, const Env& env);
+
+/// Cache key: statement id plus the current values of `scalars`.  Values
+/// are recorded exactly as the planner bakes them (as_i), so equal keys
+/// imply equal plans.
+[[nodiscard]] std::string plan_key(const compile::SpmdStmt& s, const Env& env,
+                                   const std::vector<std::string>& scalars);
+
+/// Lower one kForall statement into a plan for this processor, or decline.
+[[nodiscard]] PlanEntry build_exec_plan(const compile::SpmdStmt& s, Env& env);
+
+/// Reusable run_exec_plan working storage (one per node program): keeps
+/// the many small nests of triangular workloads allocation-free.
+struct PlanScratch {
+  std::vector<Index> counters;
+  std::vector<Index> varvals;
+  std::vector<long long> offs;
+  std::vector<long long> contrib;
+  std::vector<Value> stack;
+};
+
+/// Run the planned loop nest.  Returns the number of iterations executed
+/// (mask-rejected iterations included, matching the tree walk's cost
+/// charging).  Pre/post communication actions are NOT run here — the
+/// driver runs them around the call.
+[[nodiscard]] Index run_exec_plan(const ExecPlan& p, PlanScratch& scratch);
+
+/// Per-processor plan cache, keyed like the PARTI ScheduleCache.  Also
+/// memoizes declines; structural declines are additionally indexed by
+/// statement id so the driver can bypass key construction entirely.
+class PlanCache {
+ public:
+  const PlanEntry& get_or_build(int stmt_id, const std::string& key,
+                                const std::function<PlanEntry()>& build);
+
+  /// True when `stmt_id` was declined for reasons independent of runtime
+  /// scalar values (PARTI path, non-affine subscripts, ...).
+  [[nodiscard]] bool declined_structurally(int stmt_id) const {
+    return structural_declines_.count(stmt_id) > 0;
+  }
+
+  /// Memoized plan_key_scalars result for `stmt_id` (the name list is
+  /// static per statement; only the formatted values change per call).
+  const std::vector<std::string>& key_scalars(
+      int stmt_id, const std::function<std::vector<std::string>()>& collect);
+
+  /// Drop every plan that binds `array`'s storage.  Must be called by any
+  /// operation that may replace the array's descriptor or storage
+  /// (redistribution / remapping); see docs/EXECUTION.md.
+  void invalidate_array(const std::string& array);
+
+  [[nodiscard]] int hits() const { return hits_; }
+  [[nodiscard]] int misses() const { return misses_; }
+  [[nodiscard]] int invalidations() const { return invalidations_; }
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  void clear();
+
+ private:
+  std::unordered_map<std::string, PlanEntry> map_;
+  std::set<int> structural_declines_;
+  std::unordered_map<int, std::vector<std::string>> key_scalars_;
+  int hits_ = 0;
+  int misses_ = 0;
+  int invalidations_ = 0;
+};
+
+}  // namespace f90d::exec

@@ -8,6 +8,8 @@
 #include <sstream>
 
 #include "comm/grid_comm.hpp"
+#include "exec/exec_env.hpp"
+#include "exec/exec_plan.hpp"
 #include "parti/schedule.hpp"
 #include "parti/schedule_cache.hpp"
 #include "rts/dist_array.hpp"
@@ -26,50 +28,14 @@ using ast::Expr;
 using ast::ExprKind;
 using ast::ExprPtr;
 using ast::UnOpKind;
+using exec::Buf;
+using exec::Value;
 using frontend::Symbol;
 using rts::Dad;
 using rts::DistArray;
 using rts::DistKind;
 
 namespace {
-
-// --- dynamic values ----------------------------------------------------------
-
-struct Value {
-  enum class K { kD, kI, kB } k = K::kD;
-  double d = 0;
-  long long i = 0;
-  bool b = false;
-
-  static Value real(double v) { return Value{K::kD, v, 0, false}; }
-  static Value integer(long long v) { return Value{K::kI, 0, v, false}; }
-  static Value logical(bool v) { return Value{K::kB, 0, 0, v}; }
-
-  [[nodiscard]] double as_d() const {
-    switch (k) {
-      case K::kD: return d;
-      case K::kI: return static_cast<double>(i);
-      case K::kB: return b ? 1.0 : 0.0;
-    }
-    return 0;
-  }
-  [[nodiscard]] long long as_i() const {
-    switch (k) {
-      case K::kD: return static_cast<long long>(d);
-      case K::kI: return i;
-      case K::kB: return b ? 1 : 0;
-    }
-    return 0;
-  }
-  [[nodiscard]] bool as_b() const {
-    switch (k) {
-      case K::kD: return d != 0.0;
-      case K::kI: return i != 0;
-      case K::kB: return b;
-    }
-    return false;
-  }
-};
 
 /// One local iteration range of a forall variable.  Uniform-stride ranges
 /// (BLOCK, CYCLIC, collapsed) use val0/step; block-cyclic CYCLIC(k) ranges
@@ -97,18 +63,14 @@ struct Shared {
   std::vector<machine::ProcStats> stats_snapshot;
 };
 
-struct Buf {
-  std::vector<double> dvals;
-  std::vector<long long> ivals;
-  Value scalar;
-};
-
-Index trip_count(Index lo, Index hi, Index st) {
-  if (st > 0) return hi < lo ? 0 : (hi - lo) / st + 1;
-  return hi > lo ? 0 : (lo - hi) / (-st) + 1;
-}
+using exec::trip_count;
 
 // --- node program -------------------------------------------------------------
+// The node program is a thin driver over the exec layer: every FORALL is
+// first offered to the execution planner (exec/exec_plan.hpp) whose cached
+// plans run the strength-reduced loop nest; statements the planner declines
+// (PARTI gather/scatter, buffered writes, non-affine subscripts) fall back
+// to the tree walk below, which operates on the same exec::Env state.
 
 class Node {
  public:
@@ -119,10 +81,10 @@ class Node {
         gc_(proc, c.mapping.grid),
         init_(init),
         opt_(opt),
-        shared_(shared) {
+        shared_(shared),
+        env_(c, gc_) {
     cache_.set_enabled(opt_.schedule_cache);
-    allocate_arrays();
-    bufs_.resize(static_cast<size_t>(c_.program.buffer_count));
+    apply_init();
   }
 
   void run() {
@@ -139,119 +101,32 @@ class Node {
 
  private:
   // --- environment ------------------------------------------------------------
-  const Symbol& sym(const std::string& n) const { return c_.sema.symbols.at(n); }
-
-  void allocate_arrays() {
-    for (const auto& [name, dad0] : c_.mapping.dads) {
-      Dad dad = dad0;
-      auto ov = c_.program.overlaps.find(name);
-      if (ov != c_.program.overlaps.end()) {
-        for (int d = 0; d < dad.rank(); ++d) {
-          dad.dim(d).overlap_lo = ov->second[static_cast<size_t>(d)].first;
-          dad.dim(d).overlap_hi = ov->second[static_cast<size_t>(d)].second;
-        }
-      }
-      dads_.emplace(name, dad);
-      const Symbol& s = sym(name);
-      switch (s.type) {
-        case ast::BaseType::kReal: {
-          auto [it, ok] = dar_.emplace(name, DistArray<double>(dad, gc_));
-          auto f = init_.real.find(name);
-          if (f != init_.real.end())
-            it->second.fill_global([&](std::span<const Index> g) {
-              return f->second(g);
-            });
-          break;
-        }
-        case ast::BaseType::kInteger: {
-          auto [it, ok] = iar_.emplace(name, DistArray<long long>(dad, gc_));
-          auto f = init_.ints.find(name);
-          if (f != init_.ints.end())
-            it->second.fill_global([&](std::span<const Index> g) {
-              return f->second(g);
-            });
-          break;
-        }
-        case ast::BaseType::kLogical: {
-          auto [it, ok] = lar_.emplace(name, DistArray<unsigned char>(dad, gc_));
-          auto f = init_.logical.find(name);
-          if (f != init_.logical.end())
-            it->second.fill_global([&](std::span<const Index> g) {
-              return static_cast<unsigned char>(f->second(g) ? 1 : 0);
-            });
-          break;
-        }
-      }
+  void apply_init() {
+    for (auto& [name, a] : env_.dar) {
+      auto f = init_.real.find(name);
+      if (f != init_.real.end())
+        a.fill_global([&](std::span<const Index> g) { return f->second(g); });
     }
-    for (const auto& [name, s] : c_.sema.symbols) {
-      if (s.is_array()) continue;
-      Value v;
-      if (s.is_parameter) {
-        v = s.type == ast::BaseType::kInteger ? Value::integer(s.int_value)
-                                              : Value::real(s.real_value);
-      } else {
-        v = s.type == ast::BaseType::kInteger ? Value::integer(0)
-                                              : Value::real(0.0);
-        auto f = init_.scalars.find(name);
-        if (f != init_.scalars.end())
-          v = s.type == ast::BaseType::kInteger
-                  ? Value::integer(static_cast<long long>(f->second))
-                  : Value::real(f->second);
-      }
-      scalars_.emplace(name, v);
+    for (auto& [name, a] : env_.iar) {
+      auto f = init_.ints.find(name);
+      if (f != init_.ints.end())
+        a.fill_global([&](std::span<const Index> g) { return f->second(g); });
     }
-  }
-
-  [[nodiscard]] long long lower_of(const std::string& n, int d) const {
-    return sym(n).lower[static_cast<size_t>(d)];
-  }
-
-  Value read_element(const std::string& name, std::span<const Index> g,
-                     bool ghost) {
-    try {
-      return read_element_inner(name, g, ghost);
-    } catch (const Error& e) {
-      std::string idx;
-      for (Index v : g) idx += std::to_string(v) + ",";
-      throw Error("reading " + name + "(" + idx + "): " + e.what());
+    for (auto& [name, a] : env_.lar) {
+      auto f = init_.logical.find(name);
+      if (f != init_.logical.end())
+        a.fill_global([&](std::span<const Index> g) {
+          return static_cast<unsigned char>(f->second(g) ? 1 : 0);
+        });
     }
-  }
-
-  Value read_element_inner(const std::string& name, std::span<const Index> g,
-                           bool ghost) {
-    const Symbol& s = sym(name);
-    switch (s.type) {
-      case ast::BaseType::kReal: {
-        auto& a = dar_.at(name);
-        return Value::real(ghost ? a.at_global_ghost(g) : a.at_global(g));
-      }
-      case ast::BaseType::kInteger: {
-        auto& a = iar_.at(name);
-        return Value::integer(ghost ? a.at_global_ghost(g) : a.at_global(g));
-      }
-      case ast::BaseType::kLogical: {
-        auto& a = lar_.at(name);
-        return Value::logical((ghost ? a.at_global_ghost(g) : a.at_global(g)) !=
-                              0);
-      }
-    }
-    return Value::real(0);
-  }
-
-  void write_element(const std::string& name, std::span<const Index> g,
-                     const Value& v) {
-    const Symbol& s = sym(name);
-    switch (s.type) {
-      case ast::BaseType::kReal:
-        dar_.at(name).at_global(g) = v.as_d();
-        break;
-      case ast::BaseType::kInteger:
-        iar_.at(name).at_global(g) = v.as_i();
-        break;
-      case ast::BaseType::kLogical:
-        lar_.at(name).at_global(g) =
-            static_cast<unsigned char>(v.as_b() ? 1 : 0);
-        break;
+    for (auto& [name, v] : env_.scalars) {
+      const Symbol& s = env_.sym(name);
+      if (s.is_parameter) continue;
+      auto f = init_.scalars.find(name);
+      if (f == init_.scalars.end()) continue;
+      v = s.type == ast::BaseType::kInteger
+              ? Value::integer(static_cast<long long>(f->second))
+              : Value::real(f->second);
     }
   }
 
@@ -264,8 +139,8 @@ class Node {
       case ExprKind::kVarRef: {
         auto fit = frame_.find(e.name);
         if (fit != frame_.end()) return Value::integer(fit->second);
-        auto sit = scalars_.find(e.name);
-        require(sit != scalars_.end(), "scalar variable bound");
+        auto sit = env_.scalars.find(e.name);
+        require(sit != env_.scalars.end(), "scalar variable bound");
         return sit->second;
       }
       case ExprKind::kUnOp: {
@@ -288,39 +163,13 @@ class Node {
 
   Value eval_bin(const Expr& e) {
     const Value l = eval(*e.args[0]);
-    // Short-circuit logicals.
+    // Short-circuit logicals; everything else shares the exec-layer
+    // operator tables with the plan tapes (bit-identical by construction).
     if (e.bin_op == BinOpKind::kAnd)
       return Value::logical(l.as_b() && eval(*e.args[1]).as_b());
     if (e.bin_op == BinOpKind::kOr)
       return Value::logical(l.as_b() || eval(*e.args[1]).as_b());
-    const Value r = eval(*e.args[1]);
-    const bool both_int = l.k == Value::K::kI && r.k == Value::K::kI;
-    switch (e.bin_op) {
-      case BinOpKind::kAdd:
-        return both_int ? Value::integer(l.i + r.i) : Value::real(l.as_d() + r.as_d());
-      case BinOpKind::kSub:
-        return both_int ? Value::integer(l.i - r.i) : Value::real(l.as_d() - r.as_d());
-      case BinOpKind::kMul:
-        return both_int ? Value::integer(l.i * r.i) : Value::real(l.as_d() * r.as_d());
-      case BinOpKind::kDiv:
-        if (both_int) return Value::integer(r.i == 0 ? 0 : l.i / r.i);
-        return Value::real(l.as_d() / r.as_d());
-      case BinOpKind::kPow:
-        if (both_int) {
-          long long acc = 1;
-          for (long long k = 0; k < r.i; ++k) acc *= l.i;
-          return Value::integer(acc);
-        }
-        return Value::real(std::pow(l.as_d(), r.as_d()));
-      case BinOpKind::kEq: return Value::logical(l.as_d() == r.as_d());
-      case BinOpKind::kNe: return Value::logical(l.as_d() != r.as_d());
-      case BinOpKind::kLt: return Value::logical(l.as_d() < r.as_d());
-      case BinOpKind::kLe: return Value::logical(l.as_d() <= r.as_d());
-      case BinOpKind::kGt: return Value::logical(l.as_d() > r.as_d());
-      case BinOpKind::kGe: return Value::logical(l.as_d() >= r.as_d());
-      default:
-        throw RtsError("unsupported binary operator");
-    }
+    return exec::bin_value(exec::bin_op_of(e.bin_op), l, eval(*e.args[1]));
   }
 
   Value eval_ref(const Expr& e) {
@@ -335,67 +184,46 @@ class Node {
     switch (access) {
       case Access::kDirect: {
         eval_subs(e, gidx_scratch_);
-        return read_element(e.name, gidx_scratch_, /*ghost=*/true);
+        return env_.read_element(e.name, gidx_scratch_, /*ghost=*/true);
       }
       case Access::kIterBuf: {
-        const Buf& b = bufs_[static_cast<size_t>(ref->buffer_id)];
-        const Symbol& s = sym(e.name);
+        const Buf& b = env_.bufs[static_cast<size_t>(ref->buffer_id)];
+        const Symbol& s = env_.sym(e.name);
         if (s.type == ast::BaseType::kInteger)
           return Value::integer(b.ivals[static_cast<size_t>(flat_iter_)]);
         return Value::real(b.dvals[static_cast<size_t>(flat_iter_)]);
       }
       case Access::kSlabBuf: {
-        const Buf& b = bufs_[static_cast<size_t>(ref->buffer_id)];
+        const Buf& b = env_.bufs[static_cast<size_t>(ref->buffer_id)];
         Index idx = 0;
         for (const std::string& v : ref->slab_vars) {
           const auto& vb = var_state_.at(v);
           idx = idx * vb.count + vb.counter;
         }
-        const Symbol& s = sym(e.name);
+        const Symbol& s = env_.sym(e.name);
         if (s.type == ast::BaseType::kInteger)
           return Value::integer(b.ivals[static_cast<size_t>(idx)]);
         return Value::real(b.dvals[static_cast<size_t>(idx)]);
       }
       case Access::kScalarSlot:
-        return bufs_[static_cast<size_t>(ref->buffer_id)].scalar;
+        return env_.bufs[static_cast<size_t>(ref->buffer_id)].scalar;
     }
     return Value::real(0);
   }
 
   Value eval_intrinsic(const Expr& e) {
-    auto arg = [&](size_t k) { return eval(*e.args[k]); };
-    const std::string& n = e.name;
-    if (n == "ABS") {
-      Value v = arg(0);
-      return v.k == Value::K::kI ? Value::integer(std::llabs(v.i))
-                                 : Value::real(std::fabs(v.as_d()));
-    }
-    if (n == "SQRT") return Value::real(std::sqrt(arg(0).as_d()));
-    if (n == "EXP") return Value::real(std::exp(arg(0).as_d()));
-    if (n == "LOG") return Value::real(std::log(arg(0).as_d()));
-    if (n == "SIN") return Value::real(std::sin(arg(0).as_d()));
-    if (n == "COS") return Value::real(std::cos(arg(0).as_d()));
-    if (n == "MOD") {
-      Value a = arg(0), b = arg(1);
-      if (a.k == Value::K::kI && b.k == Value::K::kI)
-        return Value::integer(b.i == 0 ? 0 : a.i % b.i);
-      return Value::real(std::fmod(a.as_d(), b.as_d()));
-    }
-    if (n == "MIN" || n == "MAX") {
-      Value acc = arg(0);
-      for (size_t k = 1; k < e.args.size(); ++k) {
-        Value v = arg(k);
-        const bool take = n == "MIN" ? v.as_d() < acc.as_d()
-                                     : v.as_d() > acc.as_d();
-        if (take) acc = v;
-      }
-      return acc;
-    }
-    if (n == "REAL") return Value::real(arg(0).as_d());
-    if (n == "INT") return Value::integer(arg(0).as_i());
-    if (n == "NINT")
-      return Value::integer(static_cast<long long>(std::llround(arg(0).as_d())));
-    throw RtsError("unsupported intrinsic in node program: " + n);
+    exec::Op op{};
+    int argc = 0;
+    if (!exec::intrinsic_op_of(e.name, op, argc))
+      throw RtsError("unsupported intrinsic in node program: " + e.name);
+    require(argc >= 0 ? e.args.size() == static_cast<size_t>(argc)
+                      : !e.args.empty(),
+            "intrinsic argument count");
+    // Local buffer: eval() recurses back here for nested intrinsics.
+    std::vector<Value> args;
+    args.reserve(e.args.size());
+    for (const ExprPtr& a : e.args) args.push_back(eval(*a));
+    return exec::intrinsic_value(op, args);
   }
 
   /// Evaluate the subscripts of an array reference into 0-based global
@@ -404,7 +232,7 @@ class Node {
     out.resize(ref.args.size());
     for (size_t d = 0; d < ref.args.size(); ++d) {
       const Index val = eval(*ref.args[d]).as_i();
-      out[d] = val - lower_of(ref.name, static_cast<int>(d));
+      out[d] = val - env_.lower_of(ref.name, static_cast<int>(d));
     }
   }
 
@@ -466,13 +294,20 @@ class Node {
   std::optional<std::vector<VarRange>> ranges_for_coords(
       const SpmdStmt& s, const std::vector<int>& coords) {
     for (const ProcGuard& g : s.guards) {
-      const Dad& dad = dads_.at(g.array);
+      const Dad& dad = env_.dads.at(g.array);
       const Index val =
-          eval(*affine_to_expr(g.sub)).as_i() - lower_of(g.array, g.dim);
+          eval(*affine_to_expr(g.sub)).as_i() - env_.lower_of(g.array, g.dim);
       const int owner = dad.owner_coord(g.dim, val);
       const int gd = dad.dim(g.dim).grid_dim;
       if (coords[static_cast<size_t>(gd)] != owner) return std::nullopt;
     }
+    return ranges_for_coords_no_guards(s, coords);
+  }
+
+  /// Ranges ignoring the processor guards (slab packing: the source line
+  /// packs exactly the ranges the destinations iterate).
+  std::vector<VarRange> ranges_for_coords_no_guards(
+      const SpmdStmt& s, const std::vector<int>& coords) {
     std::vector<VarRange> out;
     for (const IndexPartition& ip : s.indices) {
       const Index lo = eval(*ip.lo).as_i();
@@ -480,8 +315,8 @@ class Node {
       const Index st = ip.st ? eval(*ip.st).as_i() : 1;
       VarRange r;
       if (!ip.array.empty()) {
-        const Dad& dad = dads_.at(ip.array);
-        const long long lower = lower_of(ip.array, ip.dim);
+        const Dad& dad = env_.dads.at(ip.array);
+        const long long lower = env_.lower_of(ip.array, ip.dim);
         const int gd = dad.dim(ip.dim).grid_dim;
         const int coord = coords[static_cast<size_t>(gd)];
         const rts::LocalRange lr =
@@ -591,7 +426,7 @@ class Node {
           }
         }
         for (Index v = lo; st > 0 ? v <= hi : v >= hi; v += st) {
-          scalars_[s.do_var] = Value::integer(v);
+          env_.scalars[s.do_var] = Value::integer(v);
           for (const SpmdStmtPtr& b : s.body) exec(*b);
         }
         break;
@@ -627,8 +462,38 @@ class Node {
       if (r.expr != nullptr) ref_of_.emplace(r.expr, &r);
   }
 
+  /// Planned fast path: look up (or lazily build) this statement's
+  /// execution plan for the current runtime-scalar values and run it.
+  /// Returns false when the planner declined — the caller falls back to
+  /// the tree walk.  Structural declines are remembered per statement so
+  /// fallback statements skip key construction entirely.
+  bool try_planned_forall(const SpmdStmt& s) {
+    if (opt_.skeleton || !opt_.exec_plans) return false;
+    // Unnumbered statements (hand-built programs that bypassed the driver)
+    // have no stable cache identity: run them on the tree walk.
+    if (s.stmt_id < 0) return false;
+    if (plans_.declined_structurally(s.stmt_id)) return false;
+    const std::vector<std::string>& key_names = plans_.key_scalars(
+        s.stmt_id, [&] { return exec::plan_key_scalars(s, env_); });
+    const exec::PlanEntry& entry = plans_.get_or_build(
+        s.stmt_id, exec::plan_key(s, env_, key_names),
+        [&] { return exec::build_exec_plan(s, env_); });
+    if (!entry.plan) return false;
+    // Pre-communication is collective and statement-scoped, not
+    // per-element: it runs through the same machinery as the tree walk.
+    // (The planner admits no schedule-based read buffers, so the guarded
+    // iteration ranges those would need are not required here.)
+    run_pre_actions(s, {});
+    const Index iters = exec::run_exec_plan(*entry.plan, plan_scratch_);
+    proc_.charge_flops(static_cast<double>(iters) * s.flops_per_iter);
+    proc_.charge_int_ops(static_cast<double>(iters) * 4.0);
+    return true;
+  }
+
   void exec_forall(const SpmdStmt& s) {
     bind_refs(s);
+    if (try_planned_forall(s)) return;
+
     auto my_ranges = ranges_for_coords(s, gc_.my_coords());
 
     // Pre-communication: collective — every processor participates even
@@ -667,7 +532,7 @@ class Node {
             values.push_back(v.as_d());
           } else {
             eval_subs(*s.lhs, gidx_scratch_);
-            write_element(s.refs[0].array, gidx_scratch_, v);
+            env_.write_element(s.refs[0].array, gidx_scratch_, v);
           }
         });
       }
@@ -686,7 +551,7 @@ class Node {
     // simply rewrite whatever value the owner already has, so send 0 when
     // not locally available (the combine overwrite is benign only when the
     // owner re-receives its own value; to stay safe, read ghost when owned).
-    auto& dad = dads_.at(name);
+    auto& dad = env_.dads.at(name);
     std::vector<int> coords = gc_.my_coords();
     bool owned = true;
     for (int d = 0; d < dad.rank(); ++d) {
@@ -696,7 +561,7 @@ class Node {
                            coords[static_cast<size_t>(m.grid_dim)];
     }
     if (!owned) return 0.0;
-    return read_element(name, g, false).as_d();
+    return env_.read_element(name, g, false).as_d();
   }
 
   [[nodiscard]] bool stmt_has_iterbuf(const SpmdStmt& s) const {
@@ -710,7 +575,7 @@ class Node {
   }
 
   Index flat_global_of(const std::string& name, std::span<const Index> g) {
-    const Dad& dad = dads_.at(name);
+    const Dad& dad = env_.dads.at(name);
     Index flat = 0;
     for (int d = 0; d < dad.rank(); ++d)
       flat = flat * dad.extent(d) + g[static_cast<size_t>(d)];
@@ -783,34 +648,34 @@ class Node {
   }
 
   void run_overlap_shift(const CommAction& a, const RefInfo& ref) {
-    const Symbol& sm = sym(ref.array);
+    const Symbol& sm = env_.sym(ref.array);
     if (sm.type == ast::BaseType::kReal)
-      rts::overlap_shift(gc_, dar_.at(ref.array), a.array_dim,
+      rts::overlap_shift(gc_, env_.dar.at(ref.array), a.array_dim,
                          static_cast<int>(a.shift_amount));
     else if (sm.type == ast::BaseType::kInteger)
-      rts::overlap_shift(gc_, iar_.at(ref.array), a.array_dim,
+      rts::overlap_shift(gc_, env_.iar.at(ref.array), a.array_dim,
                          static_cast<int>(a.shift_amount));
     else
-      rts::overlap_shift(gc_, lar_.at(ref.array), a.array_dim,
+      rts::overlap_shift(gc_, env_.lar.at(ref.array), a.array_dim,
                          static_cast<int>(a.shift_amount));
   }
 
   /// Owner (canonical line) broadcasts one element to all.
   void run_bcast_element(const CommAction& a, const RefInfo& ref) {
-    const Dad& dad = dads_.at(ref.array);
+    const Dad& dad = env_.dads.at(ref.array);
     std::vector<Index> g(ref.subs.size());
     for (size_t d = 0; d < ref.subs.size(); ++d)
       g[d] = eval(*ref.expr->args[d]).as_i() -
-             lower_of(ref.array, static_cast<int>(d));
+             env_.lower_of(ref.array, static_cast<int>(d));
     const std::vector<int> zeros(static_cast<size_t>(c_.mapping.grid.ndims()),
                                  0);
     const int root = dad.owner_logical(g, zeros);
     std::vector<double> data;
     if (gc_.my_logical() == root)
-      data.push_back(read_element(ref.array, g, false).as_d());
+      data.push_back(env_.read_element(ref.array, g, false).as_d());
     gc_.bcast_all(root, data);
-    Buf& b = bufs_[static_cast<size_t>(a.buffer_id)];
-    b.scalar = sym(ref.array).type == ast::BaseType::kInteger
+    Buf& b = env_.bufs[static_cast<size_t>(a.buffer_id)];
+    b.scalar = env_.sym(ref.array).type == ast::BaseType::kInteger
                    ? Value::integer(static_cast<long long>(data.at(0)))
                    : Value::real(data.at(0));
   }
@@ -820,13 +685,13 @@ class Node {
   /// for multicast, line-to-line copy for transfer).
   void run_slab_action(const SpmdStmt& s, const CommAction& a,
                        const RefInfo& ref) {
-    const Dad& dad = dads_.at(ref.array);
+    const Dad& dad = env_.dads.at(ref.array);
     // Am I on the source line for every communicated dimension?
     bool on_root = true;
     std::vector<std::pair<int, int>> comm_dims;  // (grid_dim, root coord)
     for (const auto& [d, sub] : a.root_subs) {
       const Index val =
-          eval(*affine_to_expr(sub)).as_i() - lower_of(ref.array, d);
+          eval(*affine_to_expr(sub)).as_i() - env_.lower_of(ref.array, d);
       const int owner = dad.owner_coord(d, val);
       const int gd = dad.dim(d).grid_dim;
       comm_dims.emplace_back(gd, owner);
@@ -861,9 +726,9 @@ class Node {
         int dest_coord = owner;
         if (k < a.dest_subs.size()) {
           const auto& [ld, dsub] = a.dest_subs[k];
-          const Dad& ldad = dads_.at(s.refs[0].array);
+          const Dad& ldad = env_.dads.at(s.refs[0].array);
           const Index dval = eval(*affine_to_expr(dsub)).as_i() -
-                             lower_of(s.refs[0].array, ld);
+                             env_.lower_of(s.refs[0].array, ld);
           dest_coord = ldad.owner_coord(ld, dval);
         }
         std::vector<double> out;
@@ -874,7 +739,7 @@ class Node {
         else if (gc_.coord(gd) != owner) slab.clear();
       }
     }
-    Buf& b = bufs_[static_cast<size_t>(a.buffer_id)];
+    Buf& b = env_.bufs[static_cast<size_t>(a.buffer_id)];
     b.dvals = std::move(slab);
   }
 
@@ -885,7 +750,7 @@ class Node {
                  std::vector<double>& out) {
     if (k == vars.size()) {
       eval_subs(*ref.expr, gidx_scratch_);
-      out.push_back(read_element(ref.array, gidx_scratch_, true).as_d());
+      out.push_back(env_.read_element(ref.array, gidx_scratch_, true).as_d());
       return;
     }
     VarState st;
@@ -901,58 +766,11 @@ class Node {
     var_state_.erase(vars[k]);
   }
 
-  std::vector<VarRange> ranges_for_coords_no_guards(const SpmdStmt& s,
-                                                    const std::vector<int>& c) {
-    SpmdStmt tmp(SpmdKind::kForall);  // shallow guard-free view
-    auto r = ranges_for_coords_impl(s, c);
-    (void)tmp;
-    return r;
-  }
-
-  std::vector<VarRange> ranges_for_coords_impl(const SpmdStmt& s,
-                                               const std::vector<int>& coords) {
-    std::optional<std::vector<VarRange>> r;
-    // Reuse ranges_for_coords but skip the guard rejection.
-    std::vector<VarRange> out;
-    for (const IndexPartition& ip : s.indices) {
-      const Index lo = eval(*ip.lo).as_i();
-      const Index hi = eval(*ip.hi).as_i();
-      const Index st = ip.st ? eval(*ip.st).as_i() : 1;
-      VarRange vr;
-      if (!ip.array.empty()) {
-        const Dad& dad = dads_.at(ip.array);
-        const long long lower = lower_of(ip.array, ip.dim);
-        const int gd = dad.dim(ip.dim).grid_dim;
-        const int coord = coords[static_cast<size_t>(gd)];
-        const rts::LocalRange lr =
-            rts::set_bound(dad, ip.dim, coord, lo - lower, hi - lower, st);
-        vr = range_from_bound(dad, ip.dim, coord, lower, lr, st);
-      } else if (ip.synth_grid_dim >= 0) {
-        const Index total = trip_count(lo, hi, st);
-        const Index p = c_.mapping.grid.extent(ip.synth_grid_dim);
-        const Index chunk = (total + p - 1) / p;
-        const int coord = coords[static_cast<size_t>(ip.synth_grid_dim)];
-        const Index first = static_cast<Index>(coord) * chunk;
-        const Index last = std::min(first + chunk, total);
-        vr.count = std::max<Index>(0, last - first);
-        vr.val0 = lo + first * st;
-        vr.step = st;
-      } else {
-        vr.count = trip_count(lo, hi, st);
-        vr.val0 = lo;
-        vr.step = st;
-      }
-      out.push_back(vr);
-    }
-    (void)r;
-    return out;
-  }
-
   /// Schedule-based read buffers (precomp_read / temporary_shift / gather).
   void run_read_buffer_action(
       const SpmdStmt& s, const CommAction& a, const RefInfo& ref,
       const std::optional<std::vector<VarRange>>& my_ranges) {
-    const Dad& dad = dads_.at(ref.array);
+    const Dad& dad = env_.dads.at(ref.array);
     // My needs, in iteration order.
     std::vector<Index> needs;
     if (my_ranges) {
@@ -984,12 +802,12 @@ class Node {
       sched = build();
     }
 
-    Buf& b = bufs_[static_cast<size_t>(a.buffer_id)];
-    const Symbol& sm = sym(ref.array);
+    Buf& b = env_.bufs[static_cast<size_t>(a.buffer_id)];
+    const Symbol& sm = env_.sym(ref.array);
     if (sm.type == ast::BaseType::kInteger)
-      b.ivals = parti::execute_read(gc_, *sched, iar_.at(ref.array));
+      b.ivals = parti::execute_read(gc_, *sched, env_.iar.at(ref.array));
     else
-      b.dvals = parti::execute_read(gc_, *sched, dar_.at(ref.array));
+      b.dvals = parti::execute_read(gc_, *sched, env_.dar.at(ref.array));
   }
 
   /// Runtime schedule key: static key + evaluated scalars it references.
@@ -1000,7 +818,7 @@ class Node {
     // Append the values of every scalar variable used in bounds/subscripts.
     std::set<std::string> names;
     auto walk = [&](const Expr& e, auto&& self) -> void {
-      if (e.kind == ExprKind::kVarRef && scalars_.count(e.name))
+      if (e.kind == ExprKind::kVarRef && env_.scalars.count(e.name))
         names.insert(e.name);
       for (const ExprPtr& x : e.args)
         if (x) self(*x, self);
@@ -1014,7 +832,7 @@ class Node {
     for (const ExprPtr& x : ref.expr->args)
       if (x) walk(*x, walk);
     for (const std::string& nm : names)
-      os << nm << "=" << scalars_.at(nm).as_i() << ";";
+      os << nm << "=" << env_.scalars.at(nm).as_i() << ";";
     return os.str();
   }
 
@@ -1024,7 +842,7 @@ class Node {
     for (const CommAction& a : s.post) {
       if (a.eliminated) continue;
       const RefInfo& lhs = s.refs[0];
-      const Dad& dad = dads_.at(lhs.array);
+      const Dad& dad = env_.dads.at(lhs.array);
       switch (a.kind) {
         case CommKind::kConcatWrite: {
           // Tree-combined concatenation, run-length encoded: iteration
@@ -1067,7 +885,7 @@ class Node {
             for (const auto& [start, count] : runs) {
               for (Index k = 0; k < count; ++k) {
                 rts::unflatten_global(dad, start + k, g);
-                write_element(lhs.array, g, Value::real(blk[pos++]));
+                env_.write_element(lhs.array, g, Value::real(blk[pos++]));
               }
             }
           }
@@ -1095,15 +913,15 @@ class Node {
             sched = cache_.get_or_build(key, build);
           else
             sched = build();
-          const Symbol& sm = sym(lhs.array);
+          const Symbol& sm = env_.sym(lhs.array);
           if (sm.type == ast::BaseType::kInteger) {
             std::vector<long long> iv(values.size());
             for (size_t k = 0; k < values.size(); ++k)
               iv[k] = static_cast<long long>(values[k]);
-            parti::execute_write(gc_, *sched, iar_.at(lhs.array),
+            parti::execute_write(gc_, *sched, env_.iar.at(lhs.array),
                                  std::span<const long long>(iv));
           } else {
-            parti::execute_write(gc_, *sched, dar_.at(lhs.array),
+            parti::execute_write(gc_, *sched, env_.dar.at(lhs.array),
                                  std::span<const double>(values));
           }
           break;
@@ -1121,12 +939,12 @@ class Node {
     for (const CommAction& a : s.pre)
       if (!a.eliminated) run_action(s, a, none);
     const Value v = eval(*s.rhs);
-    const Symbol& sm = sym(s.target);
-    scalars_[s.target] = sm.type == ast::BaseType::kInteger
-                             ? Value::integer(v.as_i())
-                             : (sm.type == ast::BaseType::kLogical
-                                    ? Value::logical(v.as_b())
-                                    : Value::real(v.as_d()));
+    const Symbol& sm = env_.sym(s.target);
+    env_.scalars[s.target] = sm.type == ast::BaseType::kInteger
+                                 ? Value::integer(v.as_i())
+                                 : (sm.type == ast::BaseType::kLogical
+                                        ? Value::logical(v.as_b())
+                                        : Value::real(v.as_d()));
     proc_.charge_flops(count_scalar_flops(*s.rhs));
   }
 
@@ -1146,9 +964,6 @@ class Node {
 
     const std::string& op = s.reduce_op;
     const bool want_loc = op == "MAXLOC" || op == "MINLOC";
-    const bool is_max = op == "MAXVAL" || op == "MAXLOC" || op == "ANY" ||
-                        op == "COUNT" || op == "SUM" || op == "PRODUCT";
-    (void)is_max;
 
     double acc;
     if (op == "SUM" || op == "COUNT") acc = 0;
@@ -1222,7 +1037,7 @@ class Node {
         if (mx ? (y.v > x.v) : (y.v < x.v)) return y;
         return x.loc <= y.loc ? x : y;
       });
-      scalars_[s.target] = Value::integer(box[0].valid ? box[0].loc : 0);
+      env_.scalars[s.target] = Value::integer(box[0].valid ? box[0].loc : 0);
       return;
     }
     std::vector<double> box{acc};
@@ -1238,10 +1053,10 @@ class Node {
       gc_.allreduce(box, [](double x, double y) { return x != 0 || y != 0 ? 1.0 : 0.0; });
     else if (op == "ALL")
       gc_.allreduce(box, [](double x, double y) { return x != 0 && y != 0 ? 1.0 : 0.0; });
-    const Symbol& sm = sym(s.target);
-    scalars_[s.target] = sm.type == ast::BaseType::kInteger
-                             ? Value::integer(static_cast<long long>(box[0]))
-                             : Value::real(box[0]);
+    const Symbol& sm = env_.sym(s.target);
+    env_.scalars[s.target] = sm.type == ast::BaseType::kInteger
+                                 ? Value::integer(static_cast<long long>(box[0]))
+                                 : Value::real(box[0]);
   }
 
   // --- whole-array intrinsics ---------------------------------------------------
@@ -1254,13 +1069,13 @@ class Node {
     };
     auto int_arg = [&](size_t k) { return eval(*s.call_args[k]).as_i(); };
 
-    DistArray<double>* dest = &dar_.at(s.dest_array);
+    DistArray<double>* dest = &env_.dar.at(s.dest_array);
     DistArray<double> result = [&]() -> DistArray<double> {
       if (s.intrinsic == "CSHIFT") {
         const Index sh = int_arg(1);
         const int dim =
             s.call_args.size() > 2 ? static_cast<int>(int_arg(2)) - 1 : 0;
-        return rts::cshift(gc_, dar_.at(array_arg(0)), dim, sh);
+        return rts::cshift(gc_, env_.dar.at(array_arg(0)), dim, sh);
       }
       if (s.intrinsic == "EOSHIFT") {
         const Index sh = int_arg(1);
@@ -1268,26 +1083,27 @@ class Node {
             s.call_args.size() > 2 ? eval(*s.call_args[2]).as_d() : 0.0;
         const int dim =
             s.call_args.size() > 3 ? static_cast<int>(int_arg(3)) - 1 : 0;
-        return rts::eoshift(gc_, dar_.at(array_arg(0)), dim, sh, boundary);
+        return rts::eoshift(gc_, env_.dar.at(array_arg(0)), dim, sh, boundary);
       }
       if (s.intrinsic == "SPREAD") {
         const int dim = static_cast<int>(int_arg(1)) - 1;
         const Index nc = int_arg(2);
-        return rts::spread(gc_, dar_.at(array_arg(0)), dim, nc);
+        return rts::spread(gc_, env_.dar.at(array_arg(0)), dim, nc);
       }
       if (s.intrinsic == "TRANSPOSE")
-        return rts::transpose(gc_, dar_.at(array_arg(0)));
+        return rts::transpose(gc_, env_.dar.at(array_arg(0)));
       if (s.intrinsic == "MATMUL")
-        return rts::matmul_dist(gc_, dar_.at(array_arg(0)),
-                                dar_.at(array_arg(1)));
+        return rts::matmul_dist(gc_, env_.dar.at(array_arg(0)),
+                                env_.dar.at(array_arg(1)));
       if (s.intrinsic == "RESHAPE")
-        return rts::reshape(gc_, dar_.at(array_arg(0)), dest->dad());
+        return rts::reshape(gc_, env_.dar.at(array_arg(0)), dest->dad());
       if (s.intrinsic == "PACK")
-        return rts::pack(gc_, dar_.at(array_arg(0)), lar_.at(array_arg(1)),
-                         dest->dad());
+        return rts::pack(gc_, env_.dar.at(array_arg(0)),
+                         env_.lar.at(array_arg(1)), dest->dad());
       if (s.intrinsic == "UNPACK")
-        return rts::unpack(gc_, dar_.at(array_arg(0)), lar_.at(array_arg(1)),
-                           dar_.at(array_arg(2)));
+        return rts::unpack(gc_, env_.dar.at(array_arg(0)),
+                           env_.lar.at(array_arg(1)),
+                           env_.dar.at(array_arg(2)));
       throw RtsError("unsupported array intrinsic " + s.intrinsic);
     }();
 
@@ -1302,29 +1118,40 @@ class Node {
         dest->at_global(g) = v;
       });
     }
+    // Redistribution/remap contract (docs/EXECUTION.md): any operation
+    // that may replace an array's descriptor or storage invalidates the
+    // plans bound to it.
+    plans_.invalidate_array(s.dest_array);
   }
 
   // --- result collection -----------------------------------------------------
+  void store_cache_stats() {
+    shared_.result.schedule_hits = cache_.hits();
+    shared_.result.schedule_misses = cache_.misses();
+    shared_.result.plan_hits = plans_.hits();
+    shared_.result.plan_misses = plans_.misses();
+    shared_.result.plan_invalidations = plans_.invalidations();
+  }
+
   void collect_results() {
     if (opt_.skeleton) {
       if (proc_.rank() == 0) {
         std::lock_guard<std::mutex> lock(shared_.mu);
-        for (const auto& [name, v] : scalars_)
+        for (const auto& [name, v] : env_.scalars)
           shared_.result.scalars[name] = v.as_d();
-        shared_.result.schedule_hits = cache_.hits();
-        shared_.result.schedule_misses = cache_.misses();
+        store_cache_stats();
       }
       return;
     }
     // Collective gathers must run on every processor.
-    for (auto& [name, arr] : dar_) {
+    for (auto& [name, arr] : env_.dar) {
       auto full = arr.gather_global(gc_);
       if (proc_.rank() == 0) {
         std::lock_guard<std::mutex> lock(shared_.mu);
         shared_.result.real_arrays[name] = std::move(full);
       }
     }
-    for (auto& [name, arr] : iar_) {
+    for (auto& [name, arr] : env_.iar) {
       auto full = arr.gather_global(gc_);
       if (proc_.rank() == 0) {
         std::lock_guard<std::mutex> lock(shared_.mu);
@@ -1333,10 +1160,9 @@ class Node {
     }
     if (proc_.rank() == 0) {
       std::lock_guard<std::mutex> lock(shared_.mu);
-      for (const auto& [name, v] : scalars_)
+      for (const auto& [name, v] : env_.scalars)
         shared_.result.scalars[name] = v.as_d();
-      shared_.result.schedule_hits = cache_.hits();
-      shared_.result.schedule_misses = cache_.misses();
+      store_cache_stats();
     }
   }
 
@@ -1347,12 +1173,9 @@ class Node {
   RunOptions opt_;
   Shared& shared_;
 
-  std::map<std::string, Dad> dads_;
-  std::map<std::string, DistArray<double>> dar_;
-  std::map<std::string, DistArray<long long>> iar_;
-  std::map<std::string, DistArray<unsigned char>> lar_;
-  std::map<std::string, Value> scalars_;
-  std::vector<Buf> bufs_;
+  exec::Env env_;
+  exec::PlanCache plans_;
+  exec::PlanScratch plan_scratch_;
   parti::ScheduleCache cache_;
 
   std::map<std::string, Index> frame_;

@@ -28,6 +28,10 @@ using rts::Index;
 struct RunOptions {
   bool skeleton = false;
   bool schedule_cache = true;
+  /// Compile FORALLs to cached execution plans (exec/exec_plan.hpp) before
+  /// running them; off forces the tree-walking fallback everywhere
+  /// (differential testing, ablation benches).  Skeleton mode never plans.
+  bool exec_plans = true;
 };
 
 /// Per-array initializers: global (0-based) indices -> value.
@@ -48,6 +52,11 @@ struct ProgramResult {
   std::vector<std::string> printed;
   int schedule_hits = 0;
   int schedule_misses = 0;
+  /// Execution-plan cache statistics (processor 0's cache; the caches are
+  /// per-processor but see the same statement sequence).
+  int plan_hits = 0;
+  int plan_misses = 0;
+  int plan_invalidations = 0;
 };
 
 /// Execute the compiled program on `machine`.  Collective: the machine size

@@ -63,6 +63,8 @@ struct DiffRun {
   std::vector<double> want;     ///< sequential oracle
   int schedule_hits = 0;
   int schedule_misses = 0;
+  int plan_hits = 0;
+  int plan_misses = 0;
 };
 
 /// Largest |got - want| over the elements selected by `select(flat)`.
@@ -114,7 +116,8 @@ inline std::vector<double> jacobi_oracle(int n, int iters) {
 }
 
 inline DiffRun run_jacobi(int n, int iters, int p, int q,
-                          const char* dist = "BLOCK") {
+                          const char* dist = "BLOCK",
+                          const interp::RunOptions& ro = {}) {
   auto compiled =
       compile::compile_source(apps::jacobi_source(n, p, q, iters, dist));
   machine::SimMachine m = make_machine(p * q);
@@ -122,9 +125,14 @@ inline DiffRun run_jacobi(int n, int iters, int p, int q,
   init.real["A"] = [](std::span<const Index> g) {
     return jacobi_entry(g[0], g[1]);
   };
-  auto result = interp::run_compiled(compiled, m, init);
-  return DiffRun{"A", result.real_arrays.at("A"), jacobi_oracle(n, iters),
-                 result.schedule_hits, result.schedule_misses};
+  auto result = interp::run_compiled(compiled, m, init, ro);
+  return DiffRun{"A",
+                 result.real_arrays.at("A"),
+                 jacobi_oracle(n, iters),
+                 result.schedule_hits,
+                 result.schedule_misses,
+                 result.plan_hits,
+                 result.plan_misses};
 }
 
 // --- Jacobi with loop-invariant coefficients (comm_opt workload) -------------
@@ -237,16 +245,22 @@ inline auto gauss_defined_region(int n) {
   };
 }
 
-inline DiffRun run_gauss(int n, int p, const char* dist = "BLOCK") {
+inline DiffRun run_gauss(int n, int p, const char* dist = "BLOCK",
+                         const interp::RunOptions& ro = {}) {
   auto compiled = compile::compile_source(apps::gauss_source(n, p, dist));
   machine::SimMachine m = make_machine(p);
   interp::Init init;
   init.real["A"] = [n](std::span<const Index> g) {
     return apps::gauss_matrix_entry(n, g[0], g[1]);
   };
-  auto result = interp::run_compiled(compiled, m, init);
-  return DiffRun{"A", result.real_arrays.at("A"), gauss_oracle(n),
-                 result.schedule_hits, result.schedule_misses};
+  auto result = interp::run_compiled(compiled, m, init, ro);
+  return DiffRun{"A",
+                 result.real_arrays.at("A"),
+                 gauss_oracle(n),
+                 result.schedule_hits,
+                 result.schedule_misses,
+                 result.plan_hits,
+                 result.plan_misses};
 }
 
 /// Gauss with explicit codegen options, counted (comm_opt property tests).
@@ -282,7 +296,8 @@ inline std::vector<double> irregular_oracle(int n) {
   return a;
 }
 
-inline DiffRun run_irregular(int n, int steps, int p) {
+inline DiffRun run_irregular(int n, int steps, int p,
+                             const interp::RunOptions& ro = {}) {
   auto compiled = compile::compile_source(apps::irregular_source(n, p, steps));
   machine::SimMachine m = make_machine(p);
   interp::Init init;
@@ -294,9 +309,14 @@ inline DiffRun run_irregular(int n, int steps, int p) {
   };
   init.real["B"] = [](std::span<const Index> g) { return g[0] * 2.0; };
   init.real["C"] = [](std::span<const Index> g) { return g[0] * 100.0; };
-  auto result = interp::run_compiled(compiled, m, init);
-  return DiffRun{"A", result.real_arrays.at("A"), irregular_oracle(n),
-                 result.schedule_hits, result.schedule_misses};
+  auto result = interp::run_compiled(compiled, m, init, ro);
+  return DiffRun{"A",
+                 result.real_arrays.at("A"),
+                 irregular_oracle(n),
+                 result.schedule_hits,
+                 result.schedule_misses,
+                 result.plan_hits,
+                 result.plan_misses};
 }
 
 // --- FFT butterfly (non-canonical lhs) ---------------------------------------
@@ -323,15 +343,21 @@ inline std::vector<double> fft_oracle(int nx, int stages) {
   return x;
 }
 
-inline DiffRun run_fft(int nx, int stages, int p) {
+inline DiffRun run_fft(int nx, int stages, int p,
+                       const interp::RunOptions& ro = {}) {
   auto compiled = compile::compile_source(apps::fft_source(nx, p, stages));
   machine::SimMachine m = make_machine(p);
   interp::Init init;
   init.real["X"] = [](std::span<const Index> g) { return g[0] + 1.0; };
   init.real["TERM2"] = [](std::span<const Index> g) { return g[0] * 0.5; };
-  auto result = interp::run_compiled(compiled, m, init);
-  return DiffRun{"X", result.real_arrays.at("X"), fft_oracle(nx, stages),
-                 result.schedule_hits, result.schedule_misses};
+  auto result = interp::run_compiled(compiled, m, init, ro);
+  return DiffRun{"X",
+                 result.real_arrays.at("X"),
+                 fft_oracle(nx, stages),
+                 result.schedule_hits,
+                 result.schedule_misses,
+                 result.plan_hits,
+                 result.plan_misses};
 }
 
 }  // namespace f90d::harness

@@ -1,0 +1,319 @@
+// Execution-plan layer (exec/exec_plan.hpp): differential plan-on vs
+// plan-off (tree walk) sweeps that must be bit-identical, edge cases
+// (zero-trip DO, P > N, enumerated CYCLIC(k) bounds, masked FORALL),
+// plan-cache reuse across DO-loop trips, the redistribution invalidation
+// contract, and the PARTI fallback.
+#include <gtest/gtest.h>
+
+#include "exec/exec_plan.hpp"
+#include "harness.hpp"
+
+namespace f90d {
+namespace {
+
+using harness::DiffRun;
+using interp::Index;
+
+interp::RunOptions plans_on() { return {}; }
+
+interp::RunOptions plans_off() {
+  interp::RunOptions ro;
+  ro.exec_plans = false;
+  return ro;
+}
+
+/// Bit-identical comparison of the planned and tree-walk runs, plus both
+/// against the oracle.
+void expect_bit_identical(const DiffRun& on, const DiffRun& off,
+                          double oracle_tol, const std::string& what) {
+  ASSERT_EQ(on.got.size(), off.got.size()) << what;
+  for (size_t k = 0; k < on.got.size(); ++k)
+    ASSERT_EQ(on.got[k], off.got[k]) << what << " element " << k;
+  EXPECT_LE(harness::max_abs_diff(off), oracle_tol) << what;
+}
+
+struct GridShape {
+  int p;
+  int q;
+};
+
+class ExecPlanSweep : public ::testing::TestWithParam<GridShape> {
+ protected:
+  int p() const { return GetParam().p; }
+  int q() const { return GetParam().q; }
+  int nprocs() const { return p() * q(); }
+};
+
+TEST_P(ExecPlanSweep, Jacobi) {
+  for (const char* dist : {"BLOCK", "CYCLIC", "CYCLIC(3)"}) {
+    auto on = harness::run_jacobi(12, 3, p(), q(), dist, plans_on());
+    auto off = harness::run_jacobi(12, 3, p(), q(), dist, plans_off());
+    expect_bit_identical(on, off, 1e-9, std::string("jacobi ") + dist);
+    EXPECT_EQ(off.plan_hits + off.plan_misses, 0);
+  }
+}
+
+TEST_P(ExecPlanSweep, Gauss) {
+  const int n = 12;
+  for (const char* dist : {"BLOCK", "CYCLIC", "CYCLIC(2)"}) {
+    auto on = harness::run_gauss(n, nprocs(), dist, plans_on());
+    auto off = harness::run_gauss(n, nprocs(), dist, plans_off());
+    ASSERT_EQ(on.got.size(), off.got.size());
+    for (size_t k = 0; k < on.got.size(); ++k)
+      ASSERT_EQ(on.got[k], off.got[k])
+          << "gauss " << dist << " element " << k;
+    EXPECT_LE(harness::max_abs_diff(off, harness::gauss_defined_region(n)),
+              1e-6);
+  }
+}
+
+TEST_P(ExecPlanSweep, FftButterfly) {
+  auto on = harness::run_fft(16, 3, nprocs(), plans_on());
+  auto off = harness::run_fft(16, 3, nprocs(), plans_off());
+  expect_bit_identical(on, off, 1e-9, "fft");
+}
+
+TEST_P(ExecPlanSweep, IrregularFallsBackToParti) {
+  auto on = harness::run_irregular(24, 2, nprocs(), plans_on());
+  auto off = harness::run_irregular(24, 2, nprocs(), plans_off());
+  expect_bit_identical(on, off, 1e-9, "irregular");
+  // The vector-subscript kernel is structurally outside the planner: the
+  // decline is discovered once, then the statement bypasses planning (no
+  // cache hits), and PARTI schedule reuse still works underneath.
+  EXPECT_EQ(on.plan_hits, 0);
+  if (nprocs() > 1) {
+    EXPECT_GT(on.schedule_hits, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ExecPlanSweep,
+    ::testing::Values(GridShape{1, 1}, GridShape{1, 2}, GridShape{2, 1},
+                      GridShape{2, 2}, GridShape{1, 4}, GridShape{4, 1},
+                      GridShape{4, 2}, GridShape{2, 4}, GridShape{4, 4}),
+    [](const ::testing::TestParamInfo<GridShape>& info) {
+      return std::to_string(info.param.p) + "x" + std::to_string(info.param.q);
+    });
+
+// --- plan-cache behaviour ----------------------------------------------------
+
+TEST(ExecPlanCache, HitsAcrossDoLoopTrips) {
+  // Jacobi's two FORALLs have DO-invariant bounds: each is planned once on
+  // the first trip and reused on every later trip.
+  const int iters = 4;
+  auto r = harness::run_jacobi(16, iters, 2, 2, "BLOCK", plans_on());
+  EXPECT_LE(harness::max_abs_diff(r), 1e-9);
+  EXPECT_EQ(r.plan_misses, 2);
+  EXPECT_EQ(r.plan_hits, 2 * (iters - 1));
+}
+
+TEST(ExecPlanCache, GaussRebuildsPerPivotButPlans) {
+  // The elimination FORALL's bounds depend on K, so every trip builds a new
+  // plan (a miss per trip) — the planner still replaces every per-element
+  // tree walk with the compiled loop.
+  auto r = harness::run_gauss(12, 4, "BLOCK", plans_on());
+  EXPECT_GT(r.plan_misses, 0);
+  EXPECT_LE(harness::max_abs_diff(r, harness::gauss_defined_region(12)), 1e-6);
+}
+
+TEST(ExecPlanCache, DisabledRunsCollectNoPlanStats) {
+  auto r = harness::run_jacobi(12, 2, 2, 2, "BLOCK", plans_off());
+  EXPECT_EQ(r.plan_hits, 0);
+  EXPECT_EQ(r.plan_misses, 0);
+}
+
+TEST(ExecPlanCache, InvalidateArrayDropsBoundPlans) {
+  exec::PlanCache cache;
+  auto entry_for = [](std::vector<std::string> arrays) {
+    auto plan = std::make_shared<exec::ExecPlan>();
+    plan->arrays = std::move(arrays);
+    return exec::PlanEntry{plan, {}, false};
+  };
+  (void)cache.get_or_build(1, "k1", [&] { return entry_for({"A", "B"}); });
+  (void)cache.get_or_build(2, "k2", [&] { return entry_for({"C"}); });
+  EXPECT_EQ(cache.misses(), 2);
+  EXPECT_EQ(cache.size(), 2u);
+
+  (void)cache.get_or_build(1, "k1", [&] { return entry_for({}); });
+  EXPECT_EQ(cache.hits(), 1);
+
+  cache.invalidate_array("B");
+  EXPECT_EQ(cache.invalidations(), 1);
+  EXPECT_EQ(cache.size(), 1u);  // k1 dropped, k2 (binds only C) survives
+
+  // Re-lookup of the invalidated key rebuilds.
+  (void)cache.get_or_build(1, "k1", [&] { return entry_for({"A", "B"}); });
+  EXPECT_EQ(cache.misses(), 3);
+}
+
+TEST(ExecPlanCache, StructuralDeclineRemembered) {
+  exec::PlanCache cache;
+  (void)cache.get_or_build(7, "k7", [] {
+    return exec::PlanEntry{nullptr, "buffered lhs", /*structural=*/true};
+  });
+  EXPECT_TRUE(cache.declined_structurally(7));
+  EXPECT_FALSE(cache.declined_structurally(8));
+}
+
+TEST(ExecPlanCache, ArrayIntrinsicInvalidatesEndToEnd) {
+  // A CSHIFT assignment between trips rewrites A wholesale; the
+  // redistribution contract requires the plans bound to A to be dropped,
+  // so the FORALL re-plans every trip instead of reusing a stale binding.
+  const char* src = R"(PROGRAM SHIFTY
+      INTEGER N
+      PARAMETER (N = 16)
+      REAL A(N)
+      REAL B(N)
+      INTEGER IT
+C$ PROCESSORS P(4)
+C$ TEMPLATE T(N)
+C$ DISTRIBUTE T(BLOCK)
+C$ ALIGN A(I) WITH T(I)
+C$ ALIGN B(I) WITH T(I)
+      DO IT = 1, 3
+        FORALL (I = 1:N) B(I) = A(I) + 1.0
+        A = CSHIFT(B, 1)
+      END DO
+      END PROGRAM SHIFTY
+)";
+  auto compiled = compile::compile_source(src);
+  machine::SimMachine m = harness::make_machine(4);
+  interp::Init init;
+  init.real["A"] = [](std::span<const Index> g) {
+    return static_cast<double>(g[0]);
+  };
+  auto r = interp::run_compiled(compiled, m, init);
+  EXPECT_GT(r.plan_invalidations, 0);
+
+  // Oracle: three rounds of B = A + 1; A = cshift(B, 1).
+  std::vector<double> a(16), b(16);
+  for (int i = 0; i < 16; ++i) a[static_cast<size_t>(i)] = i;
+  for (int it = 0; it < 3; ++it) {
+    for (int i = 0; i < 16; ++i)
+      b[static_cast<size_t>(i)] = a[static_cast<size_t>(i)] + 1.0;
+    for (int i = 0; i < 16; ++i)
+      a[static_cast<size_t>(i)] = b[static_cast<size_t>((i + 1) % 16)];
+  }
+  const auto& got = r.real_arrays.at("A");
+  ASSERT_EQ(got.size(), a.size());
+  for (size_t k = 0; k < a.size(); ++k) EXPECT_DOUBLE_EQ(got[k], a[k]);
+}
+
+// --- edge cases --------------------------------------------------------------
+
+interp::ProgramResult run_src(const std::string& src, int p,
+                              const interp::RunOptions& ro,
+                              double binit_scale = 1.0) {
+  auto compiled = compile::compile_source(src);
+  machine::SimMachine m = harness::make_machine(p);
+  interp::Init init;
+  init.real["B"] = [binit_scale](std::span<const Index> g) {
+    return static_cast<double>(g[0]) * binit_scale;
+  };
+  return interp::run_compiled(compiled, m, init, ro);
+}
+
+std::string edge_prelude(int n, int p, const char* dist) {
+  return strformat(R"(PROGRAM EDGE
+      INTEGER N
+      PARAMETER (N = %d)
+      REAL A(N)
+      REAL B(N)
+      INTEGER IT
+C$ PROCESSORS P(%d)
+C$ TEMPLATE T(N)
+C$ DISTRIBUTE T(%s)
+C$ ALIGN A(I) WITH T(I)
+C$ ALIGN B(I) WITH T(I)
+)",
+                   n, p, dist);
+}
+
+TEST(ExecPlanEdges, ZeroTripDoLoop) {
+  const std::string src = edge_prelude(16, 4, "BLOCK") +
+                          R"(      DO IT = 1, 0
+        FORALL (I = 1:N) A(I) = B(I) + 1.0
+      END DO
+      END PROGRAM EDGE
+)";
+  for (const auto& ro : {plans_on(), plans_off()}) {
+    auto r = run_src(src, 4, ro);
+    const auto& a = r.real_arrays.at("A");
+    for (double v : a) EXPECT_EQ(v, 0.0);  // body never ran
+    EXPECT_EQ(r.plan_hits, 0);
+  }
+}
+
+TEST(ExecPlanEdges, MoreProcessorsThanElements) {
+  // P = 16 > N = 3: most processors own nothing; their plans are empty
+  // nests and the differential stays exact.
+  auto on = harness::run_jacobi(3, 2, 4, 4, "BLOCK", plans_on());
+  auto off = harness::run_jacobi(3, 2, 4, 4, "BLOCK", plans_off());
+  ASSERT_EQ(on.got.size(), off.got.size());
+  for (size_t k = 0; k < on.got.size(); ++k) ASSERT_EQ(on.got[k], off.got[k]);
+  EXPECT_LE(harness::max_abs_diff(on), 1e-9);
+}
+
+TEST(ExecPlanEdges, StridedCyclic3UsesEnumeratedBounds) {
+  // A strided global range over CYCLIC(3) is not an arithmetic progression
+  // in local index space: set_BOUND returns the enumerated form and the
+  // plan must drive the loop (and both identity references) off the
+  // explicit local-index tables.
+  const std::string src = edge_prelude(26, 4, "CYCLIC(3)") +
+                          R"(      DO IT = 1, 3
+        FORALL (I = 1:N:2) A(I) = B(I) + A(I) + 1.0
+      END DO
+      END PROGRAM EDGE
+)";
+  auto on = run_src(src, 4, plans_on());
+  auto off = run_src(src, 4, plans_off());
+  const auto& a_on = on.real_arrays.at("A");
+  const auto& a_off = off.real_arrays.at("A");
+  ASSERT_EQ(a_on.size(), a_off.size());
+  for (size_t k = 0; k < a_on.size(); ++k) ASSERT_EQ(a_on[k], a_off[k]);
+  // Planned and reused across the three trips.
+  EXPECT_EQ(on.plan_misses, 1);
+  EXPECT_EQ(on.plan_hits, 2);
+  // Oracle.
+  std::vector<double> a(26, 0.0);
+  for (int it = 0; it < 3; ++it)
+    for (int i = 0; i < 26; i += 2) {
+      a[static_cast<size_t>(i)] =
+          static_cast<double>(i) + a[static_cast<size_t>(i)] + 1.0;
+    }
+  for (size_t k = 0; k < a.size(); ++k) EXPECT_DOUBLE_EQ(a_on[k], a[k]);
+}
+
+TEST(ExecPlanEdges, MaskedForall) {
+  // Array-valued mask: the plan evaluates the mask tape per element and
+  // leaves rejected elements untouched, exactly like the tree walk.
+  const std::string src = edge_prelude(24, 4, "BLOCK") +
+                          R"(      DO IT = 1, 2
+        FORALL (I = 1:N, B(I) .GT. 10.0) A(I) = B(I) * 2.0 + A(I)
+      END DO
+      END PROGRAM EDGE
+)";
+  auto on = run_src(src, 4, plans_on());
+  auto off = run_src(src, 4, plans_off());
+  const auto& a_on = on.real_arrays.at("A");
+  const auto& a_off = off.real_arrays.at("A");
+  ASSERT_EQ(a_on.size(), a_off.size());
+  for (size_t k = 0; k < a_on.size(); ++k) ASSERT_EQ(a_on[k], a_off[k]);
+  EXPECT_GT(on.plan_hits, 0);
+  for (int i = 0; i < 24; ++i) {
+    const double want = i > 10 ? 2.0 * (2.0 * i) : 0.0;
+    EXPECT_DOUBLE_EQ(a_on[static_cast<size_t>(i)], want) << "i=" << i;
+  }
+}
+
+TEST(ExecPlanEdges, JacobiPlansAreUsed) {
+  // Guard against the planner silently declining the headline workloads.
+  auto r = harness::run_jacobi(16, 3, 2, 2, "BLOCK", plans_on());
+  EXPECT_GT(r.plan_misses, 0);
+  EXPECT_GT(r.plan_hits, 0);
+  auto g = harness::run_gauss(16, 4, "BLOCK", plans_on());
+  EXPECT_GT(g.plan_misses, 0);
+}
+
+}  // namespace
+}  // namespace f90d
