@@ -2,9 +2,17 @@
 // Gaussian Elimination on a 16-node Intel iPSC/860 and nCUBE/2 (time in
 // seconds)" — the same compiler-generated code runs on both machine models
 // by swapping the cost model, demonstrating the portability claim (§8.1).
+//
+// The Portability/* benchmarks extend that claim past the paper's two
+// machines: one compiled Jacobi program is swept over every profile in
+// machine::portability_profiles() (hypercubes, a crossbar, a fat-tree and a
+// 2-D mesh) on grids from 1x1 up to 32x32 — 1024 simulated processors,
+// practical only since the event-driven scheduler replaced one OS thread
+// per proc.  scripts/run_benchmarks.py records the sweep as BENCH_fig5.json.
 #include <map>
 
 #include "bench_util.hpp"
+#include "machine/profiles.hpp"
 
 namespace {
 
@@ -28,6 +36,43 @@ void BM_Fig5(benchmark::State& state, const machine::CostModel& cm) {
   g_results[{cm.name, n}] = sim;
 }
 
+// --- portability sweep: jacobi 256^2 across profiles and grid sizes ----------
+
+const std::pair<int, int> kGrids[] = {{1, 1}, {2, 2}, {4, 4},
+                                      {8, 8}, {16, 16}, {32, 32}};
+constexpr int kJacobiIters = 4;
+
+/// Sweep problem size (paper-scale 256^2); F90D_JACOBI_N shrinks it for CI.
+int jacobi_n() {
+  const char* env = std::getenv("F90D_JACOBI_N");
+  return env != nullptr ? std::atoi(env) : 256;
+}
+
+void BM_Portability(benchmark::State& state, const machine::MachineProfile& mp,
+                    int p, int q) {
+  const int n = jacobi_n();
+  double sim = 0;
+  std::uint64_t messages = 0;
+  for (auto _ : state) {
+    auto compiled = compile::compile_source(
+        apps::jacobi_source(n, p, q, kJacobiIters, "BLOCK"));
+    machine::SimMachine m = machine::make_profile_machine(mp, p * q);
+    interp::Init init;
+    init.real["A"] = [](std::span<const rts::Index> g) {
+      return static_cast<double>(g[0] + 2 * g[1]);
+    };
+    interp::RunOptions ro;
+    ro.skeleton = true;
+    auto r = interp::run_compiled(compiled, m, init, ro);
+    sim = r.machine.exec_time;
+    messages = r.machine.total_messages();
+    benchmark::ClobberMemory();
+  }
+  state.counters["sim_seconds"] = sim;
+  state.counters["procs"] = p * q;
+  state.counters["messages"] = static_cast<double>(messages);
+}
+
 void register_all() {
   for (int n : kSizes) {
     benchmark::RegisterBenchmark(
@@ -42,6 +87,17 @@ void register_all() {
         ->Arg(n)
         ->Iterations(1)
         ->Unit(benchmark::kMillisecond);
+  }
+  for (const machine::MachineProfile& mp : machine::portability_profiles()) {
+    for (auto [p, q] : kGrids) {
+      benchmark::RegisterBenchmark(
+          ("Portability/" + mp.name + "/P:" + std::to_string(p * q)).c_str(),
+          [&mp, p = p, q = q](benchmark::State& s) {
+            BM_Portability(s, mp, p, q);
+          })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
   }
 }
 

@@ -10,6 +10,9 @@ performance record next to the sources:
                           cache counters)
     BENCH_fig6.json    <- bench_fig6_speedup (paper Figure 6: GE speed-up,
                           hand-written vs compiler-generated)
+    BENCH_fig5.json    <- bench_fig5_portability (paper Figure 5: GE on
+                          iPSC/860 vs nCUBE/2, plus the jacobi portability
+                          sweep over machine profiles on 1..1024 processors)
 
 Usage:
     scripts/run_benchmarks.py --build-dir build [--out-dir .] [--quick]
@@ -26,6 +29,7 @@ import sys
 BENCH_MAP = {
     "BENCH_interp.json": "bench_ablation_exec_plan",
     "BENCH_fig6.json": "bench_fig6_speedup",
+    "BENCH_fig5.json": "bench_fig5_portability",
 }
 
 
@@ -54,15 +58,27 @@ def main() -> int:
                     help="directory the BENCH_*.json files are written to")
     ap.add_argument("--quick", action="store_true",
                     help="shrink problem sizes (F90D_GE_N=64) for CI smoke")
+    ap.add_argument("--only", action="append", default=None,
+                    metavar="BENCH_x.json",
+                    help="record only the named output(s); repeatable")
     args = ap.parse_args()
+
+    bench_map = dict(BENCH_MAP)
+    if args.only:
+        unknown = [o for o in args.only if o not in bench_map]
+        if unknown:
+            ap.error(f"unknown --only target(s): {', '.join(unknown)} "
+                     f"(choose from {', '.join(BENCH_MAP)})")
+        bench_map = {k: v for k, v in bench_map.items() if k in args.only}
 
     env = dict(os.environ)
     if args.quick:
         env.setdefault("F90D_GE_N", "64")
+        env.setdefault("F90D_JACOBI_N", "64")
 
     os.makedirs(args.out_dir, exist_ok=True)
     failures = []
-    for out_name, bench in BENCH_MAP.items():
+    for out_name, bench in bench_map.items():
         binary = os.path.join(args.build_dir, bench)
         if not os.path.exists(binary):
             print(f"[run_benchmarks] missing binary: {binary}", file=sys.stderr)

@@ -48,6 +48,21 @@ const CostModel& CostModel::workstation_net() {
   return m;
 }
 
+// Modern cluster: ~4 GFLOP/s sustained scalar, ~1.5 us RDMA latency,
+// ~12.5 GB/s (100 Gb/s) links, ~100 ns per extra switch hop.
+const CostModel& CostModel::modern_cluster() {
+  static const CostModel m{
+      .name = "modern-cluster",
+      .time_per_flop = 0.25e-9,
+      .time_per_int_op = 0.10e-9,
+      .msg_latency = 1.5e-6,
+      .time_per_byte = 0.08e-9,
+      .time_per_hop = 0.1e-6,
+      .time_per_copy_byte = 0.02e-9,
+  };
+  return m;
+}
+
 const CostModel& CostModel::ideal() {
   static const CostModel m{
       .name = "ideal",

@@ -41,6 +41,9 @@ struct CostModel {
   static const CostModel& ncube2();
   /// Network of workstations over Ethernet (Express portability target).
   static const CostModel& workstation_net();
+  /// A modern cluster node (GHz-class scalar core, ~100 Gb/s RDMA fabric);
+  /// the "what would Figure 5 look like today" profile.
+  static const CostModel& modern_cluster();
   /// Zero-cost communication; used by tests that check semantics only.
   static const CostModel& ideal();
 };

@@ -1,0 +1,124 @@
+#include "machine/fiber.hpp"
+
+#include "support/diag.hpp"
+
+// --- sanitizer fiber-switch annotations --------------------------------------
+// Declared by hand so the build does not depend on the sanitizer headers
+// being installed; the calls compile away entirely in plain builds.
+#if defined(__SANITIZE_ADDRESS__)
+#define F90D_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define F90D_ASAN 1
+#endif
+#endif
+
+#if defined(__SANITIZE_THREAD__)
+#define F90D_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define F90D_TSAN 1
+#endif
+#endif
+
+#if defined(F90D_ASAN)
+extern "C" {
+void __sanitizer_start_switch_fiber(void** fake_stack_save, const void* bottom,
+                                    size_t size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save,
+                                     const void** bottom_old, size_t* size_old);
+}
+#endif
+
+#if defined(F90D_TSAN)
+extern "C" {
+void* __tsan_get_current_fiber(void);
+void* __tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void* fiber);
+void __tsan_switch_to_fiber(void* fiber, unsigned flags);
+}
+#endif
+
+namespace f90d::machine {
+
+namespace {
+// Carries `this` into the makecontext trampoline (which cannot portably
+// take a pointer argument).  Set immediately before the first resume of a
+// fiber; read exactly once at trampoline entry on the same OS thread.
+thread_local Fiber* g_entering = nullptr;
+}  // namespace
+
+Fiber::Fiber(std::size_t stack_bytes, std::function<void()> body)
+    : body_(std::move(body)),
+      stack_(new char[stack_bytes]),
+      stack_bytes_(stack_bytes) {
+  require(stack_bytes >= 64 * 1024, "fiber stack is at least 64 KiB");
+  require(getcontext(&ctx_) == 0, "getcontext succeeds");
+  ctx_.uc_stack.ss_sp = stack_.get();
+  ctx_.uc_stack.ss_size = stack_bytes_;
+  ctx_.uc_link = nullptr;  // final switch-out is explicit in trampoline()
+  makecontext(&ctx_, &Fiber::trampoline, 0);
+#if defined(F90D_TSAN)
+  tsan_fiber_ = __tsan_create_fiber(0);
+#endif
+}
+
+Fiber::~Fiber() {
+#if defined(F90D_TSAN)
+  if (tsan_fiber_ != nullptr) __tsan_destroy_fiber(tsan_fiber_);
+#endif
+}
+
+void Fiber::resume() {
+  require(!finished_, "resume of a finished fiber");
+  g_entering = this;
+#if defined(F90D_TSAN)
+  tsan_caller_ = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(tsan_fiber_, 0);
+#endif
+#if defined(F90D_ASAN)
+  __sanitizer_start_switch_fiber(&caller_fake_stack_, stack_.get(),
+                                 stack_bytes_);
+#endif
+  swapcontext(&caller_, &ctx_);
+  // Back in the caller: the fiber either yielded or exited for good.
+#if defined(F90D_ASAN)
+  __sanitizer_finish_switch_fiber(caller_fake_stack_, nullptr, nullptr);
+#endif
+}
+
+void Fiber::enter_fiber() {
+#if defined(F90D_ASAN)
+  __sanitizer_finish_switch_fiber(fiber_fake_stack_, &caller_stack_bottom_,
+                                  &caller_stack_size_);
+#endif
+}
+
+void Fiber::switch_out(bool final_exit) {
+#if defined(F90D_TSAN)
+  __tsan_switch_to_fiber(tsan_caller_, 0);
+#endif
+#if defined(F90D_ASAN)
+  // On the final exit pass nullptr so ASan releases the fiber's fake stack.
+  __sanitizer_start_switch_fiber(final_exit ? nullptr : &fiber_fake_stack_,
+                                 caller_stack_bottom_, caller_stack_size_);
+#else
+  (void)final_exit;
+#endif
+  swapcontext(&ctx_, &caller_);
+  enter_fiber();
+}
+
+void Fiber::yield() { switch_out(/*final_exit=*/false); }
+
+void Fiber::trampoline() {
+  Fiber* self = g_entering;
+  g_entering = nullptr;
+  self->enter_fiber();
+  self->body_();
+  self->finished_ = true;
+  self->switch_out(/*final_exit=*/true);
+  // Unreachable: a finished fiber is never resumed.
+}
+
+}  // namespace f90d::machine

@@ -1,47 +1,50 @@
 #include "machine/mailbox.hpp"
 
-#include <algorithm>
+#include <utility>
 
 namespace f90d::machine {
 
 namespace {
-bool matches(const Message& m, int src, int tag) {
-  return (src == kAnySource || m.src == src) && (tag == kAnyTag || m.tag == tag);
+/// Strict weak ordering of the deterministic delivery rule:
+/// earliest arrival first, then lowest source rank, then push order.
+bool better(const Message& a, const Message& b) {
+  if (a.arrival != b.arrival) return a.arrival < b.arrival;
+  if (a.src != b.src) return a.src < b.src;
+  return a.seq < b.seq;
 }
 }  // namespace
 
 void Mailbox::push(Message m) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    q_.push_back(std::move(m));
-  }
-  cv_.notify_all();
+  m.seq = next_seq_++;
+  q_.push_back(std::move(m));
 }
 
-Message Mailbox::pop_match(int src, int tag) {
-  std::unique_lock<std::mutex> lock(mu_);
-  for (;;) {
-    const auto it = std::find_if(q_.begin(), q_.end(), [&](const Message& m) {
-      return matches(m, src, tag);
-    });
-    if (it != q_.end()) {
+const Message* Mailbox::peek_match(int src, int tag) const {
+  const Message* best = nullptr;
+  for (const Message& m : q_) {
+    if (!message_matches(m, src, tag)) continue;
+    if (best == nullptr || better(m, *best)) best = &m;
+  }
+  return best;
+}
+
+std::optional<Message> Mailbox::try_pop_match(int src, int tag) {
+  const Message* best = peek_match(src, tag);
+  if (best == nullptr) return std::nullopt;
+  for (auto it = q_.begin(); it != q_.end(); ++it) {
+    if (&*it == best) {
       Message out = std::move(*it);
       q_.erase(it);
       return out;
     }
-    cv_.wait(lock);
   }
+  return std::nullopt;  // unreachable
 }
 
-bool Mailbox::probe(int src, int tag) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return std::any_of(q_.begin(), q_.end(),
-                     [&](const Message& m) { return matches(m, src, tag); });
-}
-
-std::size_t Mailbox::size() {
-  std::lock_guard<std::mutex> lock(mu_);
-  return q_.size();
+void Mailbox::poison(const std::string& reason) {
+  if (poisoned_) return;
+  poisoned_ = true;
+  reason_ = reason;
 }
 
 }  // namespace f90d::machine

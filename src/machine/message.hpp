@@ -11,6 +11,9 @@ struct Message {
   int tag = 0;
   /// Virtual time at which the message becomes available at the receiver.
   double arrival = 0.0;
+  /// Per-mailbox push sequence number (stamped by Mailbox::push); the final
+  /// tie-breaker of the deterministic matching order.
+  std::uint64_t seq = 0;
   std::vector<std::byte> payload;
 
   [[nodiscard]] std::size_t bytes() const { return payload.size(); }
@@ -19,5 +22,11 @@ struct Message {
 /// Wildcard for Mailbox matching.
 inline constexpr int kAnySource = -1;
 inline constexpr int kAnyTag = -1;
+
+/// Does `m` satisfy a receive posted for (src, tag)?
+inline bool message_matches(const Message& m, int src, int tag) {
+  return (src == kAnySource || m.src == src) &&
+         (tag == kAnyTag || m.tag == tag);
+}
 
 }  // namespace f90d::machine

@@ -1,21 +1,43 @@
 #pragma once
 // The simulated distributed-memory MIMD machine.
 //
-// Each simulated processor is an OS thread executing the same node program
-// (SPMD).  Concurrency and message matching are real; *time* is virtual:
-// every processor carries a clock that advances with charged computation and
-// with message costs from the CostModel.  A message carries its send
-// timestamp; the receive completes at
+// Every simulated processor executes the same node program (SPMD) against a
+// per-processor virtual clock that advances with charged computation and
+// with message costs from the CostModel.  A message carries its arrival
+// timestamp; a receive completes at
 //     max(receiver clock, send_completion + (hops-1)*time_per_hop).
 // The execution time of a run is the maximum final clock over processors,
 // which is exactly what the paper's wall-clock measurements report for its
 // loosely synchronous programs.
-#include <atomic>
+//
+// Two interchangeable execution backends drive the node programs:
+//
+//   kEvent (default)  A single-threaded virtual-time event loop.  Each
+//                     processor is a resumable fiber; a blocking recv with
+//                     no matching message yields to the scheduler, which
+//                     always resumes the runnable processor with the lowest
+//                     virtual clock.  Thousand-processor machines cost
+//                     milliseconds of host time, and wildcard receives are
+//                     a deterministic function of virtual time.
+//
+//   kThreaded         One OS thread per simulated processor — the original
+//                     backend, kept for differential testing.  Both
+//                     backends produce bit-identical array results and
+//                     identical simulated times for deterministic programs.
+//
+// Failure semantics (both backends): when any node program throws, every
+// mailbox is poisoned so peers blocked in recv unwind instead of waiting
+// forever, and run() rethrows the first error.  When every live processor
+// is blocked in recv with no matching message (a communication deadlock,
+// e.g. mismatched tags), run() fails with a DeadlockError carrying a
+// per-processor wait-state report.
 #include <cstdint>
 #include <cstring>
 #include <functional>
 #include <memory>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "machine/cost_model.hpp"
@@ -25,6 +47,24 @@
 namespace f90d::machine {
 
 class SimMachine;
+
+/// Thrown by SimMachine::run when no processor can make progress: every
+/// live processor is blocked in recv and no queued message matches any
+/// posted receive.  what() carries the per-processor wait-state report.
+class DeadlockError : public std::runtime_error {
+ public:
+  explicit DeadlockError(const std::string& report)
+      : std::runtime_error(report) {}
+};
+
+/// Internal unwinding signal: this processor's mailbox was poisoned (a peer
+/// failed, or a deadlock was detected elsewhere) while it was receiving.
+/// Never escapes run() — the original error is rethrown instead.
+class PoisonedError : public std::runtime_error {
+ public:
+  explicit PoisonedError(const std::string& reason)
+      : std::runtime_error(reason) {}
+};
 
 /// Per-processor message-traffic statistics (for experiment analysis).
 struct ProcStats {
@@ -72,8 +112,15 @@ class Proc {
   }
 
   /// Blocking receive matching (src, tag); advances the clock to the
-  /// message arrival time.
+  /// message arrival time.  Under the event backend this yields to the
+  /// scheduler until a matching message is available.
   Message recv(int src, int tag);
+
+  /// Non-blocking probe of this processor's mailbox: true when a message
+  /// matching (src, tag) is queued *right now*.  A snapshot, not a wait —
+  /// never spin on probe: under the event backend a spinning processor
+  /// never yields, so the sender it is waiting for would never run.
+  [[nodiscard]] bool probe(int src, int tag);
 
   template <typename T>
   std::vector<T> recv_vec(int src, int tag) {
@@ -107,27 +154,66 @@ struct RunResult {
   [[nodiscard]] std::uint64_t total_bytes() const;
 };
 
+/// Which execution engine drives the node programs.
+enum class Backend {
+  kEvent,     ///< single-threaded virtual-time event loop over fibers
+  kThreaded,  ///< one OS thread per processor (differential testing)
+};
+
+struct MachineOptions {
+  Backend backend = Backend::kEvent;
+  /// Stack size of each processor fiber (event backend).
+  std::size_t fiber_stack_bytes = 1024 * 1024;
+  /// Threaded-backend watchdog: a recv that waits longer than this much
+  /// host wall time without the exact all-blocked detection firing (e.g.
+  /// a peer stuck outside recv) fails the run with a DeadlockError.
+  double watchdog_seconds = 60.0;
+};
+
 class SimMachine {
  public:
   using NodeProgram = std::function<void(Proc&)>;
 
   SimMachine(int nprocs, const CostModel& cost,
-             std::unique_ptr<Topology> topology);
+             std::unique_ptr<Topology> topology, MachineOptions options = {});
 
   [[nodiscard]] int nprocs() const { return nprocs_; }
   [[nodiscard]] const CostModel& cost() const { return cost_; }
   [[nodiscard]] const Topology& topology() const { return *topology_; }
-  [[nodiscard]] Mailbox& mailbox(int rank) { return *mailboxes_[rank]; }
+  [[nodiscard]] const MachineOptions& options() const { return options_; }
+  /// Direct mailbox access (diagnostics/tests).  Not synchronized: do not
+  /// touch while run() is live on the threaded backend.
+  [[nodiscard]] Mailbox& mailbox(int rank) {
+    return *mailboxes_[static_cast<std::size_t>(rank)];
+  }
 
-  /// Run `program` on every processor; joins all threads.  Exceptions thrown
-  /// by any node program are re-thrown here (first one wins).
+  /// Run `program` on every processor and return the virtual-time result.
+  /// The first exception thrown by any node program is re-thrown here after
+  /// every processor has unwound; a communication deadlock raises
+  /// DeadlockError.
   RunResult run(const NodeProgram& program);
 
  private:
+  friend class Proc;
+  class EventLoop;
+  struct ThreadedState;
+
+  // Backend-dispatching internals used by Proc.
+  void deliver(int dest, Message m);
+  Message blocking_recv(Proc& p, int src, int tag);
+  Message threaded_recv_locked(Proc& p, int src, int tag);
+  bool probe_mailbox(int rank, int src, int tag);
+
+  RunResult run_event(const NodeProgram& program);
+  RunResult run_threaded(const NodeProgram& program);
+
   int nprocs_;
   CostModel cost_;
   std::unique_ptr<Topology> topology_;
+  MachineOptions options_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  EventLoop* event_ = nullptr;        // non-null while run_event is live
+  ThreadedState* threaded_ = nullptr; // non-null while run_threaded is live
 };
 
 }  // namespace f90d::machine

@@ -15,10 +15,21 @@ int Mesh2D::hops(int a, int b) const {
   return std::abs(ax - bx) + std::abs(ay - by);
 }
 
+int FatTree::hops(int a, int b) const {
+  if (a == b) return 0;
+  const int edge_a = a / hosts_per_edge_, edge_b = b / hosts_per_edge_;
+  if (edge_a == edge_b) return 2;
+  if (edge_a / edges_per_pod_ == edge_b / edges_per_pod_) return 4;
+  return 6;
+}
+
 std::unique_ptr<Topology> make_hypercube() { return std::make_unique<Hypercube>(); }
 std::unique_ptr<Topology> make_crossbar() { return std::make_unique<Crossbar>(); }
 std::unique_ptr<Topology> make_mesh2d(int width) {
   return std::make_unique<Mesh2D>(width);
+}
+std::unique_ptr<Topology> make_fat_tree(int hosts_per_edge, int edges_per_pod) {
+  return std::make_unique<FatTree>(hosts_per_edge, edges_per_pod);
 }
 
 }  // namespace f90d::machine

@@ -39,8 +39,25 @@ class Mesh2D final : public Topology {
   int width_;
 };
 
+/// Three-tier fat tree (modern cluster fabric): hosts hang off edge
+/// switches, edge switches group into pods behind aggregation switches,
+/// pods connect through a core layer.  Switch-to-switch distances:
+/// same host 0, same edge switch 2 (up+down), same pod 4, cross-pod 6.
+class FatTree final : public Topology {
+ public:
+  FatTree(int hosts_per_edge, int edges_per_pod)
+      : hosts_per_edge_(hosts_per_edge), edges_per_pod_(edges_per_pod) {}
+  [[nodiscard]] int hops(int a, int b) const override;
+  [[nodiscard]] std::string name() const override { return "fat-tree"; }
+
+ private:
+  int hosts_per_edge_;
+  int edges_per_pod_;
+};
+
 std::unique_ptr<Topology> make_hypercube();
 std::unique_ptr<Topology> make_crossbar();
 std::unique_ptr<Topology> make_mesh2d(int width);
+std::unique_ptr<Topology> make_fat_tree(int hosts_per_edge, int edges_per_pod);
 
 }  // namespace f90d::machine

@@ -23,9 +23,10 @@ namespace f90d::harness {
 
 using interp::Index;
 
-inline machine::SimMachine make_machine(int p) {
+inline machine::SimMachine make_machine(int p,
+                                        machine::MachineOptions mo = {}) {
   return machine::SimMachine(p, machine::CostModel::ideal(),
-                             machine::make_hypercube());
+                             machine::make_hypercube(), mo);
 }
 
 /// Run `body(gc)` on every processor of a simulated 1-D machine — the
@@ -65,6 +66,7 @@ struct DiffRun {
   int schedule_misses = 0;
   int plan_hits = 0;
   int plan_misses = 0;
+  double sim_time = 0.0;         ///< simulated execution time (seconds)
 };
 
 /// Largest |got - want| over the elements selected by `select(flat)`.
@@ -117,22 +119,26 @@ inline std::vector<double> jacobi_oracle(int n, int iters) {
 
 inline DiffRun run_jacobi(int n, int iters, int p, int q,
                           const char* dist = "BLOCK",
-                          const interp::RunOptions& ro = {}) {
+                          const interp::RunOptions& ro = {},
+                          machine::MachineOptions mo = {}) {
   auto compiled =
       compile::compile_source(apps::jacobi_source(n, p, q, iters, dist));
-  machine::SimMachine m = make_machine(p * q);
+  machine::SimMachine m = make_machine(p * q, mo);
   interp::Init init;
   init.real["A"] = [](std::span<const Index> g) {
     return jacobi_entry(g[0], g[1]);
   };
   auto result = interp::run_compiled(compiled, m, init, ro);
-  return DiffRun{"A",
-                 result.real_arrays.at("A"),
-                 jacobi_oracle(n, iters),
-                 result.schedule_hits,
-                 result.schedule_misses,
-                 result.plan_hits,
-                 result.plan_misses};
+  DiffRun d{"A",
+            result.real_arrays.at("A"),
+            jacobi_oracle(n, iters),
+            result.schedule_hits,
+            result.schedule_misses,
+            result.plan_hits,
+            result.plan_misses,
+            0.0};
+  d.sim_time = result.machine.exec_time;
+  return d;
 }
 
 // --- Jacobi with loop-invariant coefficients (comm_opt workload) -------------
@@ -246,21 +252,25 @@ inline auto gauss_defined_region(int n) {
 }
 
 inline DiffRun run_gauss(int n, int p, const char* dist = "BLOCK",
-                         const interp::RunOptions& ro = {}) {
+                         const interp::RunOptions& ro = {},
+                         machine::MachineOptions mo = {}) {
   auto compiled = compile::compile_source(apps::gauss_source(n, p, dist));
-  machine::SimMachine m = make_machine(p);
+  machine::SimMachine m = make_machine(p, mo);
   interp::Init init;
   init.real["A"] = [n](std::span<const Index> g) {
     return apps::gauss_matrix_entry(n, g[0], g[1]);
   };
   auto result = interp::run_compiled(compiled, m, init, ro);
-  return DiffRun{"A",
-                 result.real_arrays.at("A"),
-                 gauss_oracle(n),
-                 result.schedule_hits,
-                 result.schedule_misses,
-                 result.plan_hits,
-                 result.plan_misses};
+  DiffRun d{"A",
+            result.real_arrays.at("A"),
+            gauss_oracle(n),
+            result.schedule_hits,
+            result.schedule_misses,
+            result.plan_hits,
+            result.plan_misses,
+            0.0};
+  d.sim_time = result.machine.exec_time;
+  return d;
 }
 
 /// Gauss with explicit codegen options, counted (comm_opt property tests).

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "comm/grid_comm.hpp"
+#include "machine/mailbox.hpp"
 #include "machine/topology.hpp"
 
 namespace f90d {
@@ -232,6 +233,86 @@ TEST(GridComm, BroadcastIsLogPDepth) {
   // log2(16)/log2(4) = 2: allow generous slack but reject linear growth (4x).
   EXPECT_LT(t16, t4 * 3.0);
   EXPECT_GT(t16, t4 * 1.2);
+}
+
+// --- mailbox matching rule ---------------------------------------------------
+
+machine::Message msg(int src, int tag, double arrival) {
+  machine::Message m;
+  m.src = src;
+  m.tag = tag;
+  m.arrival = arrival;
+  return m;
+}
+
+TEST(Mailbox, WildcardMatchesMinimumArrivalNotPushOrder) {
+  // Regression: pop_match used to scan in push order, so a kAnySource
+  // receive could take a message that arrives *later* in virtual time.
+  machine::Mailbox box;
+  box.push(msg(2, 7, 5.0));
+  box.push(msg(1, 7, 3.0));
+  box.push(msg(0, 7, 4.0));
+  auto first = box.try_pop_match(machine::kAnySource, machine::kAnyTag);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->src, 1);
+  EXPECT_EQ(box.try_pop_match(machine::kAnySource, 7)->src, 0);
+  EXPECT_EQ(box.try_pop_match(machine::kAnySource, 7)->src, 2);
+  EXPECT_FALSE(box.try_pop_match(machine::kAnySource, machine::kAnyTag));
+}
+
+TEST(Mailbox, ArrivalTiesBreakBySourceThenPushSequence) {
+  machine::Mailbox box;
+  box.push(msg(3, 1, 2.0));
+  box.push(msg(1, 1, 2.0));  // same arrival, lower src: wins
+  box.push(msg(1, 2, 2.0));  // same arrival and src, pushed later
+  EXPECT_EQ(box.try_pop_match(machine::kAnySource, machine::kAnyTag)->tag, 1);
+  EXPECT_EQ(box.try_pop_match(machine::kAnySource, machine::kAnyTag)->tag, 2);
+  EXPECT_EQ(box.try_pop_match(machine::kAnySource, machine::kAnyTag)->src, 3);
+}
+
+TEST(Mailbox, TagAndSourceFiltersApplyBeforeArrivalSelection) {
+  machine::Mailbox box;
+  box.push(msg(0, 1, 1.0));
+  box.push(msg(1, 2, 9.0));
+  // The earliest message does not match tag 2; the filter must win.
+  EXPECT_EQ(box.try_pop_match(machine::kAnySource, 2)->arrival, 9.0);
+  EXPECT_FALSE(box.try_pop_match(1, machine::kAnyTag));
+  EXPECT_EQ(box.try_pop_match(0, 1)->arrival, 1.0);
+}
+
+TEST(Mailbox, ProbeAndPeekAgreeWithPopUnderTheSameRule) {
+  machine::Mailbox box;
+  EXPECT_FALSE(box.probe(machine::kAnySource, machine::kAnyTag));
+  EXPECT_EQ(box.peek_match(machine::kAnySource, machine::kAnyTag), nullptr);
+  box.push(msg(2, 5, 4.0));
+  box.push(msg(1, 5, 2.0));
+  EXPECT_TRUE(box.probe(machine::kAnySource, 5));
+  EXPECT_FALSE(box.probe(machine::kAnySource, 6));
+  const machine::Message* peeked =
+      box.peek_match(machine::kAnySource, machine::kAnyTag);
+  ASSERT_NE(peeked, nullptr);
+  auto popped = box.try_pop_match(machine::kAnySource, machine::kAnyTag);
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_EQ(popped->src, 1);
+  EXPECT_EQ(popped->arrival, 2.0);
+}
+
+TEST(Mailbox, PoisonSticksToTheFirstReason) {
+  machine::Mailbox box;
+  EXPECT_FALSE(box.poisoned());
+  box.poison("rank 3 threw");
+  box.poison("deadlock");  // later reasons are ignored
+  EXPECT_TRUE(box.poisoned());
+  EXPECT_EQ(box.poison_reason(), "rank 3 threw");
+}
+
+TEST(Topology, FatTreeHopsByHostEdgeAndPod) {
+  machine::FatTree ft(4, 2);  // 4 hosts per edge switch, 2 edges per pod
+  EXPECT_EQ(ft.hops(0, 0), 0);  // same host
+  EXPECT_EQ(ft.hops(0, 3), 2);  // same edge switch
+  EXPECT_EQ(ft.hops(0, 4), 4);  // same pod, different edge switch
+  EXPECT_EQ(ft.hops(0, 8), 6);  // different pod, through the core
+  EXPECT_EQ(ft.hops(13, 12), 2);
 }
 
 }  // namespace
