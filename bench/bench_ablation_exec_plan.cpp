@@ -1,56 +1,34 @@
-// Ablation for the execution-plan layer (exec/exec_plan.hpp): the same
-// compiled jacobi / gauss programs executed three ways —
+// Ablation for the execution backends: the same compiled jacobi / gauss
+// programs executed four ways —
 //   tree-walk:  plans disabled, the interpreter re-walks every Expr tree
 //               and re-queries the DAD algebra per element,
-//   exec-plan:  plans on (the default), cached strength-reduced loop nests,
+//   exec-plan:  plans on (the default), cached strength-reduced loop nests
+//               with an interpreted postfix tape,
+//   native:     plans lowered to C++ node functions, JIT-compiled and
+//               dlopen'd (src/native/); a warm-up run outside the timed
+//               region fills the process-global codegen cache so the rung
+//               measures steady-state execution (compile wall time is
+//               reported separately as native_compile_ms),
 //   skeleton:   cost-faithful mode (bounds/guards/messages real, element
 //               arithmetic charged in bulk) as the lower bound.
-// Reports host wall time (the quantity the plan layer optimizes), the
-// simulated virtual seconds, and the plan-cache hit/miss counters.
-#include <algorithm>
-
+// Reports host wall time (the quantity the backends optimize), the
+// simulated virtual seconds, and the plan/native cache counters.  The
+// shared mode/label/report plumbing lives in bench_util.hpp.
 #include "bench_util.hpp"
 
 namespace {
 
 using namespace f90d;
-
-/// 256^2 by default; F90D_GE_N (set by the bench-smoke CTest label) shrinks
-/// the sweep for quick runs.
-int plan_n() {
-  const char* env = std::getenv("F90D_GE_N");
-  return env != nullptr ? std::min(256, std::atoi(env)) : 256;
-}
-
-enum Mode { kTreeWalk = 0, kExecPlan = 1, kSkeleton = 2 };
-
-const char* mode_label(int mode) {
-  switch (mode) {
-    case kTreeWalk: return "tree-walk fallback";
-    case kExecPlan: return "exec plans";
-    default: return "skeleton";
-  }
-}
-
-interp::RunOptions options_for(int mode) {
-  interp::RunOptions ro;
-  ro.skeleton = mode == kSkeleton;
-  ro.exec_plans = mode == kExecPlan;
-  return ro;
-}
-
-void report(benchmark::State& state, const interp::ProgramResult& r) {
-  state.counters["sim_seconds"] = r.machine.exec_time;
-  state.counters["plan_hits"] = r.plan_hits;
-  state.counters["plan_misses"] = r.plan_misses;
-  state.SetLabel(mode_label(static_cast<int>(state.range(0))));
-}
+using bench::kExecPlan;
+using bench::kNative;
+using bench::kSkeleton;
+using bench::kTreeWalk;
 
 void BM_ExecPlanJacobi(benchmark::State& state) {
   const int mode = static_cast<int>(state.range(0));
   const int p = static_cast<int>(state.range(1));
   const int q = static_cast<int>(state.range(2));
-  const int n = plan_n();
+  const int n = bench::ladder_n();
   const int iters = 10;
   auto compiled =
       compile::compile_source(apps::jacobi_source(n, p, q, iters, "BLOCK"));
@@ -58,24 +36,33 @@ void BM_ExecPlanJacobi(benchmark::State& state) {
   init.real["A"] = [](std::span<const rts::Index> g) {
     return static_cast<double>((g[0] * 13 + g[1] * 7) % 11);
   };
+  if (mode == kNative) {
+    machine::SimMachine warm =
+        bench::make_machine(p * q, machine::CostModel::ipsc860());
+    (void)interp::run_compiled(compiled, warm, init,
+                               bench::ladder_options(mode));
+  }
   interp::ProgramResult r;
   for (auto _ : state) {
     machine::SimMachine m =
         bench::make_machine(p * q, machine::CostModel::ipsc860());
-    r = interp::run_compiled(compiled, m, init, options_for(mode));
+    r = interp::run_compiled(compiled, m, init, bench::ladder_options(mode));
   }
-  report(state, r);
+  bench::ladder_report(state, r);
 }
 BENCHMARK(BM_ExecPlanJacobi)
     ->ArgNames({"mode", "p", "q"})
     ->Args({kTreeWalk, 1, 1})
     ->Args({kExecPlan, 1, 1})
+    ->Args({kNative, 1, 1})
     ->Args({kSkeleton, 1, 1})
     ->Args({kTreeWalk, 2, 2})
     ->Args({kExecPlan, 2, 2})
+    ->Args({kNative, 2, 2})
     ->Args({kSkeleton, 2, 2})
     ->Args({kTreeWalk, 4, 4})
     ->Args({kExecPlan, 4, 4})
+    ->Args({kNative, 4, 4})
     ->Args({kSkeleton, 4, 4})
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
@@ -83,30 +70,39 @@ BENCHMARK(BM_ExecPlanJacobi)
 void BM_ExecPlanGauss(benchmark::State& state) {
   const int mode = static_cast<int>(state.range(0));
   const int p = static_cast<int>(state.range(1));
-  const int n = plan_n();
+  const int n = bench::ladder_n();
   auto compiled = compile::compile_source(apps::gauss_source(n, p, "BLOCK"));
   interp::Init init;
   init.real["A"] = [n](std::span<const rts::Index> g) {
     return apps::gauss_matrix_entry(n, g[0], g[1]);
   };
+  if (mode == kNative) {
+    machine::SimMachine warm =
+        bench::make_machine(p, machine::CostModel::ipsc860());
+    (void)interp::run_compiled(compiled, warm, init,
+                               bench::ladder_options(mode));
+  }
   interp::ProgramResult r;
   for (auto _ : state) {
     machine::SimMachine m =
         bench::make_machine(p, machine::CostModel::ipsc860());
-    r = interp::run_compiled(compiled, m, init, options_for(mode));
+    r = interp::run_compiled(compiled, m, init, bench::ladder_options(mode));
   }
-  report(state, r);
+  bench::ladder_report(state, r);
 }
 BENCHMARK(BM_ExecPlanGauss)
     ->ArgNames({"mode", "p"})
     ->Args({kTreeWalk, 1})
     ->Args({kExecPlan, 1})
+    ->Args({kNative, 1})
     ->Args({kSkeleton, 1})
     ->Args({kTreeWalk, 4})
     ->Args({kExecPlan, 4})
+    ->Args({kNative, 4})
     ->Args({kSkeleton, 4})
     ->Args({kTreeWalk, 16})
     ->Args({kExecPlan, 16})
+    ->Args({kNative, 16})
     ->Args({kSkeleton, 16})
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);

@@ -4,6 +4,7 @@
 // section sweeps.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -59,6 +60,50 @@ inline GeRun run_ge_handwritten(int n, int p, const machine::CostModel& cm) {
 inline int table4_n() {
   const char* env = std::getenv("F90D_GE_N");
   return env != nullptr ? std::atoi(env) : 1023;
+}
+
+// --- interpreter ablation ladder (bench_ablation_exec_plan) ------------------
+
+/// Execution rungs of the backend ladder the ablation bench sweeps.
+enum LadderMode {
+  kTreeWalk = 0,  ///< plans disabled: per-element Expr-tree walk + DAD calls
+  kExecPlan = 1,  ///< cached plans, postfix tapes interpreted per element
+  kSkeleton = 2,  ///< cost-faithful skeleton, arithmetic charged in bulk
+  kNative = 3,    ///< plans JIT-compiled to dlopen'd C++ node functions
+};
+
+inline const char* ladder_label(int mode) {
+  switch (mode) {
+    case kTreeWalk: return "tree-walk fallback";
+    case kExecPlan: return "exec plans";
+    case kNative: return "native kernels";
+    default: return "skeleton";
+  }
+}
+
+inline interp::RunOptions ladder_options(int mode) {
+  interp::RunOptions ro;
+  ro.skeleton = mode == kSkeleton;
+  ro.exec_plans = mode == kExecPlan || mode == kNative;
+  ro.native_backend = mode == kNative;
+  return ro;
+}
+
+/// Ladder problem size: 256^2 by default; F90D_GE_N (set by the bench-smoke
+/// CTest label and run_benchmarks.py --quick) shrinks it for quick runs.
+inline int ladder_n() {
+  const char* env = std::getenv("F90D_GE_N");
+  return env != nullptr ? std::min(256, std::atoi(env)) : 256;
+}
+
+inline void ladder_report(benchmark::State& state,
+                          const interp::ProgramResult& r) {
+  state.counters["sim_seconds"] = r.machine.exec_time;
+  state.counters["plan_hits"] = r.plan_hits;
+  state.counters["plan_misses"] = r.plan_misses;
+  state.counters["native_runs"] = static_cast<double>(r.native_runs);
+  state.counters["native_compile_ms"] = r.native_compile_ms;
+  state.SetLabel(ladder_label(static_cast<int>(state.range(0))));
 }
 
 }  // namespace f90d::bench

@@ -8,6 +8,11 @@
 //     --stats    run in full (non-skeleton) mode and print the
 //                per-processor traffic/time statistics and the
 //                execution-plan + schedule cache summaries (implies -run)
+//     --backend=native|plan|tree
+//                pick the node-program execution backend (implies -run and
+//                full mode): `native` JIT-compiles execution plans to
+//                shared objects, `plan` interprets the postfix tapes
+//                (the default), `tree` forces the tree-walking fallback
 //     (no file: compiles the built-in Gaussian elimination program)
 //
 // Prints the Fortran77+MP node program and the communication-action
@@ -29,6 +34,8 @@ int main(int argc, char** argv) {
   bool optimize = true;
   bool run = false;
   bool stats = false;
+  std::string backend = "plan";
+  bool backend_set = false;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "-p") == 0 && i + 1 < argc) {
@@ -42,6 +49,16 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       run = true;
       stats = true;
+    } else if (std::strncmp(argv[i], "--backend=", 10) == 0) {
+      backend = argv[i] + 10;
+      if (backend != "native" && backend != "plan" && backend != "tree") {
+        std::fprintf(stderr,
+                     "f90dc: unknown backend '%s' (native|plan|tree)\n",
+                     backend.c_str());
+        return 1;
+      }
+      run = true;
+      backend_set = true;
     } else {
       path = argv[i];
     }
@@ -85,9 +102,12 @@ int main(int argc, char** argv) {
                             machine::make_hypercube());
       interp::Init init;  // arrays default to zero fill
       interp::RunOptions ro;
-      // Skeleton mode reports costs for arbitrary programs; --stats wants
-      // the execution-plan counters, which only full execution exercises.
-      ro.skeleton = !stats;
+      // Skeleton mode reports costs for arbitrary programs; --stats and an
+      // explicit backend choice want the real per-element execution paths,
+      // which only full execution exercises.
+      ro.skeleton = !stats && !backend_set;
+      ro.exec_plans = backend != "tree";
+      ro.native_backend = backend == "native";
       interp::ProgramResult r;
       try {
         r = interp::run_compiled(compiled, m, init, ro);
@@ -114,6 +134,17 @@ int main(int argc, char** argv) {
       if (stats) {
         std::printf("  exec plans   : %d built, %d reused, %d invalidated\n",
                     r.plan_misses, r.plan_hits, r.plan_invalidations);
+        if (backend == "native") {
+          std::printf("\n=== native backend (rank 0 node + process JIT) ===\n");
+          std::printf("  kernel runs  : %lld (%lld attached, %lld fallbacks, "
+                      "%lld invalidated)\n",
+                      r.native_runs, r.native_attaches, r.native_fallbacks,
+                      r.native_invalidations);
+          std::printf("  codegen cache: %lld hits, %lld compiles "
+                      "(%.1f ms wall), %lld dlopens\n",
+                      r.native_cache_hits, r.native_compiles,
+                      r.native_compile_ms, r.native_dlopens);
+        }
         std::printf("\n=== per-processor statistics ===\n");
         std::printf("  %4s %12s %12s %12s %12s %12s\n", "rank", "msgs_sent",
                     "bytes_sent", "msgs_recv", "compute_s", "comm_s");

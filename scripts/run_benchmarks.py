@@ -5,9 +5,11 @@ Executes the perf binaries with --benchmark_format=json and writes the
 results to BENCH_*.json files, so every PR leaves a machine-readable
 performance record next to the sources:
 
-    BENCH_interp.json  <- bench_ablation_exec_plan (tree-walk vs exec-plan
-                          vs skeleton on jacobi/gauss; wall time + plan
-                          cache counters)
+    BENCH_interp.json  <- bench_ablation_exec_plan (the backend ladder
+                          tree-walk vs exec-plan vs native-JIT vs skeleton
+                          on jacobi/gauss; wall time + plan/native cache
+                          counters; the native rows fall back to the plan
+                          interpreter when no toolchain is available)
     BENCH_fig6.json    <- bench_fig6_speedup (paper Figure 6: GE speed-up,
                           hand-written vs compiler-generated)
     BENCH_fig5.json    <- bench_fig5_portability (paper Figure 5: GE on

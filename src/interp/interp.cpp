@@ -10,6 +10,8 @@
 #include "comm/grid_comm.hpp"
 #include "exec/exec_env.hpp"
 #include "exec/exec_plan.hpp"
+#include "native/jit.hpp"
+#include "native/native_exec.hpp"
 #include "parti/schedule.hpp"
 #include "parti/schedule_cache.hpp"
 #include "rts/dist_array.hpp"
@@ -484,7 +486,12 @@ class Node {
     // (The planner admits no schedule-based read buffers, so the guarded
     // iteration ranges those would need are not required here.)
     run_pre_actions(s, {});
-    const Index iters = exec::run_exec_plan(*entry.plan, plan_scratch_);
+    // Backend ladder: native kernel when enabled and attachable, tape
+    // interpreter otherwise.  Both return the same iteration count, so the
+    // simulated cost charged below is identical either way.
+    Index iters = -1;
+    if (opt_.native_backend) iters = native_.try_run(entry.plan);
+    if (iters < 0) iters = exec::run_exec_plan(*entry.plan, plan_scratch_);
     proc_.charge_flops(static_cast<double>(iters) * s.flops_per_iter);
     proc_.charge_int_ops(static_cast<double>(iters) * 4.0);
     return true;
@@ -1122,6 +1129,7 @@ class Node {
     // that may replace an array's descriptor or storage invalidates the
     // plans bound to it.
     plans_.invalidate_array(s.dest_array);
+    native_.invalidate_array(s.dest_array);
   }
 
   // --- result collection -----------------------------------------------------
@@ -1131,6 +1139,11 @@ class Node {
     shared_.result.plan_hits = plans_.hits();
     shared_.result.plan_misses = plans_.misses();
     shared_.result.plan_invalidations = plans_.invalidations();
+    const native::NodeStats& ns = native_.stats();
+    shared_.result.native_runs = ns.runs;
+    shared_.result.native_attaches = ns.attaches;
+    shared_.result.native_fallbacks = ns.fallbacks;
+    shared_.result.native_invalidations = ns.invalidations;
   }
 
   void collect_results() {
@@ -1176,6 +1189,7 @@ class Node {
   exec::Env env_;
   exec::PlanCache plans_;
   exec::PlanScratch plan_scratch_;
+  native::NativeExec native_;
   parti::ScheduleCache cache_;
 
   std::map<std::string, Index> frame_;
@@ -1196,10 +1210,17 @@ ProgramResult run_compiled(const compile::Compiled& compiled,
   shared.clock_snapshot.assign(static_cast<size_t>(machine.nprocs()), 0.0);
   shared.stats_snapshot.assign(static_cast<size_t>(machine.nprocs()),
                                machine::ProcStats{});
+  // The JIT cache is process-global; report this run's share as deltas.
+  const native::JitStats jit0 = native::NativeCache::instance().stats();
   machine::RunResult mr = machine.run([&](machine::Proc& proc) {
     Node node(compiled, proc, init, options, shared);
     node.run();
   });
+  const native::JitStats jit1 = native::NativeCache::instance().stats();
+  shared.result.native_cache_hits = jit1.cache_hits - jit0.cache_hits;
+  shared.result.native_compiles = jit1.compiles - jit0.compiles;
+  shared.result.native_dlopens = jit1.dlopens - jit0.dlopens;
+  shared.result.native_compile_ms = jit1.compile_ms - jit0.compile_ms;
   // Report program-only timing/traffic (excluding result gathering).
   mr.proc_times = shared.clock_snapshot;
   mr.stats = shared.stats_snapshot;

@@ -32,6 +32,11 @@ struct RunOptions {
   /// running them; off forces the tree-walking fallback everywhere
   /// (differential testing, ablation benches).  Skeleton mode never plans.
   bool exec_plans = true;
+  /// Lower cached plans further to JIT-compiled C++ node functions
+  /// (src/native/) and run those; plans the lowerer declines — or every
+  /// plan, when no toolchain is available — run on the tape interpreter
+  /// exactly as with the flag off.  Requires exec_plans.
+  bool native_backend = false;
 };
 
 /// Per-array initializers: global (0-based) indices -> value.
@@ -57,6 +62,18 @@ struct ProgramResult {
   int plan_hits = 0;
   int plan_misses = 0;
   int plan_invalidations = 0;
+  /// Native-backend statistics: processor 0's per-node counters, plus this
+  /// run's deltas of the process-global JIT cache (codegen-cache hits,
+  /// compiler invocations and wall time, dlopen count).  All zero unless
+  /// RunOptions::native_backend is set.
+  long long native_runs = 0;
+  long long native_attaches = 0;
+  long long native_fallbacks = 0;
+  long long native_invalidations = 0;
+  long long native_cache_hits = 0;
+  long long native_compiles = 0;
+  long long native_dlopens = 0;
+  double native_compile_ms = 0;
 };
 
 /// Execute the compiled program on `machine`.  Collective: the machine size

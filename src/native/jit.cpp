@@ -1,0 +1,149 @@
+#include "native/jit.hpp"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+
+namespace f90d::native {
+
+namespace {
+
+/// FNV-1a over the source: names the scratch files only (the cache map is
+/// keyed by the full text, so collisions here are harmless).
+unsigned long long fnv1a(const std::string& s) {
+  unsigned long long h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+const char* compiler_path() {
+#ifdef F90D_NATIVE_CXX
+  if (const char* env = std::getenv("F90D_NATIVE_CXX"); env && *env)
+    return env;
+  return F90D_NATIVE_CXX;
+#else
+  return nullptr;
+#endif
+}
+
+bool disabled_by_env() {
+  const char* env = std::getenv("F90D_NATIVE");
+  return env != nullptr && std::string(env) == "0";
+}
+
+}  // namespace
+
+NativeCache& NativeCache::instance() {
+  static NativeCache cache;
+  return cache;
+}
+
+bool NativeCache::available() {
+  if (compiler_path() == nullptr || disabled_by_env()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  return ensure_probe_locked();
+}
+
+KernelFn NativeCache::get_or_compile(const std::string& source) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!ensure_probe_locked()) return nullptr;
+  auto it = map_.find(source);
+  if (it != map_.end()) {
+    ++stats_.cache_hits;
+    return it->second;
+  }
+  KernelFn fn = compile_locked(source);
+  map_.emplace(source, fn);
+  return fn;
+}
+
+JitStats NativeCache::stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+bool NativeCache::ensure_probe_locked() {
+  if (compiler_path() == nullptr || disabled_by_env()) return false;
+  if (probe_state_ == 0) {
+    std::string src = "extern \"C\" void ";
+    src += kKernelSymbol;
+    src +=
+        "(const long long*, const long long* const*, void* const*,"
+        " const long long*, const long long*, const long long* const*,"
+        " const double*, const long long*, const unsigned char*) {}\n";
+    probe_state_ = compile_locked(src) != nullptr ? 1 : -1;
+  }
+  return probe_state_ == 1;
+}
+
+KernelFn NativeCache::compile_locked(const std::string& source) {
+  const char* cxx = compiler_path();
+  if (cxx == nullptr) {
+    ++stats_.failures;
+    return nullptr;
+  }
+  if (dir_.empty()) {
+    char tmpl[] = "/tmp/f90d-native-XXXXXX";
+    const char* d = ::mkdtemp(tmpl);
+    if (d == nullptr) {
+      ++stats_.failures;
+      return nullptr;
+    }
+    dir_ = d;
+  }
+  char stem[64];
+  std::snprintf(stem, sizeof(stem), "/k%d_%016llx", counter_++,
+                fnv1a(source));
+  const std::string cpp = dir_ + stem + ".cpp";
+  const std::string so = dir_ + stem + ".so";
+  const std::string log = dir_ + stem + ".log";
+  {
+    std::ofstream out(cpp);
+    out << source;
+    if (!out) {
+      ++stats_.failures;
+      return nullptr;
+    }
+  }
+  // -ffp-contract=off: the host library was built without FMA contraction
+  // of a*b+c; allowing it here would change roundings and break the
+  // bit-identity contract with the tape interpreter.
+  const std::string cmd = std::string("\"") + cxx +
+                          "\" -O2 -fPIC -shared -std=c++17 -ffp-contract=off"
+                          " -o \"" +
+                          so + "\" \"" + cpp + "\" > \"" + log + "\" 2>&1";
+  const auto t0 = std::chrono::steady_clock::now();
+  const int rc = std::system(cmd.c_str());
+  const auto t1 = std::chrono::steady_clock::now();
+  stats_.compile_ms +=
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  if (rc != 0) {
+    ++stats_.failures;
+    return nullptr;
+  }
+  ++stats_.compiles;
+  // RTLD_LOCAL: every object exports the same kKernelSymbol; keeping each
+  // object's symbols private makes the dlsym below unambiguous.
+  void* handle = ::dlopen(so.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle == nullptr) {
+    ++stats_.failures;
+    return nullptr;
+  }
+  ++stats_.dlopens;
+  void* sym = ::dlsym(handle, kKernelSymbol);
+  if (sym == nullptr) {
+    ++stats_.failures;
+    return nullptr;
+  }
+  // The handle is intentionally never dlclose'd: cached KernelFn pointers
+  // live for the process, like the cache itself.
+  return reinterpret_cast<KernelFn>(sym);
+}
+
+}  // namespace f90d::native

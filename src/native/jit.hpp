@@ -1,0 +1,67 @@
+#pragma once
+// NativeCache: turn lowered kernel sources into callable function pointers.
+//
+// The cache is process-global (one compiler invocation serves every
+// simulated processor, every DO trip, and every run in the process) and
+// keyed by the complete source text — lower_plan() emits byte-identical
+// text for structurally identical plans, so the key needs no hashing and
+// cannot collide.  A content hash is used only to name the scratch files.
+//
+// Failures are memoized too: a source that failed to compile (or a probe
+// that showed no usable toolchain) never retries, so a broken environment
+// costs one attempt and then behaves exactly like F90D_NATIVE=OFF.
+//
+// Requirements and switches:
+//   * CMake bakes the configure-time compiler path in as F90D_NATIVE_CXX;
+//     without the definition (-DF90D_NATIVE=OFF) available() is false and
+//     every caller falls back to the tape interpreter.
+//   * Env F90D_NATIVE_CXX overrides the baked compiler path.
+//   * Env F90D_NATIVE=0 disables the backend at run time (the sanitizer
+//     kill-switch; generated objects are built uninstrumented).
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "native/lower.hpp"
+
+namespace f90d::native {
+
+/// Process-global compile statistics (readable while running; the interp
+/// layer snapshots deltas around each machine run for per-run reporting).
+struct JitStats {
+  long long cache_hits = 0;  ///< get_or_compile served from the map
+  long long compiles = 0;    ///< compiler invocations that produced a .so
+  long long failures = 0;    ///< compiler invocations that did not
+  long long dlopens = 0;
+  double compile_ms = 0;     ///< wall time inside the system compiler
+};
+
+class NativeCache {
+ public:
+  static NativeCache& instance();
+
+  /// True when generated kernels can actually run: the backend is compiled
+  /// in, not disabled by env, and a one-time trivial compile+dlopen probe
+  /// of the system compiler succeeded.
+  bool available();
+
+  /// The compiled kernel for `source`, or nullptr (memoized) on failure.
+  KernelFn get_or_compile(const std::string& source);
+
+  JitStats stats();
+
+ private:
+  NativeCache() = default;
+
+  KernelFn compile_locked(const std::string& source);
+  bool ensure_probe_locked();
+
+  std::mutex mu_;
+  std::unordered_map<std::string, KernelFn> map_;
+  JitStats stats_;
+  std::string dir_;       ///< scratch directory (created on first compile)
+  int probe_state_ = 0;   ///< 0 = untried, 1 = ok, -1 = failed
+  int counter_ = 0;
+};
+
+}  // namespace f90d::native

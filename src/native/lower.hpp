@@ -1,0 +1,77 @@
+#pragma once
+// Plan -> C++ lowering for the native node-program backend.
+//
+// An ExecPlan already has the compiled *shape* of a FORALL — resolved loop
+// nest, strength-reduced flat-offset recurrences, postfix tapes — but the
+// tape is still interpreted per element.  lower_plan() turns the plan into
+// the source of a real C++ node function: the loop nest becomes `for`
+// statements, every offset recurrence becomes a hoisted partial sum, and
+// the mask/rhs tapes are expanded into statically-typed straight-line SSA
+// temporaries (the postfix order is preserved instruction by instruction,
+// so evaluation order — and therefore every floating-point rounding — is
+// identical to the tape interpreter's).
+//
+// The lowered source is deliberately *parameterized*: loop counts, initial
+// values, strides, base offsets, storage pointers and runtime scalar values
+// arrive as arguments at call time, and only the structure (nest depth,
+// stride-vs-table term kinds, the tapes themselves with their constants and
+// static value kinds) is baked into the text.  Two processors — or two
+// plans of the same statement across DO trips or whole runs — that share a
+// structure therefore lower to byte-identical source and share one compiled
+// kernel (the NativeCache in native/jit.hpp keys on the source text).
+//
+// Statements whose tape cannot be statically typed (today: MIN/MAX over
+// mixed integer/real arguments, whose result kind is data-dependent) are
+// declined; the caller falls back to the plan interpreter, which remains
+// bit-identical by construction.
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/exec_plan.hpp"
+
+namespace f90d::native {
+
+/// The exported symbol every generated translation unit defines.  One
+/// kernel per TU, always under the same name: each shared object is
+/// dlopen'd RTLD_LOCAL, so the names never collide.
+inline constexpr const char* kKernelSymbol = "f90d_kernel";
+
+/// Generated kernel signature.  Everything that varies per call (or per
+/// plan sharing the same structure) is passed through these arrays:
+///   lp    3 entries per loop level: count, val0, step
+///   lv    per level: enumerated iteration values, or nullptr (baked which)
+///   base  per ref (reads in plan order, then the lhs): storage pointer
+///   rb    per ref: base flat offset at all-counters-zero
+///   st    per (ref, level): affine stride contribution
+///   tb    per (ref, level): per-counter offset table, or nullptr (baked)
+///   ds/is/ls  runtime scalar operand values by static kind
+using KernelFn = void (*)(const long long* lp, const long long* const* lv,
+                          void* const* base, const long long* rb,
+                          const long long* st, const long long* const* tb,
+                          const double* ds, const long long* is,
+                          const unsigned char* ls);
+
+/// One runtime scalar operand of the lowered kernel: where the wrapper
+/// reads the value each call, the static kind the source was compiled
+/// against (verified per call — a kind mismatch falls back to the tape),
+/// and the ds/is/ls slot it is packed into.
+struct ScalarBind {
+  const exec::Value* src = nullptr;
+  exec::Value::K kind = exec::Value::K::kD;
+  int slot = 0;
+};
+
+struct Lowered {
+  std::string source;               ///< complete translation unit text
+  std::vector<ScalarBind> scalars;  ///< call-time scalar packing recipe
+  int n_ds = 0;                     ///< slots per kind (array sizes)
+  int n_is = 0;
+  int n_ls = 0;
+};
+
+/// Lower one plan to a compilable kernel, or decline (reason in *why).
+[[nodiscard]] std::optional<Lowered> lower_plan(const exec::ExecPlan& p,
+                                                std::string* why);
+
+}  // namespace f90d::native

@@ -1,0 +1,129 @@
+#include "native/native_exec.hpp"
+
+#include <algorithm>
+
+#include "native/jit.hpp"
+
+namespace f90d::native {
+
+using exec::ExecPlan;
+using exec::RefPlan;
+using exec::Value;
+
+Index NativeExec::try_run(const exec::PlanPtr& plan) {
+  // Degenerate plans (guarded out, empty nest, zero-trip level) are cheap
+  // on the interpreter and would only pollute the attachment map.
+  if (plan->masked_out || plan->loops.empty()) return -1;
+  for (const exec::PlanLoop& l : plan->loops)
+    if (l.count == 0) return -1;
+
+  auto it = map_.find(plan.get());
+  Attached& at = it != map_.end() ? it->second : attach(plan);
+  if (at.fn == nullptr) {
+    ++stats_.fallbacks;
+    return -1;
+  }
+  // Re-verify every runtime scalar's kind against what the kernel was
+  // compiled for; a drifted kind (same slot reused with a different type)
+  // silently falls back rather than risking a wrong conversion.
+  for (const ScalarBind& b : at.binds) {
+    if (b.src->k != b.kind) {
+      ++stats_.fallbacks;
+      return -1;
+    }
+    switch (b.kind) {
+      case Value::K::kD: at.ds[static_cast<size_t>(b.slot)] = b.src->d; break;
+      case Value::K::kI: at.is[static_cast<size_t>(b.slot)] = b.src->i; break;
+      case Value::K::kB:
+        at.ls[static_cast<size_t>(b.slot)] = b.src->b ? 1 : 0;
+        break;
+    }
+  }
+  // Slab payload vectors are replaced by every communication action;
+  // their data pointers must be re-read at each call.
+  for (const auto& [idx, buf] : at.slabs) at.base[idx] = buf->dvals.data();
+
+  at.fn(at.lp.data(), at.lv.data(), at.base.data(), at.rb.data(),
+        at.st.data(), at.tb.data(), at.ds.data(), at.is.data(),
+        at.ls.data());
+  ++stats_.runs;
+  return at.iters;
+}
+
+NativeExec::Attached& NativeExec::attach(const exec::PlanPtr& plan) {
+  ++stats_.attaches;
+  Attached& at = map_[plan.get()];
+  at.plan = plan;
+
+  NativeCache& cache = NativeCache::instance();
+  if (!cache.available()) return at;  // fn stays null: permanent fallback
+  std::string why;
+  std::optional<Lowered> low = lower_plan(*plan, &why);
+  if (!low) return at;
+  at.fn = cache.get_or_compile(low->source);
+  if (at.fn == nullptr) return at;
+
+  const ExecPlan& p = *plan;
+  const size_t nv = p.loops.size();
+  const size_t nr = p.refs.size();
+  at.binds = std::move(low->scalars);
+  at.ds.assign(static_cast<size_t>(low->n_ds), 0.0);
+  at.is.assign(static_cast<size_t>(low->n_is), 0);
+  at.ls.assign(static_cast<size_t>(low->n_ls), 0);
+
+  at.lp.resize(3 * nv);
+  at.lv.resize(nv);
+  for (size_t k = 0; k < nv; ++k) {
+    const exec::PlanLoop& l = p.loops[k];
+    at.lp[3 * k] = l.count;
+    at.lp[3 * k + 1] = l.val0;
+    at.lp[3 * k + 2] = l.step;
+    at.lv[k] = l.values.empty() ? nullptr : l.values.data();
+  }
+
+  at.base.resize(nr + 1);
+  at.rb.resize(nr + 1);
+  at.st.assign((nr + 1) * nv, 0);
+  at.tb.assign((nr + 1) * nv, nullptr);
+  auto ref_at = [&](size_t r) -> const RefPlan& {
+    return r < nr ? p.refs[r] : p.lhs;
+  };
+  for (size_t r = 0; r <= nr; ++r) {
+    const RefPlan& rp = ref_at(r);
+    switch (rp.kind) {
+      case RefPlan::Kind::kRealDirect: at.base[r] = rp.dbase; break;
+      case RefPlan::Kind::kIntDirect: at.base[r] = rp.ibase; break;
+      case RefPlan::Kind::kLogicalDirect: at.base[r] = rp.lbase; break;
+      case RefPlan::Kind::kRealSlab:
+        at.slabs.emplace_back(r, rp.buf);
+        break;
+      case RefPlan::Kind::kScalarSlot: break;  // value travels via ds/is/ls
+    }
+    at.rb[r] = rp.base;
+    for (size_t k = 0; k < nv; ++k) {
+      const exec::OffsetTerm& t = rp.terms[k];
+      if (t.table.empty())
+        at.st[r * nv + k] = t.stride;
+      else
+        at.tb[r * nv + k] = t.table.data();
+    }
+  }
+
+  at.iters = 1;
+  for (const exec::PlanLoop& l : p.loops) at.iters *= l.count;
+  return at;
+}
+
+void NativeExec::invalidate_array(const std::string& array) {
+  for (auto it = map_.begin(); it != map_.end();) {
+    const std::vector<std::string>& arrays = it->second.plan->arrays;
+    if (std::find(arrays.begin(), arrays.end(), array) != arrays.end()) {
+      it = map_.erase(it);
+      ++stats_.invalidations;
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace f90d::native

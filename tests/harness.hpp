@@ -67,7 +67,25 @@ struct DiffRun {
   int plan_hits = 0;
   int plan_misses = 0;
   double sim_time = 0.0;         ///< simulated execution time (seconds)
+  /// Native-backend counters (rank 0 node; zero unless ro.native_backend).
+  long long native_runs = 0;
+  long long native_attaches = 0;
+  long long native_fallbacks = 0;
+  long long native_invalidations = 0;
 };
+
+/// Copy the run-wide counters a DiffRun reports out of a ProgramResult.
+inline void fill_counters(DiffRun& d, const interp::ProgramResult& r) {
+  d.schedule_hits = r.schedule_hits;
+  d.schedule_misses = r.schedule_misses;
+  d.plan_hits = r.plan_hits;
+  d.plan_misses = r.plan_misses;
+  d.sim_time = r.machine.exec_time;
+  d.native_runs = r.native_runs;
+  d.native_attaches = r.native_attaches;
+  d.native_fallbacks = r.native_fallbacks;
+  d.native_invalidations = r.native_invalidations;
+}
 
 /// Largest |got - want| over the elements selected by `select(flat)`.
 /// A size mismatch is itself a failure: infinity trips any tolerance check.
@@ -129,15 +147,8 @@ inline DiffRun run_jacobi(int n, int iters, int p, int q,
     return jacobi_entry(g[0], g[1]);
   };
   auto result = interp::run_compiled(compiled, m, init, ro);
-  DiffRun d{"A",
-            result.real_arrays.at("A"),
-            jacobi_oracle(n, iters),
-            result.schedule_hits,
-            result.schedule_misses,
-            result.plan_hits,
-            result.plan_misses,
-            0.0};
-  d.sim_time = result.machine.exec_time;
+  DiffRun d{"A", result.real_arrays.at("A"), jacobi_oracle(n, iters)};
+  fill_counters(d, result);
   return d;
 }
 
@@ -261,15 +272,8 @@ inline DiffRun run_gauss(int n, int p, const char* dist = "BLOCK",
     return apps::gauss_matrix_entry(n, g[0], g[1]);
   };
   auto result = interp::run_compiled(compiled, m, init, ro);
-  DiffRun d{"A",
-            result.real_arrays.at("A"),
-            gauss_oracle(n),
-            result.schedule_hits,
-            result.schedule_misses,
-            result.plan_hits,
-            result.plan_misses,
-            0.0};
-  d.sim_time = result.machine.exec_time;
+  DiffRun d{"A", result.real_arrays.at("A"), gauss_oracle(n)};
+  fill_counters(d, result);
   return d;
 }
 
@@ -320,13 +324,9 @@ inline DiffRun run_irregular(int n, int steps, int p,
   init.real["B"] = [](std::span<const Index> g) { return g[0] * 2.0; };
   init.real["C"] = [](std::span<const Index> g) { return g[0] * 100.0; };
   auto result = interp::run_compiled(compiled, m, init, ro);
-  return DiffRun{"A",
-                 result.real_arrays.at("A"),
-                 irregular_oracle(n),
-                 result.schedule_hits,
-                 result.schedule_misses,
-                 result.plan_hits,
-                 result.plan_misses};
+  DiffRun d{"A", result.real_arrays.at("A"), irregular_oracle(n)};
+  fill_counters(d, result);
+  return d;
 }
 
 // --- FFT butterfly (non-canonical lhs) ---------------------------------------
@@ -361,13 +361,9 @@ inline DiffRun run_fft(int nx, int stages, int p,
   init.real["X"] = [](std::span<const Index> g) { return g[0] + 1.0; };
   init.real["TERM2"] = [](std::span<const Index> g) { return g[0] * 0.5; };
   auto result = interp::run_compiled(compiled, m, init, ro);
-  return DiffRun{"X",
-                 result.real_arrays.at("X"),
-                 fft_oracle(nx, stages),
-                 result.schedule_hits,
-                 result.schedule_misses,
-                 result.plan_hits,
-                 result.plan_misses};
+  DiffRun d{"X", result.real_arrays.at("X"), fft_oracle(nx, stages)};
+  fill_counters(d, result);
+  return d;
 }
 
 }  // namespace f90d::harness
