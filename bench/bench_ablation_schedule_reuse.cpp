@@ -50,6 +50,105 @@ void BM_IrregularScheduleReuse(benchmark::State& state) {
 }
 BENCHMARK(BM_IrregularScheduleReuse)->Arg(0)->Arg(1)->Iterations(1);
 
+// --- irregular workload ladder ----------------------------------------------
+// The three inspector/executor scenario workloads (ELL SpMV, unstructured
+// mesh edge sweep, particle binning), each with the schedule cache on and
+// off: the reuse win is the inspector's fan-in communication and schedule
+// construction amortized across the time loop.  Swept on BLOCK and
+// INDIRECT(MAP); counters expose the PARTI traffic either way.
+
+enum IrrWorkload { kSpmv = 0, kMesh = 1, kPbin = 2 };
+
+const char* irr_name(int w) {
+  switch (w) {
+    case kSpmv: return "ell-spmv";
+    case kMesh: return "mesh-sweep";
+    default: return "particle-bin";
+  }
+}
+
+int owner_of(rts::Index i, int p) { return static_cast<int>((i * 5 + 2) % p); }
+
+void BM_IrregularWorkloadReuse(benchmark::State& state) {
+  const int workload = static_cast<int>(state.range(0));
+  const bool reuse = state.range(1) != 0;
+  const char* dist = state.range(2) != 0 ? "INDIRECT(MAP)" : "BLOCK";
+  constexpr int p = 8, steps = 8;
+  constexpr int n = 2048, nk = 8;
+
+  std::string source;
+  interp::Init init;
+  init.ints["MAP"] = [p](std::span<const rts::Index> g) {
+    return owner_of(g[0], p) + 1;
+  };
+  const char* result_array = nullptr;
+  switch (workload) {
+    case kSpmv:
+      source = apps::spmv_ell_source(n, nk, p, steps, dist);
+      init.ints["COL"] = [](std::span<const rts::Index> g) {
+        return (g[0] * 13 + g[1] * 5 + 1) % n + 1;
+      };
+      init.real["A"] = [](std::span<const rts::Index> g) {
+        return ((g[0] + 1) * (g[1] + 1)) % 7 + 0.25;
+      };
+      init.real["X"] = [](std::span<const rts::Index> g) {
+        return (g[0] % 17) * 0.5 + 1.0;
+      };
+      result_array = "Y";
+      break;
+    case kMesh:
+      source = apps::mesh_sweep_source(n, 2 * n, p, steps, dist);
+      init.ints["E1"] = [](std::span<const rts::Index> g) {
+        return (g[0] * 7 + 3) % n + 1;
+      };
+      init.ints["E2"] = [](std::span<const rts::Index> g) {
+        return (g[0] * 11 + 5) % n + 1;
+      };
+      init.real["XN"] = [](std::span<const rts::Index> g) {
+        return g[0] * 0.5 + 1.0;
+      };
+      result_array = "F";
+      break;
+    default:
+      source = apps::particle_bin_source(n, p, steps, dist);
+      init.ints["BIN"] = [](std::span<const rts::Index> g) {
+        return (n - 1 - g[0] + 3) % n + 1;  // permutation of 1..n
+      };
+      init.real["W"] = [](std::span<const rts::Index> g) {
+        return g[0] * 0.25 + 1.0;
+      };
+      result_array = "H";
+      break;
+  }
+
+  double secs = 0;
+  std::uint64_t messages = 0;
+  interp::ProgramResult r;
+  for (auto _ : state) {
+    auto compiled = compile::compile_source(source);
+    machine::SimMachine m =
+        bench::make_machine(p, machine::CostModel::ipsc860());
+    interp::RunOptions ro;
+    ro.schedule_cache = reuse;
+    r = interp::run_compiled(compiled, m, init, ro);
+    benchmark::DoNotOptimize(r.real_arrays.at(result_array).data());
+    secs = r.machine.exec_time;
+    messages = r.machine.total_messages();
+  }
+  state.counters["sim_seconds"] = secs;
+  state.counters["messages"] = static_cast<double>(messages);
+  state.counters["schedule_hits"] = r.schedule_hits;
+  state.counters["schedules_built"] = static_cast<double>(r.schedules_built);
+  state.counters["gather_bytes"] = static_cast<double>(r.gather_bytes);
+  state.counters["scatter_bytes"] = static_cast<double>(r.scatter_bytes);
+  state.counters["irregular_hits"] = r.irregular_hits;
+  state.SetLabel(std::string(irr_name(workload)) + " / " + dist +
+                 (reuse ? " / schedules reused" : " / inspector every trip"));
+}
+BENCHMARK(BM_IrregularWorkloadReuse)
+    ->ArgsProduct({{kSpmv, kMesh, kPbin}, {0, 1}, {0, 1}})
+    ->Iterations(1);
+
 void BM_MatmulFoxVsGather(benchmark::State& state) {
   // Special-routines design choice: Fox's algorithm vs the gather fallback.
   const bool fox = state.range(0) != 0;

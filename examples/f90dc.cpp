@@ -134,6 +134,13 @@ int main(int argc, char** argv) {
       if (stats) {
         std::printf("  exec plans   : %d built, %d reused, %d invalidated\n",
                     r.plan_misses, r.plan_hits, r.plan_invalidations);
+        std::printf("  irregular    : %d built, %d reused, %d invalidated "
+                    "(inspector plans)\n",
+                    r.irregular_misses, r.irregular_hits,
+                    r.irregular_invalidations);
+        std::printf("  PARTI traffic: %lld schedules built, %lld gather "
+                    "bytes, %lld scatter bytes\n",
+                    r.schedules_built, r.gather_bytes, r.scatter_bytes);
         if (backend == "native") {
           std::printf("\n=== native backend (rank 0 node + process JIT) ===\n");
           std::printf("  kernel runs  : %lld (%lld attached, %lld fallbacks, "

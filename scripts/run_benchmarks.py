@@ -15,6 +15,12 @@ performance record next to the sources:
     BENCH_fig5.json    <- bench_fig5_portability (paper Figure 5: GE on
                           iPSC/860 vs nCUBE/2, plus the jacobi portability
                           sweep over machine profiles on 1..1024 processors)
+    BENCH_irregular.json <- bench_ablation_schedule_reuse (§7 schedule
+                          reuse: the irregular kernel plus the three
+                          inspector/executor workloads — ELL SpMV, mesh
+                          edge sweep, particle binning — each with the
+                          schedule cache on/off over BLOCK and
+                          INDIRECT(MAP), with PARTI traffic counters)
 
 Usage:
     scripts/run_benchmarks.py --build-dir build [--out-dir .] [--quick]
@@ -32,6 +38,7 @@ BENCH_MAP = {
     "BENCH_interp.json": "bench_ablation_exec_plan",
     "BENCH_fig6.json": "bench_fig6_speedup",
     "BENCH_fig5.json": "bench_fig5_portability",
+    "BENCH_irregular.json": "bench_ablation_schedule_reuse",
 }
 
 

@@ -137,4 +137,86 @@ C$ ALIGN C(I) WITH T(I)
                    n, nprocs, steps);
 }
 
+std::string spmv_ell_source(int n, int nk, int nprocs, int steps,
+                            const char* dist) {
+  return strformat(R"(PROGRAM SPMV
+      INTEGER N
+      INTEGER NK
+      PARAMETER (N = %d)
+      PARAMETER (NK = %d)
+      REAL Y(N)
+      REAL X(N)
+      REAL A(N, NK)
+      INTEGER COL(N, NK)
+      INTEGER MAP(N)
+      INTEGER IT
+      INTEGER K
+C$ PROCESSORS P(%d)
+C$ TEMPLATE T(N)
+C$ DISTRIBUTE T(%s)
+C$ ALIGN Y(I) WITH T(I)
+C$ ALIGN X(I) WITH T(I)
+      DO IT = 1, %d
+        DO K = 1, NK
+          FORALL (I = 1:N) Y(I) = Y(I) + A(I, K) * X(COL(I, K))
+        END DO
+      END DO
+      END PROGRAM SPMV
+)",
+                   n, nk, nprocs, dist, steps);
+}
+
+std::string mesh_sweep_source(int nn, int ne, int nprocs, int steps,
+                              const char* dist) {
+  return strformat(R"(PROGRAM MESH
+      INTEGER NN
+      INTEGER NE
+      PARAMETER (NN = %d)
+      PARAMETER (NE = %d)
+      REAL F(NE)
+      REAL XN(NN)
+      INTEGER E1(NE)
+      INTEGER E2(NE)
+      INTEGER MAP(NN)
+      INTEGER IT
+C$ PROCESSORS P(%d)
+C$ TEMPLATE TE(NE)
+C$ TEMPLATE TN(NN)
+C$ DISTRIBUTE TE(BLOCK)
+C$ DISTRIBUTE TN(%s)
+C$ ALIGN F(I) WITH TE(I)
+C$ ALIGN XN(I) WITH TN(I)
+      DO IT = 1, %d
+        FORALL (E = 1:NE) F(E) = XN(E2(E)) - XN(E1(E))
+        FORALL (I = 1:NN) XN(I) = XN(I) + 0.125 * XN(I)
+      END DO
+      END PROGRAM MESH
+)",
+                   nn, ne, nprocs, dist, steps);
+}
+
+std::string particle_bin_source(int np, int nprocs, int steps,
+                                const char* dist) {
+  return strformat(R"(PROGRAM PBIN
+      INTEGER NP
+      PARAMETER (NP = %d)
+      REAL H(NP)
+      REAL W(NP)
+      INTEGER BIN(NP)
+      INTEGER MAP(NP)
+      INTEGER IT
+C$ PROCESSORS P(%d)
+C$ TEMPLATE TB(NP)
+C$ DISTRIBUTE TB(%s)
+C$ ALIGN H(I) WITH TB(I)
+C$ ALIGN W(I) WITH TB(I)
+      DO IT = 1, %d
+        FORALL (I = 1:NP) H(BIN(I)) = W(I) + IT
+      END DO
+      FORALL (I = 1:NP) W(I) = W(I) * 2.0
+      END PROGRAM PBIN
+)",
+                   np, nprocs, dist, steps);
+}
+
 }  // namespace f90d::apps

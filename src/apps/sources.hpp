@@ -39,4 +39,37 @@ namespace f90d::apps {
 /// (exercises gather/scatter and schedule reuse).
 [[nodiscard]] std::string irregular_source(int n, int nprocs, int steps);
 
+// --- irregular scenario workloads (PARTI inspector/executor) -----------------
+// Each takes the distribution of its gathered/scattered value array as a
+// directive string so tests can sweep BLOCK against INDIRECT(MAP); every
+// source declares a replicated `INTEGER MAP(...)` for the INDIRECT case
+// (ignored under BLOCK).
+
+/// ELL-format sparse matrix-vector product, `steps` outer iterations:
+///   DO K = 1, NK: FORALL (I = 1:N) Y(I) = Y(I) + A(I, K) * X(COL(I, K))
+/// A and COL are replicated row tables (NK entries per row); X and Y live
+/// on T(dist).  Each K gathers a different slice of X, so a steady-state
+/// run keeps NK live schedules, each reused every outer step.
+[[nodiscard]] std::string spmv_ell_source(int n, int nk, int nprocs, int steps,
+                                          const char* dist = "BLOCK");
+
+/// Unstructured-mesh edge sweep, gather-only with two indirections:
+///   FORALL (E = 1:NE) F(E) = XN(E2(E)) - XN(E1(E))
+/// followed by a comm-free node update that changes XN every step.  Edge
+/// arrays are BLOCK on their own template; node values live on TN(dist).
+/// The node update bumps XN's write version without touching E1/E2, so
+/// the gather schedules must survive it (data-array writes do not key
+/// schedules; indirection-array writes do).
+[[nodiscard]] std::string mesh_sweep_source(int nn, int ne, int nprocs,
+                                            int steps,
+                                            const char* dist = "BLOCK");
+
+/// Particle binning, scatter-only: FORALL (I = 1:NP) H(BIN(I)) = W(I) + IT
+/// with a weight update after the loop.  BIN must be initialized to a
+/// permutation of 1..NP (NP == NB) so the overwrite scatter stays
+/// deterministic on every machine size.  H and W share one template on
+/// `dist`, so the only communication is the scatter itself.
+[[nodiscard]] std::string particle_bin_source(int np, int nprocs, int steps,
+                                              const char* dist = "BLOCK");
+
 }  // namespace f90d::apps

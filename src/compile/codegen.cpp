@@ -40,7 +40,10 @@ AffineSub compose_align(const AffineSub& sub, const DimMap& m,
 bool same_distribution(const DimMap& a, const DimMap& b) {
   return a.kind == b.kind && a.grid_dim == b.grid_dim &&
          a.template_extent == b.template_extent &&
-         (a.kind != DistKind::kCyclic || a.block == b.block);
+         (a.kind != DistKind::kCyclic || a.block == b.block) &&
+         // Value-based mappings agree only when driven by the same map
+         // array (its single resolved table per run makes this exact).
+         (a.kind != DistKind::kIndirect || a.map_name == b.map_name);
 }
 
 /// Count floating-point operations in an elementwise expression (bulk cost
@@ -388,6 +391,12 @@ class Generator {
       const Dad* dad = dad_of(ip.array);
       if (dad == nullptr) continue;
       const DimMap& m = dad->dim(ip.dim);
+      if (m.kind == DistKind::kIndirect) {
+        // Value-based ownership: the owned set is arbitrary, so the local
+        // range is an explicit set_BOUND_list for every stride.
+        ip.enumerated = true;
+        continue;
+      }
       if (m.kind != DistKind::kCyclic || m.block <= 1) continue;
       ip.enumerated = !is_unit_stride(ip.st);
     }

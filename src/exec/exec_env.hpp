@@ -8,6 +8,7 @@
 // scalar slots directly, while the tree-walking fallback in interp/ keeps
 // operating on the same state.  Layering: compile/ produces the IR, exec/
 // holds the runtime state and the compiled plans, interp/ drives both.
+#include <functional>
 #include <map>
 #include <span>
 #include <string>
@@ -72,13 +73,24 @@ struct Buf {
   Value scalar;
 };
 
+/// Resolves an INDIRECT map array's initial contents: given the map array
+/// name and its extent, returns the 1-based owner numbers per template cell
+/// (empty = no initializer; the dimension falls back to a BLOCK-equivalent
+/// ownership so undirected runs still work).  Must be deterministic and
+/// identical on every processor — the resolved table keys schedule caches.
+using MapResolver =
+    std::function<std::vector<long long>(const std::string&, Index)>;
+
 class Env {
  public:
   /// Allocate every distributed array (with the program's overlap areas
   /// applied to the DADs) and every replicated scalar for the processor at
   /// `gc`'s grid position.  Arrays are zero-filled; PARAMETER scalars get
   /// their values; the caller applies initial conditions afterwards.
-  Env(const compile::Compiled& c, comm::GridComm& gc);
+  /// INDIRECT dimensions have their ownership tables resolved (through
+  /// `resolve_map`) before any distributed allocation.
+  Env(const compile::Compiled& c, comm::GridComm& gc,
+      const MapResolver& resolve_map = {});
 
   [[nodiscard]] const frontend::Symbol& sym(const std::string& n) const {
     return compiled.sema.symbols.at(n);
@@ -102,6 +114,17 @@ class Env {
   std::map<std::string, rts::DistArray<unsigned char>> lar;
   std::map<std::string, Value> scalars;
   std::vector<Buf> bufs;
+  /// Monotone per-array write-version counters.  Bumped identically on
+  /// every processor whenever an array is (possibly) written, so runtime
+  /// schedule keys that embed the versions of their indirection arrays go
+  /// stale — and rebuild collectively — the moment those arrays change.
+  std::map<std::string, long long> versions;
+
+  [[nodiscard]] long long version(const std::string& n) const {
+    auto it = versions.find(n);
+    return it == versions.end() ? 0 : it->second;
+  }
+  void bump_version(const std::string& n) { ++versions[n]; }
 
  private:
   Value read_element_inner(const std::string& name, std::span<const Index> g,

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "compile/affine.hpp"
+#include "exec/irregular_plan.hpp"
 #include "rts/set_bound.hpp"
 
 namespace f90d::exec {
@@ -206,15 +207,19 @@ bool same_dim_map(const DimMap& a, const DimMap& b) {
   return a.kind == b.kind && a.grid_dim == b.grid_dim &&
          a.template_extent == b.template_extent &&
          a.align_stride == b.align_stride && a.align_offset == b.align_offset &&
-         a.block == b.block;
+         a.block == b.block &&
+         // INDIRECT: same resolved ownership table (env DADs share the
+         // per-map table instance, so pointer identity is exact).
+         (a.kind != DistKind::kIndirect ||
+          (a.table == b.table && a.table != nullptr));
 }
 
 // --- planner -----------------------------------------------------------------
 
 class Builder {
  public:
-  Builder(const SpmdStmt& s, Env& env)
-      : s_(s), env_(env), coords_(env.gc.my_coords()) {}
+  Builder(const SpmdStmt& s, Env& env, bool irregular = false)
+      : s_(s), env_(env), coords_(env.gc.my_coords()), irregular_(irregular) {}
 
   PlanEntry build() {
     try {
@@ -240,6 +245,65 @@ class Builder {
     }
   }
 
+  /// Irregular entry point: lower a schedule-bearing kForall into an
+  /// inspector/executor plan, or decline back to the tree walk.
+  IrrPlanEntry build_irr() {
+    try {
+      structural_gates();
+      plan_ = std::make_shared<ExecPlan>();
+      plan_->stmt_id = s_.stmt_id;
+      auto irr = std::make_shared<IrregularPlan>();
+      irr->lhs_buffered = s_.lhs_buffered;
+      for (const CommAction& a : s_.pre) {
+        if (a.eliminated || a.kind != CommKind::kGather) continue;
+        IrrRead r;
+        r.action = &a;
+        r.ref_id = a.ref_id;
+        r.buffer_id = a.buffer_id;
+        irr->reads.push_back(std::move(r));
+      }
+      // Inner indirection arrays resolve before the references that
+      // subscript with them (the tree walk's pre-action order).
+      std::sort(irr->reads.begin(), irr->reads.end(),
+                [](const IrrRead& x, const IrrRead& y) {
+                  return x.ref_id > y.ref_id;
+                });
+      for (const CommAction& a : s_.post)
+        if (!a.eliminated && a.kind == CommKind::kScatter) irr->scatter = &a;
+      // Masked-out and empty-nest plans keep the reads/scatter metadata
+      // but build no tapes: this processor still participates in the
+      // collective schedule builds, with empty needs.
+      if (!guards_pass()) {
+        plan_->masked_out = true;
+        irr->empty_nest = true;
+        irr->core = std::move(*plan_);
+        return IrrPlanEntry{std::move(irr), {}, false};
+      }
+      build_loops();
+      for (const PlanLoop& l : plan_->loops)
+        if (l.count == 0) {
+          irr->empty_nest = true;
+          irr->core = std::move(*plan_);
+          return IrrPlanEntry{std::move(irr), {}, false};
+        }
+      for (const RefInfo& r : s_.refs)
+        if (r.expr != nullptr) ref_of_.emplace(r.expr, &r);
+      for (IrrRead& r : irr->reads)
+        r.idx = build_indexer(s_.refs.at(static_cast<size_t>(r.ref_id)));
+      if (s_.lhs_buffered)
+        irr->lhs_idx = build_indexer(s_.refs.at(0));
+      else
+        plan_->lhs = build_ref_plan(s_.refs.at(0), /*is_write=*/true);
+      plan_->rhs = compile_tape(*s_.rhs);
+      if (s_.mask) plan_->mask = compile_tape(*s_.mask);
+      plan_->arrays.assign(arrays_.begin(), arrays_.end());
+      irr->core = std::move(*plan_);
+      return IrrPlanEntry{std::move(irr), {}, false};
+    } catch (const Decline& d) {
+      return IrrPlanEntry{nullptr, d.reason, d.structural};
+    }
+  }
+
  private:
   [[noreturn]] static void decline(std::string reason, bool structural = true) {
     throw Decline{std::move(reason), structural};
@@ -247,16 +311,47 @@ class Builder {
 
   void structural_gates() const {
     if (s_.kind != SpmdKind::kForall) decline("not a forall");
-    if (s_.lhs_buffered) decline("buffered lhs (PARTI/concat write path)");
-    if (!s_.post.empty()) decline("post-communication actions");
-    for (const CommAction& a : s_.pre) {
-      if (a.eliminated) continue;
-      if (a.kind == CommKind::kPrecompRead || a.kind == CommKind::kGather ||
-          a.kind == CommKind::kTemporaryShift)
-        decline("schedule-based read buffers (PARTI)");
-    }
     if (s_.indices.empty()) decline("no iteration variables");
     if (s_.refs.empty() || !s_.lhs || !s_.rhs) decline("incomplete forall");
+    if (!irregular_) {
+      if (s_.lhs_buffered) decline("buffered lhs (PARTI/concat write path)");
+      if (!s_.post.empty()) decline("post-communication actions");
+      for (const CommAction& a : s_.pre) {
+        if (a.eliminated) continue;
+        if (a.kind == CommKind::kPrecompRead || a.kind == CommKind::kGather ||
+            a.kind == CommKind::kTemporaryShift)
+          decline("schedule-based read buffers (PARTI)");
+      }
+      return;
+    }
+    // Irregular mode accepts exactly the schedule-bearing statements.
+    // Gathers (schedule2) enumerate needs from this processor's own
+    // iteration space, which the plan replays; the schedule1 kinds also
+    // need every *peer's* range enumerated, so they stay on the tree walk.
+    bool any_sched = false;
+    for (const CommAction& a : s_.pre) {
+      if (a.eliminated) continue;
+      if (a.kind == CommKind::kPrecompRead ||
+          a.kind == CommKind::kTemporaryShift)
+        decline("schedule1 read (peer-range enumeration)");
+      any_sched = any_sched || a.kind == CommKind::kGather;
+    }
+    for (const CommAction& a : s_.post) {
+      if (a.eliminated) continue;
+      if (a.kind != CommKind::kScatter) decline("non-scatter write combining");
+      any_sched = true;
+    }
+    if (!any_sched) decline("no schedule actions (regular plan territory)");
+    if (s_.lhs_buffered) {
+      if (s_.mask) decline("masked buffered lhs (read-back semantics)");
+      if (env_.sym(s_.refs.at(0).array).type != ast::BaseType::kReal)
+        decline("non-REAL scattered lhs");
+      bool has_scatter = false;
+      for (const CommAction& a : s_.post)
+        has_scatter =
+            has_scatter || (!a.eliminated && a.kind == CommKind::kScatter);
+      if (!has_scatter) decline("buffered lhs without scatter");
+    }
   }
 
   /// Mirror of the interpreter's scalar-context eval(): literals, scalar
@@ -342,8 +437,13 @@ class Builder {
         if (!b.empty) {
           L.count = b.count();
           const DimMap& m = dad.dim(ip.dim);
-          const bool block_cyclic = m.kind == DistKind::kCyclic && m.block > 1;
-          if (b.enumerated() || block_cyclic) {
+          // INDIRECT joins block-cyclic: local-to-global is non-affine, so
+          // uniform local triplets map through mu^-1 element by element
+          // (mirrors range_from_bound in the interpreter).
+          const bool nonaffine_local =
+              (m.kind == DistKind::kCyclic && m.block > 1) ||
+              m.kind == DistKind::kIndirect;
+          if (b.enumerated() || nonaffine_local) {
             L.values.reserve(static_cast<size_t>(L.count));
             if (b.enumerated()) {
               for (Index l : b.indices)
@@ -418,12 +518,60 @@ class Builder {
         }
         return r;
       }
-      case Access::kIterBuf:
-        decline("iteration buffer (PARTI)");
+      case Access::kIterBuf: {
+        if (!irregular_) decline("iteration buffer (PARTI)");
+        if (is_write) decline("iteration-buffered write reference");
+        // One gathered value per iteration, in exact iteration order: the
+        // flat iteration index is an odometer over the loop counts, last
+        // variable fastest (matches the tree walk's flat_iter_ slots and
+        // the needs enumeration order).
+        RefPlan r;
+        const Symbol& sm = env_.sym(ref.array);
+        if (sm.type == ast::BaseType::kInteger)
+          r.kind = RefPlan::Kind::kIntIterBuf;
+        else if (sm.type == ast::BaseType::kReal)
+          r.kind = RefPlan::Kind::kRealIterBuf;
+        else
+          decline("logical gather buffer");
+        r.buf = &env_.bufs.at(static_cast<size_t>(ref.buffer_id));
+        r.terms.resize(nv);
+        long long mult = 1;
+        for (size_t k = nv; k-- > 0;) {
+          r.terms[k].stride = mult;
+          mult *= plan_->loops[k].count;
+        }
+        arrays_.insert(ref.array);
+        return r;
+      }
       case Access::kDirect:
         break;
     }
     return direct_ref_plan(ref, is_write);
+  }
+
+  /// Compile one vector-subscripted reference's subscript expressions to
+  /// tapes folding to 0-based flat global element ids — the id space the
+  /// PARTI schedules speak.  Mirrors the tree walk's eval_subs +
+  /// flat_global_of.
+  GlobalIndexer build_indexer(const RefInfo& ref) {
+    GlobalIndexer gi;
+    const Dad& dad = env_.dads.at(ref.array);
+    const int rank = dad.rank();
+    if (ref.expr == nullptr ||
+        static_cast<int>(ref.expr->args.size()) != rank)
+      decline("subscript rank mismatch");
+    gi.array = ref.array;
+    gi.gstrides.assign(static_cast<size_t>(rank), 1);
+    for (int d = rank - 2; d >= 0; --d)
+      gi.gstrides[static_cast<size_t>(d)] =
+          gi.gstrides[static_cast<size_t>(d + 1)] * dad.extent(d + 1);
+    for (int d = 0; d < rank; ++d) {
+      gi.lowers.push_back(env_.lower_of(ref.array, d));
+      gi.extents.push_back(dad.extent(d));
+      gi.subs.push_back(compile_tape(*ref.expr->args[static_cast<size_t>(d)]));
+    }
+    arrays_.insert(ref.array);
+    return gi;
   }
 
   RefPlan direct_ref_plan(const RefInfo& ref, bool is_write) {
@@ -591,11 +739,12 @@ class Builder {
 
   Tape compile_tape(const Expr& e) {
     Tape t;
-    emit(e, t.ins);
+    emit(e, t);
     return t;
   }
 
-  void emit(const Expr& e, std::vector<Ins>& out) {
+  void emit(const Expr& e, Tape& t) {
+    std::vector<Ins>& out = t.ins;
     switch (e.kind) {
       case ExprKind::kIntLit:
         out.push_back({Op::kConst, 0, nullptr, Value::integer(e.int_value)});
@@ -621,17 +770,17 @@ class Builder {
       }
       case ExprKind::kUnOp: {
         if (e.un_op == UnOpKind::kPlus) {
-          emit(*e.args[0], out);
+          emit(*e.args[0], t);
           return;
         }
-        emit(*e.args[0], out);
+        emit(*e.args[0], t);
         out.push_back({e.un_op == UnOpKind::kNeg ? Op::kNeg : Op::kNot, 0,
                        nullptr, {}});
         return;
       }
       case ExprKind::kBinOp: {
-        emit(*e.args[0], out);
-        emit(*e.args[1], out);
+        emit(*e.args[0], t);
+        emit(*e.args[1], t);
         out.push_back({bin_op_of(e.bin_op), 0, nullptr, {}});
         return;
       }
@@ -639,8 +788,11 @@ class Builder {
         if (env_.compiled.sema.symbols.count(e.name) &&
             env_.compiled.sema.symbols.at(e.name).is_array()) {
           auto rit = ref_of_.find(&e);
-          if (rit == ref_of_.end()) decline("unclassified array reference");
-          out.push_back({Op::kRef, ref_id_of(rit->second), nullptr, {}});
+          if (rit != ref_of_.end()) {
+            out.push_back({Op::kRef, ref_id_of(rit->second), nullptr, {}});
+            return;
+          }
+          emit_elem(e, t);
           return;
         }
         Op op{};
@@ -650,7 +802,7 @@ class Builder {
         if (argc >= 0 ? e.args.size() != static_cast<size_t>(argc)
                       : e.args.empty())
           decline("bad intrinsic arity " + e.name);
-        for (const ExprPtr& a : e.args) emit(*a, out);
+        for (const ExprPtr& a : e.args) emit(*a, t);
         out.push_back({op, static_cast<int>(e.args.size()), nullptr, {}});
         return;
       }
@@ -659,9 +811,62 @@ class Builder {
     }
   }
 
+  /// Array references with no RefInfo: codegen classifies only the reads
+  /// that may need communication, so a fully replicated array subscripting
+  /// a buffered lhs (H(BIN(I))) reaches the tape compiler unclassified.
+  /// It is readable in place on every processor — compile a direct
+  /// element access over its (whole-array) local storage.
+  void emit_elem(const Expr& e, Tape& t) {
+    auto dit = env_.dads.find(e.name);
+    if (dit == env_.dads.end() || !dit->second.fully_replicated())
+      decline("distributed array element without reference info");
+    const Dad& dad = dit->second;
+    const int rank = dad.rank();
+    if (static_cast<int>(e.args.size()) != rank)
+      decline("subscript rank mismatch");
+    ElemRef er;
+    er.array = e.name;
+    std::vector<Index> aext;
+    switch (env_.sym(e.name).type) {
+      case ast::BaseType::kReal: {
+        const auto& a = env_.dar.at(e.name);
+        er.dbase = a.storage().data();
+        for (int d = 0; d < rank; ++d) aext.push_back(a.alloc_extent(d));
+        break;
+      }
+      case ast::BaseType::kInteger: {
+        const auto& a = env_.iar.at(e.name);
+        er.ibase = a.storage().data();
+        for (int d = 0; d < rank; ++d) aext.push_back(a.alloc_extent(d));
+        break;
+      }
+      case ast::BaseType::kLogical: {
+        const auto& a = env_.lar.at(e.name);
+        er.lbase = a.storage().data();
+        for (int d = 0; d < rank; ++d) aext.push_back(a.alloc_extent(d));
+        break;
+      }
+    }
+    er.strides.assign(static_cast<size_t>(rank), 1);
+    for (int d = rank - 2; d >= 0; --d)
+      er.strides[static_cast<size_t>(d)] =
+          er.strides[static_cast<size_t>(d + 1)] * aext[static_cast<size_t>(d + 1)];
+    for (int d = 0; d < rank; ++d) {
+      er.lowers.push_back(env_.lower_of(e.name, d));
+      er.extents.push_back(dad.extent(d));
+      er.shifts.push_back(dad.dim(d).overlap_lo);
+      emit(*e.args[static_cast<size_t>(d)], t);
+    }
+    arrays_.insert(e.name);
+    t.elems.push_back(std::move(er));
+    t.ins.push_back(
+        {Op::kElem, static_cast<int>(t.elems.size()) - 1, nullptr, {}});
+  }
+
   const SpmdStmt& s_;
   Env& env_;
   std::vector<int> coords_;
+  bool irregular_ = false;
   std::shared_ptr<ExecPlan> plan_;
   std::vector<std::optional<LocalRange>> lrs_;
   std::vector<const IndexPartition*> ips_;
@@ -681,15 +886,21 @@ Value load_ref(const RefPlan& r, long long off) {
     case RefPlan::Kind::kLogicalDirect:
       return Value::logical(r.lbase[off] != 0);
     case RefPlan::Kind::kRealSlab:
+    case RefPlan::Kind::kRealIterBuf:
       return Value::real(r.buf->dvals[static_cast<size_t>(off)]);
+    case RefPlan::Kind::kIntIterBuf:
+      return Value::integer(r.buf->ivals[static_cast<size_t>(off)]);
     case RefPlan::Kind::kScalarSlot:
       return r.buf->scalar;
   }
   return Value::real(0);
 }
 
-Value eval_tape(const Tape& t, const ExecPlan& p, const Index* varvals,
-                const long long* offs, std::vector<Value>& stack) {
+}  // namespace
+
+Value eval_tape(const Tape& t, const std::vector<RefPlan>& refs,
+                const Index* varvals, const long long* offs,
+                std::vector<Value>& stack) {
   stack.clear();
   for (const Ins& ins : t.ins) {
     switch (ins.op) {
@@ -699,9 +910,34 @@ Value eval_tape(const Tape& t, const ExecPlan& p, const Index* varvals,
         stack.push_back(Value::integer(varvals[ins.a]));
         break;
       case Op::kRef:
-        stack.push_back(load_ref(p.refs[static_cast<size_t>(ins.a)],
+        stack.push_back(load_ref(refs[static_cast<size_t>(ins.a)],
                                  offs[ins.a]));
         break;
+      case Op::kElem: {
+        const ElemRef& er = t.elems[static_cast<size_t>(ins.a)];
+        const size_t rank = er.lowers.size();
+        long long off = 0;
+        for (size_t d = 0; d < rank; ++d) {
+          const long long sub =
+              stack[stack.size() - rank + d].as_i();
+          const long long rel = sub - er.lowers[d];
+          if (rel < 0 || rel >= er.extents[d])
+            throw RtsError(strformat(
+                "subscript %lld of %s is out of range [%lld, %lld] in "
+                "dimension %d",
+                sub, er.array.c_str(), er.lowers[d],
+                er.lowers[d] + er.extents[d] - 1, static_cast<int>(d) + 1));
+          off += (rel + er.shifts[d]) * er.strides[d];
+        }
+        stack.resize(stack.size() - rank);
+        if (er.dbase != nullptr)
+          stack.push_back(Value::real(er.dbase[off]));
+        else if (er.ibase != nullptr)
+          stack.push_back(Value::integer(er.ibase[off]));
+        else
+          stack.push_back(Value::logical(er.lbase[off] != 0));
+        break;
+      }
       case Op::kNeg:
       case Op::kNot:
         stack.back() = un_value(ins.op, stack.back());
@@ -736,8 +972,6 @@ Value eval_tape(const Tape& t, const ExecPlan& p, const Index* varvals,
   }
   return stack.back();
 }
-
-}  // namespace
 
 Index run_exec_plan(const ExecPlan& p, PlanScratch& scratch) {
   if (p.masked_out) return 0;
@@ -788,10 +1022,11 @@ Index run_exec_plan(const ExecPlan& p, PlanScratch& scratch) {
     ++iters;
     bool store = true;
     if (!p.mask.empty())
-      store = eval_tape(p.mask, p, varvals.data(), offs.data(), stack).as_b();
+      store =
+          eval_tape(p.mask, p.refs, varvals.data(), offs.data(), stack).as_b();
     if (store) {
       const Value v =
-          eval_tape(p.rhs, p, varvals.data(), offs.data(), stack);
+          eval_tape(p.rhs, p.refs, varvals.data(), offs.data(), stack);
       const long long off = offs[nr];
       switch (p.lhs.kind) {
         case RefPlan::Kind::kRealDirect: p.lhs.dbase[off] = v.as_d(); break;
@@ -822,6 +1057,10 @@ Index run_exec_plan(const ExecPlan& p, PlanScratch& scratch) {
 
 PlanEntry build_exec_plan(const SpmdStmt& s, Env& env) {
   return Builder(s, env).build();
+}
+
+IrrPlanEntry build_irregular_plan(const SpmdStmt& s, Env& env) {
+  return Builder(s, env, /*irregular=*/true).build_irr();
 }
 
 std::vector<std::string> plan_key_scalars(const SpmdStmt& s, const Env& env) {

@@ -73,6 +73,8 @@ struct RefPlan {
     kLogicalDirect,  ///< ... LOGICAL chunk
     kRealSlab,       ///< multicast/transfer slab, offset into Buf::dvals
     kScalarSlot,     ///< broadcast element in Buf::scalar
+    kRealIterBuf,    ///< gathered value per iteration, Buf::dvals (irregular)
+    kIntIterBuf,     ///< ... Buf::ivals
   };
   Kind kind = Kind::kRealDirect;
   double* dbase = nullptr;
@@ -85,7 +87,7 @@ struct RefPlan {
 
 /// Postfix tape instruction.  Operands live on an explicit Value stack.
 enum class Op : unsigned char {
-  kConst, kScalar, kVar, kRef,
+  kConst, kScalar, kVar, kRef, kElem,
   kNeg, kNot,
   kAdd, kSub, kMul, kDiv, kPow,
   kEq, kNe, kLt, kLe, kGt, kGe, kAnd, kOr,
@@ -93,15 +95,32 @@ enum class Op : unsigned char {
   kToReal, kToInt, kNint,
 };
 
+/// A whole-array element access compiled into a tape (kElem): the rank
+/// subscript values come off the stack and the element is read directly
+/// from storage the executing processor holds in full.  Only fully
+/// replicated arrays qualify — the irregular lhs indirection arrays
+/// (H(BIN(I)): BIN carries no RefInfo because no communication serves it).
+struct ElemRef {
+  std::string array;
+  const double* dbase = nullptr;  ///< exactly one base is set, by type
+  const long long* ibase = nullptr;
+  const unsigned char* lbase = nullptr;
+  std::vector<long long> lowers;   ///< declared lower bound per dimension
+  std::vector<Index> extents;      ///< global extent per dimension
+  std::vector<long long> strides;  ///< row-major allocation stride per dim
+  std::vector<long long> shifts;   ///< overlap_lo allocation shift per dim
+};
+
 struct Ins {
   Op op = Op::kConst;
-  int a = 0;                      ///< kVar: loop level; kRef: ref id; kMin/kMax: argc
+  int a = 0;                      ///< kVar: loop level; kRef: ref id; kElem: elem id; kMin/kMax: argc
   const Value* scalar = nullptr;  ///< kScalar: bound slot in Env::scalars
   Value cst;                      ///< kConst
 };
 
 struct Tape {
   std::vector<Ins> ins;
+  std::vector<ElemRef> elems;  ///< kElem descriptors, addressed by Ins::a
   [[nodiscard]] bool empty() const { return ins.empty(); }
 };
 
@@ -119,6 +138,14 @@ struct Tape {
 [[nodiscard]] bool intrinsic_op_of(const std::string& n, Op& op, int& argc);
 /// Trip count of the inclusive triplet lo:hi:st (st != 0).
 [[nodiscard]] Index trip_count(Index lo, Index hi, Index st);
+
+/// Evaluate a postfix tape against bound references.  `varvals` holds the
+/// current loop-variable values (kVar), `offs` the flat offset of each
+/// reference (kRef, indexed by Ins::a).  Shared by run_exec_plan and the
+/// irregular inspector/executor runners.
+[[nodiscard]] Value eval_tape(const Tape& t, const std::vector<RefPlan>& refs,
+                              const Index* varvals, const long long* offs,
+                              std::vector<Value>& stack);
 
 struct ExecPlan {
   int stmt_id = -1;

@@ -176,15 +176,17 @@ struct AlignDirective {
   SourceLoc loc;
 };
 
-/// C$ DISTRIBUTE T(BLOCK, CYCLIC, CYCLIC(k)) [ONTO P]
-enum class DistSpec { kBlock, kCyclic, kStar };
+/// C$ DISTRIBUTE T(BLOCK, CYCLIC, CYCLIC(k), INDIRECT(map)) [ONTO P]
+enum class DistSpec { kBlock, kCyclic, kIndirect, kStar };
 
 /// One dimension of a DISTRIBUTE directive: the distribution kind plus the
 /// optional CYCLIC(k) block-size expression (null means k = 1, i.e. the
-/// element-wise round-robin CYCLIC; constant-folded by sema).
+/// element-wise round-robin CYCLIC; constant-folded by sema) or the
+/// INDIRECT(map) mapping-array name.
 struct DistDim {
   DistSpec kind = DistSpec::kStar;
   ExprPtr block;
+  std::string map;  ///< INDIRECT: integer map array naming each cell's owner
 };
 
 struct DistributeDirective {

@@ -307,8 +307,17 @@ class Parser {
             dim.block = parse_expr();
             expect(TokKind::kRParen, ")");
           }
+        } else if (kw == "INDIRECT") {
+          // INDIRECT(map): value-based mapping through a replicated integer
+          // array; map(t) names the owning processor of template cell t.
+          dim.kind = DistSpec::kIndirect;
+          expect(TokKind::kLParen, "(");
+          dim.map = expect_ident();
+          expect(TokKind::kRParen, ")");
         } else {
-          throw ParseError(loc, "expected BLOCK, CYCLIC, CYCLIC(k) or *");
+          throw ParseError(loc,
+                           "expected BLOCK, CYCLIC, CYCLIC(k), INDIRECT(map) "
+                           "or *");
         }
       }
       d.specs.push_back(std::move(dim));

@@ -162,11 +162,14 @@ class Analyzer {
   }
 
   /// Fold the DISTRIBUTE dimension specs: evaluate CYCLIC(k) block sizes
-  /// (PARAMETERs allowed) and validate them.
-  std::vector<DistInfo> analyze_dist_specs(const DistributeDirective& d) {
+  /// (PARAMETERs allowed) and validate them; check INDIRECT map arrays
+  /// against the template extents.
+  std::vector<DistInfo> analyze_dist_specs(
+      const DistributeDirective& d, const std::vector<long long>& extents) {
     std::vector<DistInfo> out;
     out.reserve(d.specs.size());
-    for (const DistDim& dim : d.specs) {
+    for (size_t i = 0; i < d.specs.size(); ++i) {
+      const DistDim& dim = d.specs[i];
       DistInfo info;
       info.kind = dim.kind;
       if (dim.block) {
@@ -174,6 +177,24 @@ class Analyzer {
         if (info.block < 1)
           throw SemaError(d.loc, "CYCLIC block size must be >= 1 in "
                                  "DISTRIBUTE of " + d.templ);
+      }
+      if (dim.kind == DistSpec::kIndirect) {
+        auto mit = syms_.find(dim.map);
+        if (mit == syms_.end())
+          throw SemaError(d.loc, "INDIRECT map " + dim.map +
+                                 " is not declared (DISTRIBUTE of " +
+                                 d.templ + ")");
+        const Symbol& m = mit->second;
+        if (m.type != BaseType::kInteger || m.rank() != 1)
+          throw SemaError(d.loc, "INDIRECT map " + dim.map +
+                                 " must be a rank-1 INTEGER array");
+        if (i < extents.size() && m.extent[0] != extents[i])
+          throw SemaError(d.loc, "INDIRECT map " + dim.map + " has extent " +
+                                 std::to_string(m.extent[0]) +
+                                 " but dimension " + std::to_string(i + 1) +
+                                 " of " + d.templ + " has extent " +
+                                 std::to_string(extents[i]));
+        info.map = dim.map;
       }
       out.push_back(info);
     }
@@ -187,7 +208,7 @@ class Analyzer {
         TemplateInfo& t = it->second;
         if (d.specs.size() != t.extents.size())
           throw SemaError(d.loc, "DISTRIBUTE rank mismatch for " + d.templ);
-        t.dist = analyze_dist_specs(d);
+        t.dist = analyze_dist_specs(d, t.extents);
         t.distributed = true;
         continue;
       }
@@ -203,7 +224,7 @@ class Analyzer {
       TemplateInfo info;
       info.name = d.templ;
       info.extents = s.extent;
-      info.dist = analyze_dist_specs(d);
+      info.dist = analyze_dist_specs(d, info.extents);
       info.distributed = true;
       templates_.emplace(d.templ, std::move(info));
     }

@@ -29,10 +29,12 @@ struct Symbol {
 };
 
 /// One analyzed DISTRIBUTE dimension: the kind plus the constant-folded
-/// CYCLIC(k) block size (1 for plain CYCLIC; unused for BLOCK and '*').
+/// CYCLIC(k) block size (1 for plain CYCLIC; unused for BLOCK and '*') or
+/// the validated INDIRECT map-array name.
 struct DistInfo {
   ast::DistSpec kind = ast::DistSpec::kStar;
   long long block = 1;
+  std::string map;  ///< INDIRECT: rank-1 INTEGER array, extent == template dim
 };
 
 struct TemplateInfo {

@@ -10,6 +10,7 @@
 #include "comm/grid_comm.hpp"
 #include "exec/exec_env.hpp"
 #include "exec/exec_plan.hpp"
+#include "exec/irregular_plan.hpp"
 #include "native/jit.hpp"
 #include "native/native_exec.hpp"
 #include "parti/schedule.hpp"
@@ -67,6 +68,24 @@ struct Shared {
 
 using exec::trip_count;
 
+/// INDIRECT map arrays resolve their ownership tables from the same
+/// initializers that will later fill the (replicated) map array itself, so
+/// the table and the visible array contents agree on every processor.
+exec::MapResolver map_resolver(const Init& init) {
+  return [&init](const std::string& name, Index n) {
+    std::vector<long long> out;
+    auto f = init.ints.find(name);
+    if (f == init.ints.end()) return out;
+    out.reserve(static_cast<size_t>(n));
+    std::vector<Index> g(1);
+    for (Index t = 0; t < n; ++t) {
+      g[0] = t;
+      out.push_back(f->second(g));
+    }
+    return out;
+  };
+}
+
 // --- node program -------------------------------------------------------------
 // The node program is a thin driver over the exec layer: every FORALL is
 // first offered to the execution planner (exec/exec_plan.hpp) whose cached
@@ -84,7 +103,7 @@ class Node {
         init_(init),
         opt_(opt),
         shared_(shared),
-        env_(c, gc_) {
+        env_(c, gc_, map_resolver(init)) {
     cache_.set_enabled(opt_.schedule_cache);
     apply_init();
   }
@@ -263,9 +282,12 @@ class Node {
     }
     r.count = lr.count();
     const rts::DimMap& m = dad.dim(dim);
-    const bool block_cyclic =
-        m.kind == DistKind::kCyclic && m.block > 1;
-    if (lr.enumerated() || block_cyclic) {
+    // INDIRECT joins block-cyclic here: local-to-global is not affine, so
+    // uniform local triplets must be mapped through mu^-1 element by element.
+    const bool nonaffine_local =
+        (m.kind == DistKind::kCyclic && m.block > 1) ||
+        m.kind == DistKind::kIndirect;
+    if (lr.enumerated() || nonaffine_local) {
       r.values.reserve(static_cast<size_t>(r.count));
       if (lr.enumerated()) {
         for (Index l : lr.indices)
@@ -497,9 +519,80 @@ class Node {
     return true;
   }
 
+  /// Planned PARTI inspector/executor: schedule-bearing foralls the
+  /// regular planner declines.  The plan replays the local iteration
+  /// space through compiled subscript tapes; the needs enumeration (the
+  /// inspector) only runs when the shared ScheduleCache misses, so
+  /// steady-state DO trips skip the subscript walk entirely.  Schedules,
+  /// gathers and scatters go through the exact same machinery as the
+  /// tree walk — same keys, same messages, same simulated cost.
+  bool try_irregular_forall(const SpmdStmt& s) {
+    if (opt_.skeleton || !opt_.exec_plans) return false;
+    if (s.stmt_id < 0) return false;
+    if (irr_plans_.declined_structurally(s.stmt_id)) return false;
+    const std::vector<std::string>& key_names = irr_plans_.key_scalars(
+        s.stmt_id, [&] { return exec::plan_key_scalars(s, env_); });
+    const exec::IrrPlanEntry& entry = irr_plans_.get_or_build(
+        s.stmt_id, exec::irregular_plan_key(s, env_, key_names),
+        [&] { return exec::build_irregular_plan(s, env_); });
+    if (!entry.plan) return false;
+    const exec::IrregularPlan& plan = *entry.plan;
+
+    // Non-schedule pre actions (ghost fills, broadcasts, slabs) run
+    // through the tree walk's machinery in the tree walk's order: they
+    // sort ahead of the schedule class, preserving source order among
+    // themselves.
+    for (const CommAction& a : s.pre)
+      if (!a.eliminated && a.kind != CommKind::kGather) run_action(s, a, {});
+    // Gathers in descending ref-id order (inner indirections first); the
+    // inspector closure fires only on a schedule-cache miss.
+    for (const exec::IrrRead& rd : plan.reads) {
+      gather_via_schedule(s, *rd.action,
+                          s.refs[static_cast<size_t>(rd.ref_id)],
+                          [&](std::vector<Index>& needs) {
+                            exec::run_irregular_needs(plan, rd, plan_scratch_,
+                                                      needs);
+                          });
+    }
+    Index iters = 0;
+    std::vector<double> values;
+    std::vector<Index> dest_ids;
+    if (plan.lhs_buffered)
+      iters = exec::run_irregular_scatter(plan, plan_scratch_, values,
+                                          dest_ids);
+    else
+      iters = exec::run_exec_plan(plan.core, plan_scratch_);
+    proc_.charge_flops(static_cast<double>(iters) * s.flops_per_iter);
+    proc_.charge_int_ops(static_cast<double>(iters) * 4.0);
+    run_post_actions(s, values, dest_ids);
+    return true;
+  }
+
+  /// Collective zero-trip test: FORALL bounds are replicated scalar
+  /// expressions, so every processor computes the same answer.  A
+  /// zero-trip statement has nothing to inspect — the paper's
+  /// inspector/executor (and our planned paths) must not build empty
+  /// schedules or exchange empty slabs for it.
+  bool globally_zero_trip(const SpmdStmt& s) {
+    for (const IndexPartition& ip : s.indices) {
+      const Index lo = eval(*ip.lo).as_i();
+      const Index hi = eval(*ip.hi).as_i();
+      const Index st = ip.st ? eval(*ip.st).as_i() : 1;
+      if (st != 0 && exec::trip_count(lo, hi, st) == 0) return true;
+    }
+    return false;
+  }
+
   void exec_forall(const SpmdStmt& s) {
     bind_refs(s);
+    // The destination's contents are about to change: advance its write
+    // version so schedule keys derived from it (when it doubles as an
+    // indirection array) go stale.  Bumped before key construction and on
+    // every processor alike, so cached lookups stay collective.
+    if (!s.refs.empty()) env_.bump_version(s.refs[0].array);
+    if (globally_zero_trip(s)) return;
     if (try_planned_forall(s)) return;
+    if (try_irregular_forall(s)) return;
 
     auto my_ranges = ranges_for_coords(s, gc_.my_coords());
 
@@ -584,8 +677,18 @@ class Node {
   Index flat_global_of(const std::string& name, std::span<const Index> g) {
     const Dad& dad = env_.dads.at(name);
     Index flat = 0;
-    for (int d = 0; d < dad.rank(); ++d)
-      flat = flat * dad.extent(d) + g[static_cast<size_t>(d)];
+    for (int d = 0; d < dad.rank(); ++d) {
+      const Index gd = g[static_cast<size_t>(d)];
+      if (gd < 0 || gd >= dad.extent(d)) {
+        const long long lo = env_.lower_of(name, d);
+        throw RtsError(strformat(
+            "subscript %lld of %s is out of range [%lld, %lld] in dimension "
+            "%d",
+            static_cast<long long>(gd) + lo, name.c_str(), lo,
+            lo + static_cast<long long>(dad.extent(d)) - 1, d + 1));
+      }
+      flat = flat * dad.extent(d) + gd;
+    }
     return flat;
   }
 
@@ -773,23 +876,36 @@ class Node {
     var_state_.erase(vars[k]);
   }
 
-  /// Schedule-based read buffers (precomp_read / temporary_shift / gather).
+  /// Schedule-based read buffers (precomp_read / temporary_shift / gather),
+  /// tree-walk entry: needs enumerate by subscript-tree evaluation over
+  /// the guarded iteration ranges.
   void run_read_buffer_action(
       const SpmdStmt& s, const CommAction& a, const RefInfo& ref,
       const std::optional<std::vector<VarRange>>& my_ranges) {
-    const Dad& dad = env_.dads.at(ref.array);
-    // My needs, in iteration order.
-    std::vector<Index> needs;
-    if (my_ranges) {
+    gather_via_schedule(s, a, ref, [&](std::vector<Index>& needs) {
+      if (!my_ranges) return;
       iterate(s, *my_ranges, [&]() {
         eval_subs(*ref.expr, gidx_scratch_);
         needs.push_back(flat_global_of(ref.array, gidx_scratch_));
       });
-    }
+    });
+  }
 
+  /// Build (or hit) the schedule for one read action and run the gather
+  /// into the action's buffer.  `my_needs_fn` supplies this processor's
+  /// needs in iteration order; it is only invoked on a cache miss — the
+  /// inspector/executor split both execution paths share.
+  void gather_via_schedule(
+      const SpmdStmt& s, const CommAction& a, const RefInfo& ref,
+      const std::function<void(std::vector<Index>&)>& my_needs_fn) {
+    const Dad& dad = env_.dads.at(ref.array);
     parti::SchedulePtr sched;
     const std::string key = runtime_key(s, a);
     auto build = [&]() -> parti::SchedulePtr {
+      ++schedules_built_;
+      // My needs, in iteration order (the inspector).
+      std::vector<Index> needs;
+      my_needs_fn(needs);
       if (a.kind == CommKind::kGather) return parti::schedule2(gc_, dad, needs);
       // schedule1: compute any peer's needs locally.
       auto needs_of_peer = [&](int q, std::vector<Index>& out) {
@@ -804,20 +920,57 @@ class Node {
       return parti::schedule1_read(gc_, dad, needs, needs_of_peer);
     };
     if (!key.empty() && opt_.schedule_cache) {
-      sched = cache_.get_or_build(key, build);
+      std::vector<std::string> deps = schedule_dep_arrays(s, a);
+      deps.push_back(ref.array);
+      sched = cache_.get_or_build(key, deps, build);
     } else {
       sched = build();
     }
 
     Buf& b = env_.bufs[static_cast<size_t>(a.buffer_id)];
     const Symbol& sm = env_.sym(ref.array);
-    if (sm.type == ast::BaseType::kInteger)
+    if (sm.type == ast::BaseType::kInteger) {
       b.ivals = parti::execute_read(gc_, *sched, env_.iar.at(ref.array));
-    else
+      gather_bytes_ +=
+          sched->remote_read_bytes(gc_.my_logical(), sizeof(long long));
+    } else {
       b.dvals = parti::execute_read(gc_, *sched, env_.dar.at(ref.array));
+      gather_bytes_ +=
+          sched->remote_read_bytes(gc_.my_logical(), sizeof(double));
+    }
   }
 
-  /// Runtime schedule key: static key + evaluated scalars it references.
+  /// Arrays whose *values* feed the needs/destination computation of a
+  /// schedule action: indirection arrays appearing in the reference's
+  /// subscripts or the statement's bounds.  These are the schedule's data
+  /// dependencies — the send/receive lists go stale when their contents
+  /// change, even though the DAD signature does not.
+  std::vector<std::string> schedule_dep_arrays(const SpmdStmt& s,
+                                               const CommAction& a) {
+    std::set<std::string> deps;
+    auto walk = [&](const Expr& e, auto&& self) -> void {
+      if (e.kind == ExprKind::kArrayRef && c_.sema.symbols.count(e.name) &&
+          c_.sema.symbols.at(e.name).is_array())
+        deps.insert(e.name);
+      for (const ExprPtr& x : e.args)
+        if (x) self(*x, self);
+    };
+    for (const IndexPartition& ip : s.indices) {
+      walk(*ip.lo, walk);
+      walk(*ip.hi, walk);
+      if (ip.st) walk(*ip.st, walk);
+    }
+    const RefInfo& ref = s.refs[static_cast<size_t>(a.ref_id)];
+    for (const ExprPtr& x : ref.expr->args)
+      if (x) walk(*x, walk);
+    return {deps.begin(), deps.end()};
+  }
+
+  /// Runtime schedule key: static key + evaluated scalars it references +
+  /// the write-versions of every indirection array the needs computation
+  /// reads (a write to U between trips of `A(U(I))` must rebuild — the
+  /// versions are bumped identically on every processor, so the rebuild
+  /// stays collective).
   std::string runtime_key(const SpmdStmt& s, const CommAction& a) {
     if (a.sched_key.empty()) return {};
     std::ostringstream os;
@@ -840,6 +993,8 @@ class Node {
       if (x) walk(*x, walk);
     for (const std::string& nm : names)
       os << nm << "=" << env_.scalars.at(nm).as_i() << ";";
+    for (const std::string& nm : schedule_dep_arrays(s, a))
+      os << "v:" << nm << "=" << env_.version(nm) << ";";
     return os.str();
   }
 
@@ -903,6 +1058,7 @@ class Node {
           parti::SchedulePtr sched;
           const std::string key = runtime_key(s, a);
           auto build = [&]() -> parti::SchedulePtr {
+            ++schedules_built_;
             if (a.kind == CommKind::kScatter)
               return parti::schedule3(gc_, dad, dest_ids);
             auto dests_of_peer = [&](int q, std::vector<Index>& out) {
@@ -916,10 +1072,13 @@ class Node {
             };
             return parti::schedule1_write(gc_, dad, dest_ids, dests_of_peer);
           };
-          if (!key.empty() && opt_.schedule_cache)
-            sched = cache_.get_or_build(key, build);
-          else
+          if (!key.empty() && opt_.schedule_cache) {
+            std::vector<std::string> deps = schedule_dep_arrays(s, a);
+            deps.push_back(lhs.array);
+            sched = cache_.get_or_build(key, deps, build);
+          } else {
             sched = build();
+          }
           const Symbol& sm = env_.sym(lhs.array);
           if (sm.type == ast::BaseType::kInteger) {
             std::vector<long long> iv(values.size());
@@ -927,9 +1086,13 @@ class Node {
               iv[k] = static_cast<long long>(values[k]);
             parti::execute_write(gc_, *sched, env_.iar.at(lhs.array),
                                  std::span<const long long>(iv));
+            scatter_bytes_ +=
+                sched->remote_write_bytes(gc_.my_logical(), sizeof(long long));
           } else {
             parti::execute_write(gc_, *sched, env_.dar.at(lhs.array),
                                  std::span<const double>(values));
+            scatter_bytes_ +=
+                sched->remote_write_bytes(gc_.my_logical(), sizeof(double));
           }
           break;
         }
@@ -1127,18 +1290,30 @@ class Node {
     }
     // Redistribution/remap contract (docs/EXECUTION.md): any operation
     // that may replace an array's descriptor or storage invalidates the
-    // plans bound to it.
+    // plans bound to it — and the PARTI schedules whose send/receive lists
+    // were derived from it, whether as the data array or as an indirection
+    // array feeding another statement's subscripts.
     plans_.invalidate_array(s.dest_array);
+    irr_plans_.invalidate_array(s.dest_array);
     native_.invalidate_array(s.dest_array);
+    cache_.invalidate_array(s.dest_array);
+    env_.bump_version(s.dest_array);
   }
 
   // --- result collection -----------------------------------------------------
   void store_cache_stats() {
     shared_.result.schedule_hits = cache_.hits();
     shared_.result.schedule_misses = cache_.misses();
+    shared_.result.schedule_invalidations = cache_.invalidations();
+    shared_.result.schedules_built = schedules_built_;
+    shared_.result.gather_bytes = gather_bytes_;
+    shared_.result.scatter_bytes = scatter_bytes_;
     shared_.result.plan_hits = plans_.hits();
     shared_.result.plan_misses = plans_.misses();
     shared_.result.plan_invalidations = plans_.invalidations();
+    shared_.result.irregular_hits = irr_plans_.hits();
+    shared_.result.irregular_misses = irr_plans_.misses();
+    shared_.result.irregular_invalidations = irr_plans_.invalidations();
     const native::NodeStats& ns = native_.stats();
     shared_.result.native_runs = ns.runs;
     shared_.result.native_attaches = ns.attaches;
@@ -1188,12 +1363,16 @@ class Node {
 
   exec::Env env_;
   exec::PlanCache plans_;
+  exec::IrregularPlanCache irr_plans_;
   exec::PlanScratch plan_scratch_;
   native::NativeExec native_;
   parti::ScheduleCache cache_;
 
   std::map<std::string, Index> frame_;
   std::map<std::string, VarState> var_state_;
+  long long schedules_built_ = 0;
+  long long gather_bytes_ = 0;
+  long long scatter_bytes_ = 0;
   Index flat_iter_ = 0;
   std::map<const Expr*, const RefInfo*> ref_of_;
   std::vector<Index> gidx_scratch_;

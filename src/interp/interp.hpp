@@ -57,6 +57,19 @@ struct ProgramResult {
   std::vector<std::string> printed;
   int schedule_hits = 0;
   int schedule_misses = 0;
+  int schedule_invalidations = 0;
+  /// Inspector/executor observability (processor 0's node counters):
+  /// schedules actually built by an inspector (= misses plus uncached
+  /// builds) and remote payload bytes moved by the read (gather) and write
+  /// (scatter) executors, self-copies excluded.
+  long long schedules_built = 0;
+  long long gather_bytes = 0;
+  long long scatter_bytes = 0;
+  /// Irregular-plan cache statistics (processor 0): planned-inspector
+  /// reuse across DO trips.
+  int irregular_hits = 0;
+  int irregular_misses = 0;
+  int irregular_invalidations = 0;
   /// Execution-plan cache statistics (processor 0's cache; the caches are
   /// per-processor but see the same statement sequence).
   int plan_hits = 0;

@@ -16,16 +16,20 @@ DistKind to_kind(ast::DistSpec s) {
   switch (s) {
     case ast::DistSpec::kBlock: return DistKind::kBlock;
     case ast::DistSpec::kCyclic: return DistKind::kCyclic;
+    case ast::DistSpec::kIndirect: return DistKind::kIndirect;
     case ast::DistSpec::kStar: return DistKind::kCollapsed;
   }
   return DistKind::kCollapsed;
 }
 
 /// Stage-2 portion of a DimMap from one analyzed DISTRIBUTE dimension:
-/// kind plus the CYCLIC(k) block size the runtime algebra needs.
+/// kind plus the CYCLIC(k) block size the runtime algebra needs, or the
+/// INDIRECT map-array name (the ownership table itself is resolved by the
+/// execution environment once initial values are known).
 void apply_dist(rts::DimMap& m, const frontend::DistInfo& info) {
   m.kind = to_kind(info.kind);
   if (m.kind == DistKind::kCyclic) m.block = info.block;
+  if (m.kind == DistKind::kIndirect) m.map_name = info.map;
 }
 
 }  // namespace
@@ -124,6 +128,13 @@ MappingTable build_mapping(const SemaResult& sema,
         if (t_first < 0 || t_last >= m.template_extent)
           throw SemaError(a.loc, "ALIGN image of " + name +
                                      " exceeds template " + a.templ);
+        // Value-based ownership has no affine local/global algebra, so the
+        // array index space must coincide with the template's.
+        if (m.kind == DistKind::kIndirect &&
+            (m.align_stride != 1 || m.align_offset != 0))
+          throw SemaError(a.loc, "ALIGN of " + name + " with INDIRECT "
+                                     "template " + a.templ +
+                                     " must be the identity alignment");
       }
       // Collapsed dims not mentioned in the align keep whole extents.
       for (size_t d = 0; d < dims.size(); ++d) {

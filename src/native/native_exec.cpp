@@ -98,6 +98,12 @@ NativeExec::Attached& NativeExec::attach(const exec::PlanPtr& plan) {
         at.slabs.emplace_back(r, rp.buf);
         break;
       case RefPlan::Kind::kScalarSlot: break;  // value travels via ds/is/ls
+      case RefPlan::Kind::kRealIterBuf:
+      case RefPlan::Kind::kIntIterBuf:
+        // Unreachable: the Lowerer declines irregular iteration buffers,
+        // so such plans never compile, and attach only follows a compile.
+        at.base[r] = nullptr;
+        break;
     }
     at.rb[r] = rp.base;
     for (size_t k = 0; k < nv; ++k) {

@@ -55,6 +55,27 @@ struct Schedule {
 
   /// Number of messages the inspector itself exchanged (0 for schedule1).
   int inspector_messages = 0;
+
+  /// Payload bytes the read executor moves between *distinct* processors on
+  /// behalf of processor `me` (elements received from remote peers;
+  /// self-copies excluded).  Feeds the --stats gather-byte counter.
+  [[nodiscard]] long long remote_read_bytes(int me,
+                                            std::size_t elem_size) const {
+    long long n = 0;
+    for (int q = 0; q < nprocs; ++q)
+      if (q != me) n += static_cast<long long>(slot_of[static_cast<size_t>(q)].size());
+    return n * static_cast<long long>(elem_size);
+  }
+  /// Same for the write executor (elements received for placement from
+  /// remote peers).
+  [[nodiscard]] long long remote_write_bytes(int me,
+                                             std::size_t elem_size) const {
+    long long n = 0;
+    for (int q = 0; q < nprocs; ++q)
+      if (q != me)
+        n += static_cast<long long>(place_gidx[static_cast<size_t>(q)].size());
+    return n * static_cast<long long>(elem_size);
+  }
 };
 
 using SchedulePtr = std::shared_ptr<const Schedule>;
@@ -97,10 +118,15 @@ std::vector<T> execute_read(comm::GridComm& gc, const Schedule& sched,
 
 /// Executor, write side: ships values[k] (my iteration order) to the owners
 /// of the destination elements recorded in the schedule.  `combine` merges
-/// into the array (overwrite by default).  Used by postcomp_write, scatter.
+/// each arriving value into the current element (overwrite when absent) —
+/// pass e.g. a sum to give duplicate destination ids accumulate semantics;
+/// arriving values are applied in a fixed processor order (self, then peers
+/// ascending by ring distance), so the result is machine-independent.
+/// Used by postcomp_write, scatter.
 template <typename T>
 void execute_write(comm::GridComm& gc, const Schedule& sched,
-                   rts::DistArray<T>& dest, std::span<const T> values);
+                   rts::DistArray<T>& dest, std::span<const T> values,
+                   const std::function<T(const T&, const T&)>& combine = {});
 
 /// Paper-named wrappers.
 template <typename T>
@@ -173,7 +199,8 @@ std::vector<T> execute_read(comm::GridComm& gc, const Schedule& sched,
 
 template <typename T>
 void execute_write(comm::GridComm& gc, const Schedule& sched,
-                   rts::DistArray<T>& dest, std::span<const T> values) {
+                   rts::DistArray<T>& dest, std::span<const T> values,
+                   const std::function<T(const T&, const T&)>& combine) {
   const int p = gc.nprocs();
   const int me = gc.my_logical();
   require(sched.nprocs == p, "schedule built for this machine size");
@@ -181,7 +208,8 @@ void execute_write(comm::GridComm& gc, const Schedule& sched,
 
   auto place = [&](Index flat, const T& v) {
     rts::unflatten_global(dest.dad(), flat, g);
-    dest.at_global(g) = v;
+    T& slot = dest.at_global(g);
+    slot = combine ? combine(slot, v) : v;
   };
 
   {

@@ -1,9 +1,17 @@
 #include "parti/schedule_cache.hpp"
 
+#include <algorithm>
+
 namespace f90d::parti {
 
 SchedulePtr ScheduleCache::get_or_build(
     const std::string& key, const std::function<SchedulePtr()>& build) {
+  return get_or_build(key, {}, build);
+}
+
+SchedulePtr ScheduleCache::get_or_build(
+    const std::string& key, const std::vector<std::string>& deps,
+    const std::function<SchedulePtr()>& build) {
   if (!enabled_) {
     ++misses_;
     return build();
@@ -16,12 +24,27 @@ SchedulePtr ScheduleCache::get_or_build(
   ++misses_;
   SchedulePtr s = build();
   map_.emplace(key, s);
+  if (!deps.empty()) deps_.emplace(key, deps);
   return s;
+}
+
+void ScheduleCache::invalidate_array(const std::string& name) {
+  for (auto it = deps_.begin(); it != deps_.end();) {
+    const auto& dl = it->second;
+    if (std::find(dl.begin(), dl.end(), name) != dl.end()) {
+      map_.erase(it->first);
+      it = deps_.erase(it);
+      ++invalidations_;
+    } else {
+      ++it;
+    }
+  }
 }
 
 void ScheduleCache::clear() {
   map_.clear();
-  hits_ = misses_ = 0;
+  deps_.clear();
+  hits_ = misses_ = invalidations_ = 0;
 }
 
 }  // namespace f90d::parti

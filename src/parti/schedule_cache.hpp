@@ -14,6 +14,7 @@
 #include <functional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "parti/schedule.hpp"
 
@@ -25,8 +26,23 @@ class ScheduleCache {
   SchedulePtr get_or_build(const std::string& key,
                            const std::function<SchedulePtr()>& build);
 
+  /// Same, registering the arrays this schedule's send/receive lists were
+  /// derived from (the data array plus every indirection array read while
+  /// computing needs).  A later invalidate_array() of any of them drops the
+  /// entry — the redistribute/remap half of the invalidation contract; value
+  /// changes to indirection arrays are instead caught by the version
+  /// counters embedded in the runtime key.
+  SchedulePtr get_or_build(const std::string& key,
+                           const std::vector<std::string>& deps,
+                           const std::function<SchedulePtr()>& build);
+
+  /// Drop every schedule whose dependency set contains `name` (called on
+  /// redistribute/remap and whole-array intrinsic writes).
+  void invalidate_array(const std::string& name);
+
   [[nodiscard]] int hits() const { return hits_; }
   [[nodiscard]] int misses() const { return misses_; }
+  [[nodiscard]] int invalidations() const { return invalidations_; }
   [[nodiscard]] std::size_t size() const { return map_.size(); }
   void clear();
 
@@ -36,8 +52,12 @@ class ScheduleCache {
 
  private:
   std::unordered_map<std::string, SchedulePtr> map_;
+  /// Per-key dependency sets (only keys registered through the deps
+  /// overload appear; legacy entries have no tracked dependencies).
+  std::unordered_map<std::string, std::vector<std::string>> deps_;
   int hits_ = 0;
   int misses_ = 0;
+  int invalidations_ = 0;
   bool enabled_ = true;
 };
 

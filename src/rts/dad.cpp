@@ -10,8 +10,33 @@ const char* to_string(DistKind k) {
     case DistKind::kBlock: return "BLOCK";
     case DistKind::kCyclic: return "CYCLIC";
     case DistKind::kCollapsed: return "*";
+    case DistKind::kIndirect: return "INDIRECT";
   }
   return "?";
+}
+
+std::shared_ptr<const IndirectTable> IndirectTable::build(
+    std::vector<int> owners, int nprocs, const std::string& what) {
+  auto tab = std::make_shared<IndirectTable>();
+  tab->owner = std::move(owners);
+  tab->local_index.resize(tab->owner.size());
+  tab->cells.resize(static_cast<size_t>(nprocs));
+  unsigned long long h = 1469598103934665603ull;  // FNV-1a
+  for (size_t t = 0; t < tab->owner.size(); ++t) {
+    const int c = tab->owner[t];
+    if (c < 0 || c >= nprocs)
+      throw RtsError("INDIRECT map value out of range in " + what + ": cell " +
+                     std::to_string(t + 1) + " names processor " +
+                     std::to_string(c + 1) + " but the grid dimension has " +
+                     std::to_string(nprocs) + " processors");
+    auto& owned = tab->cells[static_cast<size_t>(c)];
+    tab->local_index[t] = static_cast<Index>(owned.size());
+    owned.push_back(static_cast<Index>(t));
+    h = (h ^ static_cast<unsigned long long>(c)) * 1099511628211ull;
+  }
+  h = (h ^ tab->owner.size()) * 1099511628211ull;
+  tab->hash = h;
+  return tab;
 }
 
 namespace {
@@ -56,6 +81,11 @@ Dad::Dad(std::vector<Index> extents, std::vector<DimMap> dims,
                 "cyclic distribution requires unit alignment stride");
         require(m.block >= 1, "CYCLIC(k) block size positive");
       }
+      if (m.kind == DistKind::kIndirect) {
+        require(m.align_stride == 1 && m.align_offset == 0,
+                "INDIRECT distribution requires identity alignment");
+        require(!m.map_name.empty(), "INDIRECT distribution names a map array");
+      }
       used[static_cast<size_t>(m.grid_dim)] = true;
     }
   }
@@ -86,6 +116,10 @@ int Dad::owner_coord(int d, Index g) const {
   if (m.kind == DistKind::kCollapsed) return 0;
   const Index t = m.align_stride * g + m.align_offset;
   require(t >= 0 && t < m.template_extent, "aligned index within template");
+  if (m.kind == DistKind::kIndirect) {
+    require(m.table != nullptr, "INDIRECT map table resolved before use");
+    return m.table->owner[static_cast<size_t>(t)];
+  }
   if (m.kind == DistKind::kBlock) return static_cast<int>(t / block_chunk(d));
   // CYCLIC(k): blocks of k cells dealt round-robin (k == 1: t mod P).
   return static_cast<int>((t / m.block) % grid_.extent(m.grid_dim));
@@ -95,6 +129,10 @@ Index Dad::local_of_global(int d, Index g) const {
   const DimMap& m = dim(d);
   if (m.kind == DistKind::kCollapsed) return g;
   const Index t = m.align_stride * g + m.align_offset;
+  if (m.kind == DistKind::kIndirect) {
+    require(m.table != nullptr, "INDIRECT map table resolved before use");
+    return m.table->local_index[static_cast<size_t>(t)];
+  }
   if (m.kind == DistKind::kBlock) {
     const Index chunk = block_chunk(d);
     const Index t_start = (t / chunk) * chunk;  // first template cell in block
@@ -126,6 +164,13 @@ Index Dad::local_of_global(int d, Index g) const {
 Index Dad::global_of_local(int d, Index l, int coord) const {
   const DimMap& m = dim(d);
   if (m.kind == DistKind::kCollapsed) return l;
+  if (m.kind == DistKind::kIndirect) {
+    require(m.table != nullptr, "INDIRECT map table resolved before use");
+    const auto& owned = m.table->cells[static_cast<size_t>(coord)];
+    require(l >= 0 && l < static_cast<Index>(owned.size()),
+            "INDIRECT local index within owned cells");
+    return owned[static_cast<size_t>(l)];
+  }
   const Index a = m.align_stride, b = m.align_offset;
   if (m.kind == DistKind::kBlock) {
     const Index chunk = block_chunk(d);
@@ -159,6 +204,10 @@ Index Dad::local_extent(int d, int coord) const {
   // Count global indices g in [0, extent) owned by `coord`.
   const Index n = extent(d);
   if (n == 0) return 0;
+  if (m.kind == DistKind::kIndirect) {
+    require(m.table != nullptr, "INDIRECT map table resolved before use");
+    return static_cast<Index>(m.table->cells[static_cast<size_t>(coord)].size());
+  }
   if (m.kind == DistKind::kBlock) {
     // Owned template range [lo, hi].
     const Index chunk = block_chunk(d);
@@ -214,6 +263,15 @@ bool Dad::same_mapping(const Dad& other) const {
         a.align_stride != b.align_stride || a.align_offset != b.align_offset)
       return false;
     if (a.kind == DistKind::kCyclic && a.block != b.block) return false;
+    if (a.kind == DistKind::kIndirect) {
+      // Same mapping iff the resolved ownership tables agree (same table or
+      // equal content hash); fall back to map-name identity pre-resolution.
+      if (a.table && b.table) {
+        if (a.table != b.table && a.table->hash != b.table->hash) return false;
+      } else if (a.map_name != b.map_name) {
+        return false;
+      }
+    }
   }
   return true;
 }
@@ -225,6 +283,11 @@ std::string Dad::signature() const {
     const DimMap& m = dim(d);
     os << extent(d) << ":" << to_string(m.kind);
     if (m.kind == DistKind::kCyclic && m.block > 1) os << "(" << m.block << ")";
+    if (m.kind == DistKind::kIndirect) {
+      os << "(" << m.map_name;
+      if (m.table) os << "#" << std::hex << m.table->hash << std::dec;
+      os << ")";
+    }
     os << ":" << m.grid_dim << ":" << m.template_extent << ":"
        << m.align_stride << ":" << m.align_offset
        << (d + 1 < rank() ? "," : "");

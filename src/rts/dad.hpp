@@ -15,6 +15,8 @@
 // All run-time indices here are 0-based; the front end converts from
 // Fortran's declared bounds, and the emitted Fortran77+MP listing converts
 // back for readability.
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "comm/proc_grid.hpp"
@@ -29,6 +31,25 @@ enum class DistKind {
   kCyclic,     ///< block-cyclic: blocks of `block` cells dealt round-robin;
                ///< block == 1 is the paper's plain CYCLIC distribution
   kCollapsed,  ///< dimension not distributed ('*'): whole extent everywhere
+  kIndirect,   ///< user-supplied map array: cell t lives on coord map(t)
+};
+
+/// Resolved INDIRECT(map) mapping for one dimension: the value-based
+/// distribution of PARTI/CHAOS, where a replicated integer map array names
+/// the owning grid coordinate of every template cell.  Built once per run
+/// (the map array's initializer is read before distributed allocation) and
+/// shared by every processor, so all derived schedule keys agree.
+struct IndirectTable {
+  std::vector<int> owner;          ///< template cell -> owning grid coordinate
+  std::vector<Index> local_index;  ///< template cell -> rank among owner's cells
+  std::vector<std::vector<Index>> cells;  ///< coord -> owned cells, ascending
+  unsigned long long hash = 0;     ///< FNV-1a over `owner` (schedule keys)
+
+  /// Build from 0-based owner coordinates; validates 0 <= owner[t] < nprocs.
+  /// `what` names the map array for diagnostics.
+  static std::shared_ptr<const IndirectTable> build(std::vector<int> owners,
+                                                    int nprocs,
+                                                    const std::string& what);
 };
 
 [[nodiscard]] const char* to_string(DistKind k);
@@ -60,6 +81,12 @@ struct DimMap {
   Index block = 1;
   int overlap_lo = 0;         ///< ghost width below (overlap area, ref [16])
   int overlap_hi = 0;         ///< ghost width above
+  /// kIndirect only: name of the INTEGER map array naming each cell's owner
+  /// (compile-time; part of mapping identity) and the resolved ownership
+  /// table (runtime; filled in by the execution environment before any
+  /// distributed allocation).  Identity alignment is required, so t == g.
+  std::string map_name;
+  std::shared_ptr<const IndirectTable> table;
 };
 
 /// Distributed Array Descriptor: global shape + per-dimension mapping +

@@ -55,6 +55,35 @@ LocalRange set_bound(const Dad& dad, int d, int coord, Index glb, Index gub,
     return r;
   }
 
+  if (m.kind == DistKind::kIndirect) {
+    // Value-based ownership: walk this coordinate's owned cells (ascending
+    // globals under identity alignment) and keep lattice members.  Local
+    // index is the cell's rank in the owned list, so locals come out
+    // ascending; compress to the triplet form when uniformly strided.
+    require(m.table != nullptr, "set_BOUND: INDIRECT map table resolved");
+    const auto& owned = m.table->cells[static_cast<size_t>(coord)];
+    std::vector<Index> locals;
+    for (size_t l = 0; l < owned.size(); ++l) {
+      const Index g = owned[l];
+      if (g < glb || g > gub || (g - glb) % gst != 0) continue;
+      locals.push_back(static_cast<Index>(l));
+    }
+    if (locals.empty()) return r;
+    r.empty = false;
+    bool uniform = true;
+    const Index st0 = locals.size() > 1 ? locals[1] - locals[0] : 1;
+    for (size_t i = 2; i < locals.size(); ++i)
+      uniform = uniform && locals[i] - locals[i - 1] == st0;
+    if (uniform) {
+      r.lb = locals.front();
+      r.ub = locals.back();
+      r.st = st0 > 0 ? st0 : 1;
+      return r;
+    }
+    r.indices = std::move(locals);
+    return r;
+  }
+
   if (m.kind == DistKind::kBlock) {
     // Owned global index range [g_lo, g_hi] is contiguous for BLOCK.
     const Index cnt = dad.local_extent(d, coord);

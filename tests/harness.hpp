@@ -66,6 +66,11 @@ struct DiffRun {
   int schedule_misses = 0;
   int plan_hits = 0;
   int plan_misses = 0;
+  int irregular_hits = 0;
+  int irregular_misses = 0;
+  long long schedules_built = 0;
+  long long gather_bytes = 0;
+  long long scatter_bytes = 0;
   double sim_time = 0.0;         ///< simulated execution time (seconds)
   /// Native-backend counters (rank 0 node; zero unless ro.native_backend).
   long long native_runs = 0;
@@ -80,6 +85,11 @@ inline void fill_counters(DiffRun& d, const interp::ProgramResult& r) {
   d.schedule_misses = r.schedule_misses;
   d.plan_hits = r.plan_hits;
   d.plan_misses = r.plan_misses;
+  d.irregular_hits = r.irregular_hits;
+  d.irregular_misses = r.irregular_misses;
+  d.schedules_built = r.schedules_built;
+  d.gather_bytes = r.gather_bytes;
+  d.scatter_bytes = r.scatter_bytes;
   d.sim_time = r.machine.exec_time;
   d.native_runs = r.native_runs;
   d.native_attaches = r.native_attaches;
@@ -325,6 +335,131 @@ inline DiffRun run_irregular(int n, int steps, int p,
   init.real["C"] = [](std::span<const Index> g) { return g[0] * 100.0; };
   auto result = interp::run_compiled(compiled, m, init, ro);
   DiffRun d{"A", result.real_arrays.at("A"), irregular_oracle(n)};
+  fill_counters(d, result);
+  return d;
+}
+
+// --- Irregular scenario workloads (PARTI inspector/executor) -----------------
+// Shared deterministic initial conditions; all index tables are 1-based in
+// the Fortran sources and 0-based in the oracles.  `map_owner` is the
+// scrambled-but-deterministic ownership every INDIRECT(MAP) run uses.
+
+inline int map_owner(Index i, int p) { return static_cast<int>((i * 5 + 2) % p); }
+
+inline Index spmv_col(int n, Index i, Index k) { return (i * 13 + k * 5 + 1) % n; }
+inline double spmv_a(Index i, Index k) { return ((i + 1) * (k + 1)) % 7 + 0.25; }
+inline double spmv_x(Index i) { return (i % 17) * 0.5 + 1.0; }
+
+/// ELL SpMV oracle: Y accumulated in the program's exact loop nesting
+/// (steps outer, K middle, I inner) so the double sums are bit-identical.
+inline std::vector<double> spmv_ell_oracle(int n, int nk, int steps) {
+  std::vector<double> y(static_cast<size_t>(n), 0.0);
+  for (int it = 0; it < steps; ++it)
+    for (Index k = 0; k < nk; ++k)
+      for (Index i = 0; i < n; ++i)
+        y[static_cast<size_t>(i)] +=
+            spmv_a(i, k) * spmv_x(spmv_col(n, i, k));
+  return y;
+}
+
+inline DiffRun run_spmv_ell(int n, int nk, int steps, int p,
+                            const char* dist = "BLOCK",
+                            const interp::RunOptions& ro = {}) {
+  auto compiled =
+      compile::compile_source(apps::spmv_ell_source(n, nk, p, steps, dist));
+  machine::SimMachine m = make_machine(p);
+  interp::Init init;
+  init.ints["MAP"] = [p](std::span<const Index> g) {
+    return map_owner(g[0], p) + 1;  // directive values are 1-based
+  };
+  init.ints["COL"] = [n](std::span<const Index> g) {
+    return spmv_col(n, g[0], g[1]) + 1;
+  };
+  init.real["A"] = [](std::span<const Index> g) { return spmv_a(g[0], g[1]); };
+  init.real["X"] = [](std::span<const Index> g) { return spmv_x(g[0]); };
+  init.real["Y"] = [](std::span<const Index>) { return 0.0; };
+  auto result = interp::run_compiled(compiled, m, init, ro);
+  DiffRun d{"Y", result.real_arrays.at("Y"), spmv_ell_oracle(n, nk, steps)};
+  fill_counters(d, result);
+  return d;
+}
+
+inline Index mesh_e1(int nn, Index e) { return (e * 7 + 3) % nn; }
+inline Index mesh_e2(int nn, Index e) { return (e * 11 + 5) % nn; }
+inline double mesh_xn0(Index i) { return i * 0.5 + 1.0; }
+
+/// Edge-sweep oracle: F recomputed from the current XN each step, then the
+/// comm-free node update scales XN by 1.125; the returned F is the final
+/// step's sweep.
+inline std::vector<double> mesh_sweep_oracle(int nn, int ne, int steps) {
+  std::vector<double> xn(static_cast<size_t>(nn));
+  for (Index i = 0; i < nn; ++i) xn[static_cast<size_t>(i)] = mesh_xn0(i);
+  std::vector<double> f(static_cast<size_t>(ne), 0.0);
+  for (int it = 0; it < steps; ++it) {
+    for (Index e = 0; e < ne; ++e)
+      f[static_cast<size_t>(e)] = xn[static_cast<size_t>(mesh_e2(nn, e))] -
+                                  xn[static_cast<size_t>(mesh_e1(nn, e))];
+    for (Index i = 0; i < nn; ++i)
+      xn[static_cast<size_t>(i)] += 0.125 * xn[static_cast<size_t>(i)];
+  }
+  return f;
+}
+
+inline DiffRun run_mesh_sweep(int nn, int ne, int steps, int p,
+                              const char* dist = "BLOCK",
+                              const interp::RunOptions& ro = {}) {
+  auto compiled =
+      compile::compile_source(apps::mesh_sweep_source(nn, ne, p, steps, dist));
+  machine::SimMachine m = make_machine(p);
+  interp::Init init;
+  init.ints["MAP"] = [p](std::span<const Index> g) {
+    return map_owner(g[0], p) + 1;
+  };
+  init.ints["E1"] = [nn](std::span<const Index> g) {
+    return mesh_e1(nn, g[0]) + 1;
+  };
+  init.ints["E2"] = [nn](std::span<const Index> g) {
+    return mesh_e2(nn, g[0]) + 1;
+  };
+  init.real["XN"] = [](std::span<const Index> g) { return mesh_xn0(g[0]); };
+  auto result = interp::run_compiled(compiled, m, init, ro);
+  DiffRun d{"F", result.real_arrays.at("F"), mesh_sweep_oracle(nn, ne, steps)};
+  fill_counters(d, result);
+  return d;
+}
+
+/// Reversal-then-rotation: a permutation of 0..np-1 for every np, so the
+/// overwrite scatter H(BIN(I)) = ... has no duplicate destinations.
+inline Index pbin_bin(int np, Index i) { return (np - 1 - i + 3) % np; }
+inline double pbin_w0(Index i) { return i * 0.25 + 1.0; }
+
+/// Binning oracle: each step overwrites H through the permutation with the
+/// step-dependent weight W(I) + IT; W is doubled once after the loop.
+inline std::vector<double> particle_bin_oracle(int np, int steps) {
+  std::vector<double> h(static_cast<size_t>(np), 0.0);
+  for (int it = 1; it <= steps; ++it)
+    for (Index i = 0; i < np; ++i)
+      h[static_cast<size_t>(pbin_bin(np, i))] = pbin_w0(i) + it;
+  return h;
+}
+
+inline DiffRun run_particle_bin(int np, int steps, int p,
+                                const char* dist = "BLOCK",
+                                const interp::RunOptions& ro = {}) {
+  auto compiled =
+      compile::compile_source(apps::particle_bin_source(np, p, steps, dist));
+  machine::SimMachine m = make_machine(p);
+  interp::Init init;
+  init.ints["MAP"] = [p](std::span<const Index> g) {
+    return map_owner(g[0], p) + 1;
+  };
+  init.ints["BIN"] = [np](std::span<const Index> g) {
+    return pbin_bin(np, g[0]) + 1;
+  };
+  init.real["W"] = [](std::span<const Index> g) { return pbin_w0(g[0]); };
+  init.real["H"] = [](std::span<const Index>) { return 0.0; };
+  auto result = interp::run_compiled(compiled, m, init, ro);
+  DiffRun d{"H", result.real_arrays.at("H"), particle_bin_oracle(np, steps)};
   fill_counters(d, result);
   return d;
 }

@@ -7,9 +7,11 @@
 #include "comm/grid_comm.hpp"
 #include "harness.hpp"
 #include "machine/topology.hpp"
+#include "parti/schedule.hpp"
 #include "rts/dist_array.hpp"
 #include "rts/remap.hpp"
 #include "rts/shift_ops.hpp"
+#include "support/diag.hpp"
 
 namespace f90d {
 namespace {
@@ -294,6 +296,218 @@ TEST(TemporaryShift, BlockCyclicShiftsAcrossBlockBoundaries) {
       });
     }
   });
+}
+
+// --- irregular computation edges ---------------------------------------------
+
+std::string pgtn_source(int n, int p) {
+  return strformat(R"(PROGRAM PGTN
+      INTEGER N
+      PARAMETER (N = %d)
+      REAL A(N)
+      REAL B(N)
+      REAL C(N)
+      INTEGER U(N)
+      INTEGER V(N)
+      INTEGER MAP(N)
+      INTEGER IT
+C$ PROCESSORS P(%d)
+C$ TEMPLATE T(N)
+C$ DISTRIBUTE T(INDIRECT(MAP))
+C$ ALIGN A(I) WITH T(I)
+C$ ALIGN B(I) WITH T(I)
+C$ ALIGN C(I) WITH T(I)
+      DO IT = 1, 3
+        FORALL (I = 1:N) A(U(I)) = B(V(I)) + C(I)
+      END DO
+      END PROGRAM PGTN
+)",
+                   n, p);
+}
+
+/// A(U(I)) = B(V(I)) + C(I) on an INDIRECT(MAP) template with more
+/// processors than template cells: some processors own nothing, yet they
+/// must still join every collective schedule build.
+TEST(IrregularEdges, IndirectWithMoreProcsThanElements) {
+  const int n = 3;
+  for (int p : {4, 6}) {
+    auto compiled = compile::compile_source(pgtn_source(n, p));
+    machine::SimMachine m = harness::make_machine(p);
+    interp::Init init;
+    init.ints["U"] = [n](std::span<const Index> g) {
+      return harness::irregular_u(n, g[0]) + 1;
+    };
+    init.ints["V"] = [n](std::span<const Index> g) {
+      return harness::irregular_v(n, g[0]) + 1;
+    };
+    init.ints["MAP"] = [p](std::span<const Index> g) {
+      return harness::map_owner(g[0], p) + 1;
+    };
+    init.real["B"] = [](std::span<const Index> g) { return g[0] * 2.0; };
+    init.real["C"] = [](std::span<const Index> g) { return g[0] * 100.0; };
+    auto result = interp::run_compiled(compiled, m, init);
+    const auto want = harness::irregular_oracle(n);
+    const auto& got = result.real_arrays.at("A");
+    ASSERT_EQ(got.size(), want.size()) << "p=" << p;
+    for (size_t k = 0; k < want.size(); ++k)
+      EXPECT_EQ(got[k], want[k]) << "p=" << p << " k=" << k;
+  }
+}
+
+std::string oob_source(int n, int p) {
+  return strformat(R"(PROGRAM OOB
+      INTEGER N
+      PARAMETER (N = %d)
+      REAL A(N)
+      REAL B(N)
+      INTEGER V(N)
+      INTEGER IT
+C$ PROCESSORS P(%d)
+C$ TEMPLATE T(N)
+C$ DISTRIBUTE T(BLOCK)
+C$ ALIGN A(I) WITH T(I)
+C$ ALIGN B(I) WITH T(I)
+      DO IT = 1, 2
+        FORALL (I = 1:N) A(I) = B(V(I))
+      END DO
+      END PROGRAM OOB
+)",
+                   n, p);
+}
+
+/// An out-of-range gather subscript surfaces as a runtime diagnostic naming
+/// the subscripted array, from the tree walk and the planned inspector
+/// alike.
+TEST(IrregularEdges, OutOfRangeGatherIndexDiagnosed) {
+  const int n = 8, p = 2;
+  for (bool plans : {false, true}) {
+    auto compiled = compile::compile_source(oob_source(n, p));
+    machine::SimMachine m = harness::make_machine(p);
+    interp::Init init;
+    init.ints["V"] = [n](std::span<const Index> g) {
+      return g[0] == 3 ? n + 5 : 1;  // one rogue subscript
+    };
+    init.real["B"] = [](std::span<const Index>) { return 0.0; };
+    interp::RunOptions ro;
+    ro.exec_plans = plans;
+    try {
+      (void)interp::run_compiled(compiled, m, init, ro);
+      FAIL() << "expected an out-of-range diagnostic (plans=" << plans << ")";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find("B"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+/// Same for an out-of-range scatter destination (lhs indirection value).
+TEST(IrregularEdges, OutOfRangeScatterDestinationDiagnosed) {
+  const int n = 8, p = 2;
+  for (bool plans : {false, true}) {
+    auto compiled =
+        compile::compile_source(apps::irregular_source(n, p, /*steps=*/2));
+    machine::SimMachine m = harness::make_machine(p);
+    interp::Init init;
+    init.ints["U"] = [](std::span<const Index> g) {
+      return g[0] == 2 ? 0 : static_cast<Index>(g[0]) + 1;  // 0 < lower bound
+    };
+    init.ints["V"] = [](std::span<const Index> g) {
+      return static_cast<Index>(g[0]) + 1;
+    };
+    init.real["B"] = [](std::span<const Index>) { return 0.0; };
+    init.real["C"] = [](std::span<const Index>) { return 0.0; };
+    interp::RunOptions ro;
+    ro.exec_plans = plans;
+    try {
+      (void)interp::run_compiled(compiled, m, init, ro);
+      FAIL() << "expected an out-of-range diagnostic (plans=" << plans << ")";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find("A"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+/// execute_write with a sum combiner gives duplicate destination ids
+/// accumulate semantics (every processor's iterations hit the same two
+/// cells); integer-valued doubles keep the sum order-independent bitwise.
+TEST(IrregularEdges, DuplicateScatterDestinationsAccumulateWithCombine) {
+  for (int p : {1, 2, 4}) {
+    on_machine(p, [&](comm::GridComm& gc) {
+      const Index n = 12;
+      Dad dad = block1d(n, gc.grid(), 0, 0);
+      DistArray<double> a(dad, gc);
+      std::vector<Index> my_dests;
+      std::vector<double> my_vals;
+      const Index cnt = dad.local_extent(0, gc.coord(0));
+      for (Index l = 0; l < cnt; ++l) {
+        const Index i = dad.global_of_local(0, l, gc.coord(0));
+        my_dests.push_back(i % 2);  // everything lands on cell 0 or 1
+        my_vals.push_back(static_cast<double>(i + 1));
+      }
+      auto sched = parti::schedule3(gc, dad, my_dests);
+      parti::execute_write<double>(
+          gc, *sched, a, std::span<const double>(my_vals),
+          [](const double& x, const double& y) { return x + y; });
+      auto full = a.gather_global(gc);
+      // Sum of odd-indexed vs even-indexed contributions of 1..n.
+      double even = 0, odd = 0;
+      for (Index i = 0; i < n; ++i) (i % 2 == 0 ? even : odd) += i + 1;
+      EXPECT_EQ(full[0], even) << "p=" << p;
+      EXPECT_EQ(full[1], odd) << "p=" << p;
+      for (Index i = 2; i < n; ++i)
+        EXPECT_EQ(full[static_cast<size_t>(i)], 0.0) << "p=" << p;
+    });
+  }
+}
+
+std::string zero_trip_source(int n, int p) {
+  return strformat(R"(PROGRAM ZT
+      INTEGER N
+      PARAMETER (N = %d)
+      REAL A(N)
+      REAL B(N)
+      INTEGER U(N)
+      INTEGER V(N)
+      INTEGER IT
+C$ PROCESSORS P(%d)
+C$ TEMPLATE T(N)
+C$ DISTRIBUTE T(BLOCK)
+C$ ALIGN A(I) WITH T(I)
+C$ ALIGN B(I) WITH T(I)
+      DO IT = 1, 3
+        FORALL (I = 5:4) A(U(I)) = B(V(I))
+      END DO
+      END PROGRAM ZT
+)",
+                   n, p);
+}
+
+/// A zero-trip irregular FORALL must not run its inspector: no schedules
+/// are built, nothing is exchanged, and the destination stays untouched —
+/// even though the statement carries gather and scatter actions.
+TEST(IrregularEdges, ZeroTripForallBuildsNoSchedules) {
+  const int n = 8;
+  for (int p : {1, 3}) {
+    auto compiled = compile::compile_source(zero_trip_source(n, p));
+    machine::SimMachine m = harness::make_machine(p);
+    interp::Init init;
+    init.ints["U"] = [](std::span<const Index>) { return 1; };
+    init.ints["V"] = [](std::span<const Index>) { return 1; };
+    init.real["A"] = [](std::span<const Index> g) { return g[0] * 3.0; };
+    init.real["B"] = [](std::span<const Index> g) { return g[0] * 7.0; };
+    auto result = interp::run_compiled(compiled, m, init);
+    EXPECT_EQ(result.schedule_misses, 0) << "p=" << p;
+    EXPECT_EQ(result.schedule_hits, 0) << "p=" << p;
+    EXPECT_EQ(result.schedules_built, 0) << "p=" << p;
+    const auto& a = result.real_arrays.at("A");
+    for (Index i = 0; i < n; ++i)
+      EXPECT_EQ(a[static_cast<size_t>(i)], i * 3.0) << "p=" << p;
+  }
 }
 
 }  // namespace

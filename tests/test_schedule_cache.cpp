@@ -159,5 +159,166 @@ TEST(ScheduleCache, CompiledIrregularHitsOnlyWithCacheEnabled) {
   for (size_t k = 0; k < a1.size(); ++k) EXPECT_DOUBLE_EQ(a1[k], a2[k]);
 }
 
+// --- invalidation contract ---------------------------------------------------
+
+/// Entries registered with a dependency set are dropped when any member is
+/// invalidated; legacy entries (no tracked deps) are never touched.
+TEST(ScheduleCache, InvalidateArrayDropsDependentEntriesOnly) {
+  ScheduleCache cache;
+  auto mk = [] { return std::make_shared<const parti::Schedule>(); };
+  (void)cache.get_or_build("g1", {"B", "U"}, mk);
+  (void)cache.get_or_build("g2", {"B"}, mk);
+  (void)cache.get_or_build("g3", mk);
+  EXPECT_EQ(cache.size(), 3u);
+
+  cache.invalidate_array("U");
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.invalidations(), 1);
+
+  int builds = 0;
+  auto count = [&] {
+    ++builds;
+    return std::make_shared<const parti::Schedule>();
+  };
+  (void)cache.get_or_build("g2", {"B"}, count);
+  (void)cache.get_or_build("g3", count);
+  EXPECT_EQ(builds, 0) << "entries without U in their deps must survive";
+  (void)cache.get_or_build("g1", {"B", "U"}, count);
+  EXPECT_EQ(builds, 1) << "the dependent entry must rebuild";
+
+  cache.invalidate_array("B");
+  EXPECT_EQ(cache.size(), 1u) << "only the dep-less legacy entry survives";
+  EXPECT_EQ(cache.invalidations(), 3);
+
+  cache.invalidate_array("NOSUCH");
+  EXPECT_EQ(cache.invalidations(), 3);
+}
+
+/// Regression (stale-schedule bug): a gather schedule built from
+/// indirection array U must NOT be reused after U's values change.  The
+/// program rewrites U between DO trips; with the old behaviour the first
+/// trip's schedule kept routing the original pattern and the result
+/// silently diverged from the oracle.  Write versions embedded in the
+/// runtime key force a rebuild on every mutated trip.
+TEST(ScheduleCache, GatherRebuiltAfterIndirectionArrayRewritten) {
+  const int n = 24, trips = 4;
+  const std::string src = strformat(R"(PROGRAM IRRMUT
+      INTEGER N
+      PARAMETER (N = %d)
+      REAL A(N)
+      REAL B(N)
+      INTEGER U(N)
+      INTEGER IT
+C$ PROCESSORS P(4)
+C$ TEMPLATE T(N)
+C$ DISTRIBUTE T(BLOCK)
+C$ ALIGN A(I) WITH T(I)
+C$ ALIGN B(I) WITH T(I)
+      DO IT = 1, %d
+        FORALL (I = 1:N) A(I) = A(I) + B(U(I))
+        FORALL (I = 1:N) U(I) = N + 1 - U(I)
+      END DO
+      END PROGRAM IRRMUT
+)",
+                                    n, trips);
+  auto compiled = compile::compile_source(src);
+  machine::SimMachine m = harness::make_machine(4);
+  interp::Init init;
+  auto u0 = [n](Index i) { return (i * 7 + 3) % n + 1; };  // 1-based
+  init.ints["U"] = [&](std::span<const Index> g) { return u0(g[0]); };
+  init.real["B"] = [](std::span<const Index> g) { return g[0] * 2.0 + 1.0; };
+  auto result = interp::run_compiled(compiled, m, init);
+
+  std::vector<double> a(static_cast<size_t>(n), 0.0);
+  std::vector<long long> u(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) u[static_cast<size_t>(i)] = u0(i);
+  for (int it = 0; it < trips; ++it) {
+    for (int i = 0; i < n; ++i)
+      a[static_cast<size_t>(i)] += (u[static_cast<size_t>(i)] - 1) * 2.0 + 1.0;
+    for (int i = 0; i < n; ++i)
+      u[static_cast<size_t>(i)] = n + 1 - u[static_cast<size_t>(i)];
+  }
+  const auto& got = result.real_arrays.at("A");
+  ASSERT_EQ(got.size(), a.size());
+  for (size_t k = 0; k < a.size(); ++k)
+    EXPECT_DOUBLE_EQ(got[k], a[k]) << "k=" << k;
+
+  // The write version is a counter, not a content hash: every trip sees a
+  // fresh U version and must rebuild its gather schedule, even though U
+  // only alternates between two value patterns.
+  EXPECT_GE(result.schedule_misses, trips);
+}
+
+/// Steady state: with the indirection arrays untouched, every trip after
+/// the first reuses the cached schedules (reuse >= trips - 1 per schedule).
+TEST(ScheduleCache, SteadyStateReusesAcrossTrips) {
+  const int n = 40, steps = 5, p = 4;
+  auto compiled = compile::compile_source(apps::irregular_source(n, p, steps));
+  interp::Init init;
+  init.ints["U"] = [n](std::span<const Index> g) {
+    return harness::irregular_u(n, g[0]) + 1;
+  };
+  init.ints["V"] = [n](std::span<const Index> g) {
+    return harness::irregular_v(n, g[0]) + 1;
+  };
+  init.real["B"] = [](std::span<const Index> g) { return g[0] * 2.0; };
+  init.real["C"] = [](std::span<const Index> g) { return g[0] * 100.0; };
+  machine::SimMachine m = harness::make_machine(p);
+  auto result = interp::run_compiled(compiled, m, init);
+  EXPECT_GE(result.schedule_hits, steps - 1);
+  EXPECT_EQ(result.schedule_invalidations, 0);
+}
+
+/// Whole-array intrinsic writes invalidate dependent schedules (the
+/// redistribute/remap half of the contract) and the run still matches the
+/// sequential oracle.
+TEST(ScheduleCache, IntrinsicWriteInvalidatesDependentSchedules) {
+  const int n = 16, trips = 3;
+  const std::string src = strformat(R"(PROGRAM IRRSH
+      INTEGER N
+      PARAMETER (N = %d)
+      REAL A(N)
+      REAL B(N)
+      INTEGER U(N)
+      INTEGER IT
+C$ PROCESSORS P(4)
+C$ TEMPLATE T(N)
+C$ DISTRIBUTE T(BLOCK)
+C$ ALIGN A(I) WITH T(I)
+C$ ALIGN B(I) WITH T(I)
+      DO IT = 1, %d
+        FORALL (I = 1:N) A(I) = A(I) + B(U(I))
+        B = CSHIFT(B, 1)
+      END DO
+      END PROGRAM IRRSH
+)",
+                                    n, trips);
+  auto compiled = compile::compile_source(src);
+  machine::SimMachine m = harness::make_machine(4);
+  interp::Init init;
+  auto u0 = [n](Index i) { return (i * 5 + 2) % n + 1; };
+  init.ints["U"] = [&](std::span<const Index> g) { return u0(g[0]); };
+  init.real["B"] = [](std::span<const Index> g) { return g[0] * 3.0 + 2.0; };
+  auto result = interp::run_compiled(compiled, m, init);
+
+  std::vector<double> a(static_cast<size_t>(n), 0.0);
+  std::vector<double> b(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) b[static_cast<size_t>(i)] = i * 3.0 + 2.0;
+  for (int it = 0; it < trips; ++it) {
+    for (int i = 0; i < n; ++i)
+      a[static_cast<size_t>(i)] += b[static_cast<size_t>(u0(i) - 1)];
+    std::vector<double> nb(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i)
+      nb[static_cast<size_t>(i)] = b[static_cast<size_t>((i + 1) % n)];
+    b = std::move(nb);
+  }
+  const auto& got = result.real_arrays.at("A");
+  ASSERT_EQ(got.size(), a.size());
+  for (size_t k = 0; k < a.size(); ++k)
+    EXPECT_DOUBLE_EQ(got[k], a[k]) << "k=" << k;
+  EXPECT_GT(result.schedule_invalidations, 0)
+      << "CSHIFT into the gather's data array must drop its schedule";
+}
+
 }  // namespace
 }  // namespace f90d
