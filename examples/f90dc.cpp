@@ -2,30 +2,52 @@
 // prototype demonstrated at Supercomputing'92:
 //
 //   f90dc [options] [file.f90d]
-//     -p N[,M]   override the PROCESSORS grid (e.g. -p 16 or -p 4,4)
-//     -O0        disable the §7 communication optimizations
-//     -run       execute on the simulated iPSC/860 after compiling
-//     --stats    run in full (non-skeleton) mode and print the
-//                per-processor traffic/time statistics and the
-//                execution-plan + schedule cache summaries (implies -run)
+//     -p N[,M]      override the PROCESSORS grid (e.g. -p 16 or -p 4,4)
+//     -O0           disable the §7 communication optimizations
+//     -run          execute on the simulated iPSC/860 after compiling
+//     --stats       run in full (non-skeleton) mode and print the
+//                   per-processor traffic/time statistics and the
+//                   execution-plan + schedule cache summaries (implies -run)
+//     --stats-json  like --stats but emit ONE machine-readable JSON
+//                   document on stdout and nothing else (implies -run)
 //     --backend=native|plan|tree
-//                pick the node-program execution backend (implies -run and
-//                full mode): `native` JIT-compiles execution plans to
-//                shared objects, `plan` interprets the postfix tapes
-//                (the default), `tree` forces the tree-walking fallback
+//                   pick the node-program execution backend (implies -run
+//                   and full mode): `native` JIT-compiles execution plans
+//                   to shared objects, `plan` interprets the postfix tapes
+//                   (the default), `tree` forces the tree-walking fallback
 //     (no file: compiles the built-in Gaussian elimination program)
+//
+//   daemon / client modes (docs/SERVICE.md):
+//     --serve           run the resident compile service on --socket
+//     --socket=PATH     Unix socket path (default /tmp/f90dcd.sock)
+//     --workers=N       worker pool size for --serve (default 4)
+//     --client          send the request to the daemon on --socket instead
+//                       of compiling locally; prints the JSON response
+//     --ping            check the daemon on --socket is alive
 //
 // Prints the Fortran77+MP node program and the communication-action
 // summary; with -run also reports virtual time and message traffic.
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 
 #include "apps/sources.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "service/stats_json.hpp"
 #include "support/str_util.hpp"
-#include "interp/interp.hpp"
-#include "machine/topology.hpp"
+
+namespace {
+
+f90d::service::Server* g_server = nullptr;
+
+void on_signal(int) {
+  if (g_server != nullptr) g_server->stop();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace f90d;
@@ -34,8 +56,14 @@ int main(int argc, char** argv) {
   bool optimize = true;
   bool run = false;
   bool stats = false;
+  bool stats_json = false;
   std::string backend = "plan";
   bool backend_set = false;
+  bool serve = false;
+  bool client = false;
+  bool ping = false;
+  std::string socket_path = "/tmp/f90dcd.sock";
+  int workers = 4;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "-p") == 0 && i + 1 < argc) {
@@ -49,6 +77,10 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       run = true;
       stats = true;
+    } else if (std::strcmp(argv[i], "--stats-json") == 0) {
+      run = true;
+      stats = true;
+      stats_json = true;
     } else if (std::strncmp(argv[i], "--backend=", 10) == 0) {
       backend = argv[i] + 10;
       if (backend != "native" && backend != "plan" && backend != "tree") {
@@ -59,15 +91,59 @@ int main(int argc, char** argv) {
       }
       run = true;
       backend_set = true;
+    } else if (std::strcmp(argv[i], "--serve") == 0) {
+      serve = true;
+    } else if (std::strcmp(argv[i], "--client") == 0) {
+      client = true;
+    } else if (std::strcmp(argv[i], "--ping") == 0) {
+      ping = true;
+    } else if (std::strncmp(argv[i], "--socket=", 9) == 0) {
+      socket_path = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      workers = std::atoi(argv[i] + 10);
     } else {
       path = argv[i];
     }
   }
 
+  if (ping) {
+    service::WireRequest req;
+    req.verb = "PING";
+    const service::ClientResult res = service::request(socket_path, req);
+    if (!res.connected) {
+      std::fprintf(stderr, "f90dc: %s\n", res.error.c_str());
+      return 1;
+    }
+    std::printf("%s\n", res.body.c_str());
+    return res.ok ? 0 : 1;
+  }
+
+  if (serve) {
+    service::ServerOptions opt;
+    opt.socket_path = socket_path;
+    opt.workers = workers;
+    service::Server server(opt);
+    std::string err;
+    if (!server.start(err)) {
+      std::fprintf(stderr, "f90dc: %s\n", err.c_str());
+      return 1;
+    }
+    g_server = &server;
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    std::printf("f90dc: serving on %s (%d workers)\n", socket_path.c_str(),
+                workers);
+    std::fflush(stdout);
+    server.wait();
+    g_server = nullptr;
+    return 0;
+  }
+
   std::string source;
   if (path.empty()) {
-    std::printf("(no input file: compiling the built-in Gaussian "
-                "elimination benchmark)\n\n");
+    if (!stats_json && !client)
+      std::printf("(no input file: compiling the built-in Gaussian "
+                  "elimination benchmark)\n\n");
     source = apps::gauss_source(64, grid.empty() ? 4 : grid[0]);
   } else {
     std::ifstream in(path);
@@ -80,11 +156,60 @@ int main(int argc, char** argv) {
     source = ss.str();
   }
 
-  const compile::CodegenOptions opt =
-      optimize ? compile::CodegenOptions{} : compile::CodegenOptions::all_off();
+  // Skeleton mode reports costs for arbitrary programs; --stats and an
+  // explicit backend choice want the real per-element execution paths,
+  // which only full execution exercises.
+  const bool skeleton = !stats && !backend_set;
+
+  if (client) {
+    service::WireRequest req;
+    req.source = source;
+    req.grid = grid;
+    req.optimize = optimize;
+    req.skeleton = skeleton;
+    req.compile_only = !run;
+    req.backend = backend;
+    const service::ClientResult res = service::request(socket_path, req);
+    if (!res.connected) {
+      std::fprintf(stderr, "f90dc: %s\n", res.error.c_str());
+      return 1;
+    }
+    std::printf("%s\n", res.body.c_str());
+    return res.ok ? 0 : 1;
+  }
+
+  service::RunSpec spec;
+  spec.grid = grid;
+  if (!optimize) spec.codegen = compile::CodegenOptions::all_off();
+  spec.compile_only = !run;
+  spec.run.skeleton = skeleton;
+  spec.run.exec_plans = backend != "tree";
+  spec.run.native_backend = backend == "native";
 
   try {
-    compile::Compiled compiled = compile::compile_source(source, grid, opt);
+    service::Outcome out;
+    try {
+      out = service::compile_and_run(source, spec);
+    } catch (const Error& e) {
+      if (!stats || stats_json) throw;
+      // Full mode interprets every element on zero-filled inputs; some
+      // programs (e.g. indirection through a zero-initialized index
+      // array) cannot run that way.
+      std::fprintf(stderr,
+                   "f90dc: --stats full-mode execution failed: %s\n"
+                   "       (zero-initialized inputs may not satisfy this "
+                   "program; try plain -run, which uses the cost-faithful "
+                   "skeleton mode)\n",
+                   e.what());
+      return 1;
+    }
+    const compile::Compiled& compiled = *out.compiled;
+
+    if (stats_json) {
+      std::printf("%s\n", service::run_stats_json(out).c_str());
+      return out.ok ? 0 : 1;
+    }
+
     std::printf("=== Fortran 77 + MP node program ===\n%s\n",
                 compiled.listing.c_str());
     std::printf("=== communication actions ===\n");
@@ -97,34 +222,9 @@ int main(int argc, char** argv) {
       std::printf("  %-8s %s\n", name.c_str(), dad.signature().c_str());
 
     if (run) {
-      const int p = compiled.mapping.grid.size();
-      machine::SimMachine m(p, machine::CostModel::ipsc860(),
-                            machine::make_hypercube());
-      interp::Init init;  // arrays default to zero fill
-      interp::RunOptions ro;
-      // Skeleton mode reports costs for arbitrary programs; --stats and an
-      // explicit backend choice want the real per-element execution paths,
-      // which only full execution exercises.
-      ro.skeleton = !stats && !backend_set;
-      ro.exec_plans = backend != "tree";
-      ro.native_backend = backend == "native";
-      interp::ProgramResult r;
-      try {
-        r = interp::run_compiled(compiled, m, init, ro);
-      } catch (const Error& e) {
-        if (!stats) throw;
-        // Full mode interprets every element on zero-filled inputs; some
-        // programs (e.g. indirection through a zero-initialized index
-        // array) cannot run that way.
-        std::fprintf(stderr,
-                     "f90dc: --stats full-mode execution failed: %s\n"
-                     "       (zero-initialized inputs may not satisfy this "
-                     "program; try plain -run, which uses the cost-faithful "
-                     "skeleton mode)\n",
-                     e.what());
-        return 1;
-      }
-      std::printf("\n=== simulated run (iPSC/860, %d nodes) ===\n", p);
+      const interp::ProgramResult& r = out.result;
+      std::printf("\n=== simulated run (iPSC/860, %d nodes) ===\n",
+                  out.nprocs);
       std::printf("  virtual time : %.6f s\n", r.machine.exec_time);
       std::printf("  messages     : %llu (%llu bytes)\n",
                   static_cast<unsigned long long>(r.machine.total_messages()),

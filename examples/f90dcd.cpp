@@ -1,0 +1,75 @@
+// f90dcd — the resident compile-and-run daemon (docs/SERVICE.md).
+//
+//   f90dcd --socket=PATH [--workers=N] [--max-pending=N]
+//          [--max-procs=N] [--max-source-bytes=N] [--no-share]
+//
+// Listens on a Unix-domain socket for RUN / PING / STATS / SHUTDOWN
+// requests (src/service/wire.hpp).  All RUNs share one ServiceCore:
+// content-hash-keyed compiled artifacts with in-flight coalescing, plus
+// the process-global schedule, plan-metadata and native-JIT caches, so a
+// warm daemon answers the same program orders of magnitude faster than a
+// fresh process.  Stop with SIGINT/SIGTERM or a SHUTDOWN request.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "service/server.hpp"
+
+namespace {
+
+f90d::service::Server* g_server = nullptr;
+
+void on_signal(int) {
+  if (g_server != nullptr) g_server->stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace f90d;
+
+  service::ServerOptions opt;
+  opt.socket_path = "/tmp/f90dcd.sock";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--socket=", 9) == 0) {
+      opt.socket_path = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      opt.workers = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--max-pending=", 14) == 0) {
+      opt.max_pending = std::atoi(argv[i] + 14);
+    } else if (std::strncmp(argv[i], "--max-procs=", 12) == 0) {
+      opt.service.max_procs = std::atoi(argv[i] + 12);
+    } else if (std::strncmp(argv[i], "--max-source-bytes=", 19) == 0) {
+      opt.service.max_source_bytes =
+          static_cast<std::size_t>(std::atoll(argv[i] + 19));
+    } else if (std::strcmp(argv[i], "--no-share") == 0) {
+      opt.service.share_caches = false;
+    } else {
+      std::fprintf(stderr,
+                   "f90dcd: unknown option '%s'\n"
+                   "usage: f90dcd --socket=PATH [--workers=N] "
+                   "[--max-pending=N] [--max-procs=N] "
+                   "[--max-source-bytes=N] [--no-share]\n",
+                   argv[i]);
+      return 1;
+    }
+  }
+
+  service::Server server(opt);
+  std::string err;
+  if (!server.start(err)) {
+    std::fprintf(stderr, "f90dcd: %s\n", err.c_str());
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::printf("f90dcd: listening on %s (%d workers, max %d pending)\n",
+              opt.socket_path.c_str(), opt.workers, opt.max_pending);
+  std::fflush(stdout);
+  server.wait();
+  g_server = nullptr;
+  std::printf("f90dcd: stopped\n");
+  return 0;
+}

@@ -21,6 +21,12 @@ performance record next to the sources:
                           edge sweep, particle binning — each with the
                           schedule cache on/off over BLOCK and
                           INDIRECT(MAP), with PARTI traffic counters)
+    BENCH_service.json <- f90d_loadgen (resident compile service: N clients
+                          x M programs against one-process-per-request
+                          f90dc, then a cold and a warm shared-cache
+                          ServiceCore pool; throughput, latency
+                          percentiles, artifact/schedule/plan/native
+                          cache-hit rates per phase)
 
 Usage:
     scripts/run_benchmarks.py --build-dir build [--out-dir .] [--quick]
@@ -39,7 +45,22 @@ BENCH_MAP = {
     "BENCH_fig6.json": "bench_fig6_speedup",
     "BENCH_fig5.json": "bench_fig5_portability",
     "BENCH_irregular.json": "bench_ablation_schedule_reuse",
+    "BENCH_service.json": "f90d_loadgen",
 }
+
+
+def run_loadgen(binary: str, out_path: str, env: dict, build_dir: str,
+                quick: bool) -> None:
+    # The load generator speaks its own flags (it is a client driver, not a
+    # google-benchmark binary) and writes the JSON record itself.
+    cmd = [binary, f"--json={out_path}",
+           f"--f90dc={os.path.join(build_dir, 'f90dc')}"]
+    if quick:
+        cmd += ["--clients=2", "--requests=8", "--programs=2", "--floor=0"]
+    print(f"[run_benchmarks] {' '.join(cmd)} -> {out_path}", flush=True)
+    # rc 2 = ran fine but the warm speedup missed the 5x floor; surface it
+    # as a failure so the record never silently regresses.
+    subprocess.run(cmd, env=env, check=True)
 
 
 def run_one(binary: str, out_path: str, env: dict) -> None:
@@ -94,7 +115,12 @@ def main() -> int:
             failures.append(bench)
             continue
         try:
-            run_one(binary, os.path.join(args.out_dir, out_name), env)
+            out_path = os.path.join(args.out_dir, out_name)
+            if bench == "f90d_loadgen":
+                run_loadgen(binary, out_path, env, args.build_dir,
+                            args.quick)
+            else:
+                run_one(binary, out_path, env)
         except (subprocess.CalledProcessError, RuntimeError, ValueError) as e:
             print(f"[run_benchmarks] {bench} failed: {e}", file=sys.stderr)
             failures.append(bench)

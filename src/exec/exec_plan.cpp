@@ -1096,6 +1096,81 @@ std::string plan_key(const SpmdStmt& s, const Env& env,
   return os.str();
 }
 
+// ---------------------------------------------------------------------------
+// SharedPlanMeta
+
+std::string SharedPlanMeta::slot(const std::string& ns, int stmt_id) {
+  return ns + "#" + std::to_string(stmt_id);
+}
+
+bool SharedPlanMeta::declined_structurally(const std::string& ns,
+                                           int stmt_id) const {
+  std::shared_lock lk(mu_);
+  const bool hit = declines_.count(slot(ns, stmt_id)) > 0;
+  if (hit) {
+    std::lock_guard slk(stats_mu_);
+    ++stats_.decline_hits;
+  }
+  return hit;
+}
+
+void SharedPlanMeta::record_structural_decline(const std::string& ns,
+                                               int stmt_id) {
+  {
+    std::unique_lock lk(mu_);
+    if (!declines_.insert(slot(ns, stmt_id)).second) return;
+  }
+  std::lock_guard slk(stats_mu_);
+  ++stats_.installs;
+}
+
+bool SharedPlanMeta::lookup_key_scalars(const std::string& ns, int stmt_id,
+                                        std::vector<std::string>& out) const {
+  std::shared_lock lk(mu_);
+  auto it = scalars_.find(slot(ns, stmt_id));
+  if (it == scalars_.end()) return false;
+  out = it->second;
+  {
+    std::lock_guard slk(stats_mu_);
+    ++stats_.scalar_hits;
+  }
+  return true;
+}
+
+void SharedPlanMeta::install_key_scalars(
+    const std::string& ns, int stmt_id,
+    const std::vector<std::string>& scalars) {
+  {
+    std::unique_lock lk(mu_);
+    if (!scalars_.emplace(slot(ns, stmt_id), scalars).second) return;
+  }
+  std::lock_guard slk(stats_mu_);
+  ++stats_.installs;
+}
+
+SharedPlanMeta::Stats SharedPlanMeta::stats() const {
+  std::lock_guard lk(stats_mu_);
+  return stats_;
+}
+
+std::size_t SharedPlanMeta::size() const {
+  std::shared_lock lk(mu_);
+  return declines_.size() + scalars_.size();
+}
+
+void SharedPlanMeta::clear() {
+  {
+    std::unique_lock lk(mu_);
+    declines_.clear();
+    scalars_.clear();
+  }
+  std::lock_guard slk(stats_mu_);
+  stats_ = Stats{};
+}
+
+// ---------------------------------------------------------------------------
+// PlanCache
+
 const PlanEntry& PlanCache::get_or_build(
     int stmt_id, const std::string& key,
     const std::function<PlanEntry()>& build) {
@@ -1106,16 +1181,37 @@ const PlanEntry& PlanCache::get_or_build(
   }
   ++misses_;
   PlanEntry e = build();
-  if (!e.plan && e.structural && stmt_id >= 0)
+  if (!e.plan && e.structural && stmt_id >= 0) {
     structural_declines_.insert(stmt_id);
+    if (shared_) shared_->record_structural_decline(shared_ns_, stmt_id);
+  }
   return map_.emplace(key, std::move(e)).first->second;
+}
+
+bool PlanCache::declined_structurally(int stmt_id) const {
+  if (structural_declines_.count(stmt_id) > 0) return true;
+  if (shared_ && shared_->declined_structurally(shared_ns_, stmt_id)) {
+    structural_declines_.insert(stmt_id);
+    ++shared_hits_;
+    return true;
+  }
+  return false;
 }
 
 const std::vector<std::string>& PlanCache::key_scalars(
     int stmt_id, const std::function<std::vector<std::string>()>& collect) {
   auto it = key_scalars_.find(stmt_id);
   if (it != key_scalars_.end()) return it->second;
-  return key_scalars_.emplace(stmt_id, collect()).first->second;
+  if (shared_) {
+    std::vector<std::string> names;
+    if (shared_->lookup_key_scalars(shared_ns_, stmt_id, names)) {
+      ++shared_hits_;
+      return key_scalars_.emplace(stmt_id, std::move(names)).first->second;
+    }
+  }
+  auto& entry = key_scalars_.emplace(stmt_id, collect()).first->second;
+  if (shared_) shared_->install_key_scalars(shared_ns_, stmt_id, entry);
+  return entry;
 }
 
 void PlanCache::invalidate_array(const std::string& array) {
@@ -1139,6 +1235,7 @@ void PlanCache::clear() {
   structural_declines_.clear();
   key_scalars_.clear();
   hits_ = misses_ = invalidations_ = 0;
+  shared_hits_ = 0;
 }
 
 }  // namespace f90d::exec

@@ -27,7 +27,9 @@
 // subscripts — fall back to the tree walk; the decline itself is cached.
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <set>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -205,6 +207,47 @@ struct PlanScratch {
 /// driver runs them around the call.
 [[nodiscard]] Index run_exec_plan(const ExecPlan& p, PlanScratch& scratch);
 
+/// Process-wide, cross-run store of the *pointer-free* plan metadata
+/// (service mode).  Plan bodies bind raw storage pointers (RefPlan bases,
+/// Buf and Value slots) into one run's Env, so they can never outlive a
+/// run; what CAN be shared is the per-statement analysis that is identical
+/// for every run of the same compiled artifact: structural declines (skip
+/// planning for good) and key-scalar name lists (skip plan_key_scalars).
+/// Entries are namespaced by a caller-chosen prefix — the artifact content
+/// hash plus a cache-family tag — so statement ids from different programs
+/// (and from the regular vs irregular planner) never collide.  Thread-safe
+/// with a shared-lock read path.
+class SharedPlanMeta {
+ public:
+  struct Stats {
+    long long decline_hits = 0;  ///< structural declines answered here
+    long long scalar_hits = 0;   ///< key-scalar lists answered here
+    long long installs = 0;
+  };
+
+  [[nodiscard]] bool declined_structurally(const std::string& ns,
+                                           int stmt_id) const;
+  void record_structural_decline(const std::string& ns, int stmt_id);
+
+  /// Copy the memoized key-scalar list for (ns, stmt_id) into `out`.
+  bool lookup_key_scalars(const std::string& ns, int stmt_id,
+                          std::vector<std::string>& out) const;
+  void install_key_scalars(const std::string& ns, int stmt_id,
+                           const std::vector<std::string>& scalars);
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+ private:
+  static std::string slot(const std::string& ns, int stmt_id);
+  mutable std::shared_mutex mu_;
+  std::set<std::string> declines_;
+  std::unordered_map<std::string, std::vector<std::string>> scalars_;
+  mutable std::mutex stats_mu_;
+  mutable Stats stats_;
+};
+
 /// Per-processor plan cache, keyed like the PARTI ScheduleCache.  Also
 /// memoizes declines; structural declines are additionally indexed by
 /// statement id so the driver can bypass key construction entirely.
@@ -214,10 +257,9 @@ class PlanCache {
                                 const std::function<PlanEntry()>& build);
 
   /// True when `stmt_id` was declined for reasons independent of runtime
-  /// scalar values (PARTI path, non-affine subscripts, ...).
-  [[nodiscard]] bool declined_structurally(int stmt_id) const {
-    return structural_declines_.count(stmt_id) > 0;
-  }
+  /// scalar values (PARTI path, non-affine subscripts, ...).  Consults the
+  /// attached SharedPlanMeta on a local miss and pulls hits local.
+  [[nodiscard]] bool declined_structurally(int stmt_id) const;
 
   /// Memoized plan_key_scalars result for `stmt_id` (the name list is
   /// static per statement; only the formatted values change per call).
@@ -235,10 +277,23 @@ class PlanCache {
   [[nodiscard]] std::size_t size() const { return map_.size(); }
   void clear();
 
+  /// Attach the cross-run metadata store (service mode).  `ns` namespaces
+  /// this cache's statement ids inside the store — pass the artifact hash
+  /// plus a family tag (e.g. "<hash>|plan").  Null detaches.
+  void set_shared(SharedPlanMeta* meta, std::string ns) {
+    shared_ = meta;
+    shared_ns_ = std::move(ns);
+  }
+  /// Lookups answered by the shared store instead of local analysis.
+  [[nodiscard]] int shared_hits() const { return shared_hits_; }
+
  private:
   std::unordered_map<std::string, PlanEntry> map_;
-  std::set<int> structural_declines_;
+  mutable std::set<int> structural_declines_;
   std::unordered_map<int, std::vector<std::string>> key_scalars_;
+  SharedPlanMeta* shared_ = nullptr;
+  std::string shared_ns_;
+  mutable int shared_hits_ = 0;
   int hits_ = 0;
   int misses_ = 0;
   int invalidations_ = 0;

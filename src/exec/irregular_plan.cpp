@@ -139,16 +139,37 @@ const IrrPlanEntry& IrregularPlanCache::get_or_build(
   }
   ++misses_;
   IrrPlanEntry e = build();
-  if (!e.plan && e.structural && stmt_id >= 0)
+  if (!e.plan && e.structural && stmt_id >= 0) {
     structural_declines_.insert(stmt_id);
+    if (shared_) shared_->record_structural_decline(shared_ns_, stmt_id);
+  }
   return map_.emplace(key, std::move(e)).first->second;
+}
+
+bool IrregularPlanCache::declined_structurally(int stmt_id) const {
+  if (structural_declines_.count(stmt_id) > 0) return true;
+  if (shared_ && shared_->declined_structurally(shared_ns_, stmt_id)) {
+    structural_declines_.insert(stmt_id);
+    ++shared_hits_;
+    return true;
+  }
+  return false;
 }
 
 const std::vector<std::string>& IrregularPlanCache::key_scalars(
     int stmt_id, const std::function<std::vector<std::string>()>& collect) {
   auto it = key_scalars_.find(stmt_id);
   if (it != key_scalars_.end()) return it->second;
-  return key_scalars_.emplace(stmt_id, collect()).first->second;
+  if (shared_) {
+    std::vector<std::string> names;
+    if (shared_->lookup_key_scalars(shared_ns_, stmt_id, names)) {
+      ++shared_hits_;
+      return key_scalars_.emplace(stmt_id, std::move(names)).first->second;
+    }
+  }
+  auto& entry = key_scalars_.emplace(stmt_id, collect()).first->second;
+  if (shared_) shared_->install_key_scalars(shared_ns_, stmt_id, entry);
+  return entry;
 }
 
 void IrregularPlanCache::invalidate_array(const std::string& array) {
@@ -172,6 +193,7 @@ void IrregularPlanCache::clear() {
   structural_declines_.clear();
   key_scalars_.clear();
   hits_ = misses_ = invalidations_ = 0;
+  shared_hits_ = 0;
 }
 
 }  // namespace f90d::exec

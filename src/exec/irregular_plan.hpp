@@ -122,9 +122,7 @@ class IrregularPlanCache {
   const IrrPlanEntry& get_or_build(int stmt_id, const std::string& key,
                                    const std::function<IrrPlanEntry()>& build);
 
-  [[nodiscard]] bool declined_structurally(int stmt_id) const {
-    return structural_declines_.count(stmt_id) > 0;
-  }
+  [[nodiscard]] bool declined_structurally(int stmt_id) const;
 
   const std::vector<std::string>& key_scalars(
       int stmt_id, const std::function<std::vector<std::string>()>& collect);
@@ -138,10 +136,22 @@ class IrregularPlanCache {
   [[nodiscard]] std::size_t size() const { return map_.size(); }
   void clear();
 
+  /// Attach the cross-run metadata store; use a distinct family tag from
+  /// the regular PlanCache (e.g. "<hash>|irr") — the two caches share the
+  /// statement-id space.
+  void set_shared(SharedPlanMeta* meta, std::string ns) {
+    shared_ = meta;
+    shared_ns_ = std::move(ns);
+  }
+  [[nodiscard]] int shared_hits() const { return shared_hits_; }
+
  private:
   std::unordered_map<std::string, IrrPlanEntry> map_;
-  std::set<int> structural_declines_;
+  mutable std::set<int> structural_declines_;
   std::unordered_map<int, std::vector<std::string>> key_scalars_;
+  SharedPlanMeta* shared_ = nullptr;
+  std::string shared_ns_;
+  mutable int shared_hits_ = 0;
   int hits_ = 0;
   int misses_ = 0;
   int invalidations_ = 0;

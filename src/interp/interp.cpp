@@ -105,6 +105,13 @@ class Node {
         shared_(shared),
         env_(c, gc_, map_resolver(init)) {
     cache_.set_enabled(opt_.schedule_cache);
+    if (opt_.schedule_session != nullptr)
+      cache_.set_session(opt_.schedule_session, gc_.my_logical());
+    if (opt_.plan_meta != nullptr) {
+      // Distinct family tags: the two caches share the statement-id space.
+      plans_.set_shared(opt_.plan_meta, opt_.cache_prefix + "|plan");
+      irr_plans_.set_shared(opt_.plan_meta, opt_.cache_prefix + "|irr");
+    }
     apply_init();
   }
 
@@ -1305,6 +1312,9 @@ class Node {
     shared_.result.schedule_hits = cache_.hits();
     shared_.result.schedule_misses = cache_.misses();
     shared_.result.schedule_invalidations = cache_.invalidations();
+    shared_.result.shared_schedule_hits = cache_.shared_hits();
+    shared_.result.shared_plan_hits =
+        plans_.shared_hits() + irr_plans_.shared_hits();
     shared_.result.schedules_built = schedules_built_;
     shared_.result.gather_bytes = gather_bytes_;
     shared_.result.scatter_bytes = scatter_bytes_;
@@ -1396,6 +1406,9 @@ ProgramResult run_compiled(const compile::Compiled& compiled,
     node.run();
   });
   const native::JitStats jit1 = native::NativeCache::instance().stats();
+  // Install this run's staged schedules into the shared store (complete
+  // per-rank sets only; see SharedScheduleSession::finish).
+  if (options.schedule_session != nullptr) options.schedule_session->finish();
   shared.result.native_cache_hits = jit1.cache_hits - jit0.cache_hits;
   shared.result.native_compiles = jit1.compiles - jit0.compiles;
   shared.result.native_dlopens = jit1.dlopens - jit0.dlopens;

@@ -21,6 +21,13 @@
 #include "compile/driver.hpp"
 #include "machine/sim_machine.hpp"
 
+namespace f90d::parti {
+class SharedScheduleSession;
+}
+namespace f90d::exec {
+class SharedPlanMeta;
+}
+
 namespace f90d::interp {
 
 using rts::Index;
@@ -37,6 +44,20 @@ struct RunOptions {
   /// plan, when no toolchain is available — run on the tape interpreter
   /// exactly as with the flag off.  Requires exec_plans.
   bool native_backend = false;
+  /// Service mode: this run's collective view of the process-wide schedule
+  /// store (src/parti/schedule_cache.hpp).  Per-run object owned by the
+  /// caller; run_compiled calls finish() on it after the machine run so
+  /// complete schedule sets are installed for later runs.  Null = no
+  /// cross-run sharing (the default, and the behaviour all non-service
+  /// callers keep).
+  parti::SharedScheduleSession* schedule_session = nullptr;
+  /// Service mode: process-wide store of pointer-free plan metadata
+  /// (structural declines, key-scalar lists).  Null = no sharing.
+  exec::SharedPlanMeta* plan_meta = nullptr;
+  /// Namespace for shared-cache keys: must identify the compiled artifact
+  /// AND the initial data (e.g. "<content-hash>|<init-tag>") — schedule
+  /// contents depend on both.  Required when either pointer above is set.
+  std::string cache_prefix;
 };
 
 /// Per-array initializers: global (0-based) indices -> value.
@@ -58,6 +79,11 @@ struct ProgramResult {
   int schedule_hits = 0;
   int schedule_misses = 0;
   int schedule_invalidations = 0;
+  /// Service mode: local misses answered by the cross-run shared schedule
+  /// store / plan-metadata store (processor 0's counters; zero unless
+  /// RunOptions::schedule_session / plan_meta were set).
+  int shared_schedule_hits = 0;
+  int shared_plan_hits = 0;
   /// Inspector/executor observability (processor 0's node counters):
   /// schedules actually built by an inspector (= misses plus uncached
   /// builds) and remote payload bytes moved by the read (gather) and write

@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 
@@ -46,30 +47,80 @@ NativeCache& NativeCache::instance() {
 
 bool NativeCache::available() {
   if (compiler_path() == nullptr || disabled_by_env()) return false;
-  std::lock_guard<std::mutex> lock(mu_);
-  return ensure_probe_locked();
+  return ensure_probe();
 }
 
 KernelFn NativeCache::get_or_compile(const std::string& source) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (!ensure_probe_locked()) return nullptr;
-  auto it = map_.find(source);
-  if (it != map_.end()) {
-    ++stats_.cache_hits;
-    return it->second;
+  if (!ensure_probe()) return nullptr;
+  {
+    std::shared_lock lk(mu_);
+    auto it = map_.find(source);
+    if (it != map_.end()) {
+      const KernelFn fn = it->second;
+      lk.unlock();
+      std::lock_guard slk(stats_mu_);
+      ++stats_.cache_hits;
+      return fn;
+    }
   }
-  KernelFn fn = compile_locked(source);
-  map_.emplace(source, fn);
+  // Cold path: register (or join) the in-flight record for this source,
+  // then compile with no cache lock held so distinct sources overlap.
+  std::shared_ptr<Inflight> fl;
+  bool owner = false;
+  {
+    std::unique_lock lk(mu_);
+    auto it = map_.find(source);
+    if (it != map_.end()) {
+      const KernelFn fn = it->second;
+      lk.unlock();
+      std::lock_guard slk(stats_mu_);
+      ++stats_.cache_hits;
+      return fn;
+    }
+    auto [fit, inserted] = inflight_.try_emplace(source);
+    if (inserted) {
+      fit->second = std::make_shared<Inflight>();
+      owner = true;
+    }
+    fl = fit->second;
+  }
+  if (!owner) {
+    std::unique_lock wl(fl->m);
+    fl->cv.wait(wl, [&] { return fl->done; });
+    const KernelFn fn = fl->fn;
+    wl.unlock();
+    std::lock_guard slk(stats_mu_);
+    ++stats_.coalesced;
+    return fn;
+  }
+  const KernelFn fn = compile(source);
+  {
+    std::unique_lock lk(mu_);
+    map_.emplace(source, fn);
+    inflight_.erase(source);
+  }
+  {
+    std::lock_guard wl(fl->m);
+    fl->fn = fn;
+    fl->done = true;
+  }
+  fl->cv.notify_all();
   return fn;
 }
 
 JitStats NativeCache::stats() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard lk(stats_mu_);
   return stats_;
 }
 
-bool NativeCache::ensure_probe_locked() {
+std::size_t NativeCache::handle_count() {
+  std::lock_guard lk(handles_mu_);
+  return handles_.size();
+}
+
+bool NativeCache::ensure_probe() {
   if (compiler_path() == nullptr || disabled_by_env()) return false;
+  std::lock_guard lk(probe_mu_);
   if (probe_state_ == 0) {
     std::string src = "extern \"C\" void ";
     src += kKernelSymbol;
@@ -77,28 +128,30 @@ bool NativeCache::ensure_probe_locked() {
         "(const long long*, const long long* const*, void* const*,"
         " const long long*, const long long*, const long long* const*,"
         " const double*, const long long*, const unsigned char*) {}\n";
-    probe_state_ = compile_locked(src) != nullptr ? 1 : -1;
+    probe_state_ = compile(src) != nullptr ? 1 : -1;
   }
   return probe_state_ == 1;
 }
 
-KernelFn NativeCache::compile_locked(const std::string& source) {
+bool NativeCache::ensure_dir() {
+  std::call_once(dir_once_, [this] {
+    char tmpl[] = "/tmp/f90d-native-XXXXXX";
+    const char* d = ::mkdtemp(tmpl);
+    if (d != nullptr) dir_ = d;
+  });
+  return !dir_.empty();
+}
+
+KernelFn NativeCache::compile(const std::string& source) {
   const char* cxx = compiler_path();
-  if (cxx == nullptr) {
+  if (cxx == nullptr || !ensure_dir()) {
+    std::lock_guard slk(stats_mu_);
     ++stats_.failures;
     return nullptr;
   }
-  if (dir_.empty()) {
-    char tmpl[] = "/tmp/f90d-native-XXXXXX";
-    const char* d = ::mkdtemp(tmpl);
-    if (d == nullptr) {
-      ++stats_.failures;
-      return nullptr;
-    }
-    dir_ = d;
-  }
   char stem[64];
-  std::snprintf(stem, sizeof(stem), "/k%d_%016llx", counter_++,
+  std::snprintf(stem, sizeof(stem), "/k%d_%016llx",
+                counter_.fetch_add(1, std::memory_order_relaxed),
                 fnv1a(source));
   const std::string cpp = dir_ + stem + ".cpp";
   const std::string so = dir_ + stem + ".so";
@@ -107,6 +160,7 @@ KernelFn NativeCache::compile_locked(const std::string& source) {
     std::ofstream out(cpp);
     out << source;
     if (!out) {
+      std::lock_guard slk(stats_mu_);
       ++stats_.failures;
       return nullptr;
     }
@@ -121,28 +175,39 @@ KernelFn NativeCache::compile_locked(const std::string& source) {
   const auto t0 = std::chrono::steady_clock::now();
   const int rc = std::system(cmd.c_str());
   const auto t1 = std::chrono::steady_clock::now();
-  stats_.compile_ms +=
+  const double ms =
       std::chrono::duration<double, std::milli>(t1 - t0).count();
   if (rc != 0) {
+    std::lock_guard slk(stats_mu_);
+    stats_.compile_ms += ms;
     ++stats_.failures;
     return nullptr;
   }
-  ++stats_.compiles;
   // RTLD_LOCAL: every object exports the same kKernelSymbol; keeping each
   // object's symbols private makes the dlsym below unambiguous.
   void* handle = ::dlopen(so.c_str(), RTLD_NOW | RTLD_LOCAL);
   if (handle == nullptr) {
+    std::lock_guard slk(stats_mu_);
+    stats_.compile_ms += ms;
+    ++stats_.compiles;
     ++stats_.failures;
     return nullptr;
   }
-  ++stats_.dlopens;
   void* sym = ::dlsym(handle, kKernelSymbol);
+  {
+    std::lock_guard hlk(handles_mu_);
+    // Handles are intentionally never dlclose'd: cached KernelFn pointers
+    // live for the process, like the cache itself.
+    handles_.push_back(handle);
+  }
+  std::lock_guard slk(stats_mu_);
+  stats_.compile_ms += ms;
+  ++stats_.compiles;
+  ++stats_.dlopens;
   if (sym == nullptr) {
     ++stats_.failures;
     return nullptr;
   }
-  // The handle is intentionally never dlclose'd: cached KernelFn pointers
-  // live for the process, like the cache itself.
   return reinterpret_cast<KernelFn>(sym);
 }
 

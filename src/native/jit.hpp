@@ -11,6 +11,18 @@
 // that showed no usable toolchain) never retries, so a broken environment
 // costs one attempt and then behaves exactly like F90D_NATIVE=OFF.
 //
+// Thread-safety (service mode: many worker threads attach concurrently):
+//   * the memo map is read under a shared lock — warm requests never
+//     serialize on each other;
+//   * a cold source registers an in-flight record under the exclusive
+//     lock and compiles OUTSIDE any cache lock, so two distinct sources
+//     compile concurrently; a second thread asking for the same source
+//     while it compiles blocks on that record and reuses the one result
+//     (JitStats::coalesced counts these);
+//   * dlopen handles are kept in a table (never dlclose'd — cached
+//     KernelFn pointers live for the process, like the cache itself);
+//   * statistics live behind their own mutex and are snapshotted whole.
+//
 // Requirements and switches:
 //   * CMake bakes the configure-time compiler path in as F90D_NATIVE_CXX;
 //     without the definition (-DF90D_NATIVE=OFF) available() is false and
@@ -18,9 +30,14 @@
 //   * Env F90D_NATIVE_CXX overrides the baked compiler path.
 //   * Env F90D_NATIVE=0 disables the backend at run time (the sanitizer
 //     kill-switch; generated objects are built uninstrumented).
+#include <atomic>
+#include <condition_variable>
+#include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "native/lower.hpp"
 
@@ -33,6 +50,7 @@ struct JitStats {
   long long compiles = 0;    ///< compiler invocations that produced a .so
   long long failures = 0;    ///< compiler invocations that did not
   long long dlopens = 0;
+  long long coalesced = 0;   ///< waits joined onto an in-flight compile
   double compile_ms = 0;     ///< wall time inside the system compiler
 };
 
@@ -50,18 +68,43 @@ class NativeCache {
 
   JitStats stats();
 
+  /// Number of live dlopen handles (the kernels loaded so far).
+  std::size_t handle_count();
+
  private:
+  /// One cold compile in progress; waiters block on cv until done.
+  struct Inflight {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    KernelFn fn = nullptr;
+  };
+
   NativeCache() = default;
 
-  KernelFn compile_locked(const std::string& source);
-  bool ensure_probe_locked();
+  /// Compile + dlopen with no cache lock held.  Only touches per-call
+  /// scratch files (unique names via counter_) and the stats/handles
+  /// structures under their own locks.
+  KernelFn compile(const std::string& source);
+  bool ensure_probe();
+  bool ensure_dir();
 
-  std::mutex mu_;
+  std::shared_mutex mu_;  ///< guards map_ and inflight_
   std::unordered_map<std::string, KernelFn> map_;
+  std::unordered_map<std::string, std::shared_ptr<Inflight>> inflight_;
+
+  std::mutex stats_mu_;
   JitStats stats_;
-  std::string dir_;       ///< scratch directory (created on first compile)
+
+  std::mutex handles_mu_;
+  std::vector<void*> handles_;  ///< intentionally never dlclose'd
+
+  std::mutex probe_mu_;   ///< serializes the one-time toolchain probe
   int probe_state_ = 0;   ///< 0 = untried, 1 = ok, -1 = failed
-  int counter_ = 0;
+
+  std::once_flag dir_once_;
+  std::string dir_;       ///< scratch directory (created on first compile)
+  std::atomic<int> counter_{0};
 };
 
 }  // namespace f90d::native

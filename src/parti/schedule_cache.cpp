@@ -1,8 +1,137 @@
 #include "parti/schedule_cache.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace f90d::parti {
+
+// ---------------------------------------------------------------------------
+// SharedScheduleStore
+
+SharedScheduleStore::RankSetPtr SharedScheduleStore::lookup(
+    const std::string& key, int nprocs) const {
+  std::shared_lock lk(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) return nullptr;
+  if (static_cast<int>(it->second->size()) != nprocs) return nullptr;
+  return it->second;
+}
+
+void SharedScheduleStore::install(const std::string& key, RankSet set) {
+  auto ptr = std::make_shared<const RankSet>(std::move(set));
+  {
+    std::unique_lock lk(mu_);
+    // First writer wins: concurrent identical runs build identical
+    // schedules, so keeping the incumbent is both cheap and correct.
+    if (!map_.emplace(key, std::move(ptr)).second) return;
+  }
+  std::lock_guard slk(stats_mu_);
+  ++stats_.installs;
+}
+
+SharedScheduleStore::Stats SharedScheduleStore::stats() const {
+  std::lock_guard lk(stats_mu_);
+  return stats_;
+}
+
+std::size_t SharedScheduleStore::size() const {
+  std::shared_lock lk(mu_);
+  return map_.size();
+}
+
+void SharedScheduleStore::clear() {
+  {
+    std::unique_lock lk(mu_);
+    map_.clear();
+  }
+  std::lock_guard slk(stats_mu_);
+  stats_ = Stats{};
+}
+
+void SharedScheduleStore::count_decision(bool hit) {
+  std::lock_guard lk(stats_mu_);
+  if (hit)
+    ++stats_.hits;
+  else
+    ++stats_.misses;
+}
+
+// ---------------------------------------------------------------------------
+// SharedScheduleSession
+
+SharedScheduleSession::SharedScheduleSession(SharedScheduleStore* store,
+                                             std::string prefix, int nprocs)
+    : store_(store), prefix_(std::move(prefix)), nprocs_(nprocs) {}
+
+SchedulePtr SharedScheduleSession::lookup(const std::string& key, int rank) {
+  if (!store_ || rank < 0 || rank >= nprocs_) return nullptr;
+  std::lock_guard lk(mu_);
+  const std::string skey = prefix_ + key;
+  auto it = decisions_.find(skey);
+  if (it == decisions_.end()) {
+    // First rank to reach this key makes the collective decision; every
+    // other rank replays it, even if the store gains the entry meanwhile —
+    // a split decision would have some ranks skip a collective build that
+    // the rest are waiting inside.
+    SharedScheduleStore::RankSetPtr set = store_->lookup(skey, nprocs_);
+    store_->count_decision(set != nullptr);
+    it = decisions_.emplace(skey, std::move(set)).first;
+  }
+  if (!it->second) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return (*it->second)[static_cast<std::size_t>(rank)];
+}
+
+void SharedScheduleSession::stage(const std::string& key, int rank,
+                                  SchedulePtr sched,
+                                  const std::vector<std::string>& deps) {
+  if (!store_ || rank < 0 || rank >= nprocs_ || !sched) return;
+  std::lock_guard lk(mu_);
+  auto& st = staged_[prefix_ + key];
+  if (st.per_rank.empty())
+    st.per_rank.assign(static_cast<std::size_t>(nprocs_), nullptr);
+  auto& slot = st.per_rank[static_cast<std::size_t>(rank)];
+  if (!slot) ++st.have;
+  slot = std::move(sched);
+  for (const auto& d : deps)
+    if (std::find(st.deps.begin(), st.deps.end(), d) == st.deps.end())
+      st.deps.push_back(d);
+}
+
+void SharedScheduleSession::drop_staged_dep(const std::string& array) {
+  std::lock_guard lk(mu_);
+  for (auto& [key, st] : staged_) {
+    (void)key;
+    if (std::find(st.deps.begin(), st.deps.end(), array) != st.deps.end())
+      st.dropped = true;
+  }
+}
+
+void SharedScheduleSession::finish() {
+  if (!store_) return;
+  std::lock_guard lk(mu_);
+  for (auto& [key, st] : staged_) {
+    if (st.dropped || st.have != nprocs_) continue;
+    store_->install(key, std::move(st.per_rank));
+  }
+  staged_.clear();
+}
+
+long long SharedScheduleSession::hits() const {
+  std::lock_guard lk(mu_);
+  return hits_;
+}
+
+long long SharedScheduleSession::misses() const {
+  std::lock_guard lk(mu_);
+  return misses_;
+}
+
+// ---------------------------------------------------------------------------
+// ScheduleCache
 
 SchedulePtr ScheduleCache::get_or_build(
     const std::string& key, const std::function<SchedulePtr()>& build) {
@@ -21,10 +150,19 @@ SchedulePtr ScheduleCache::get_or_build(
     ++hits_;
     return it->second;
   }
+  if (session_) {
+    if (SchedulePtr s = session_->lookup(key, rank_)) {
+      ++shared_hits_;
+      map_.emplace(key, s);
+      if (!deps.empty()) deps_.emplace(key, deps);
+      return s;
+    }
+  }
   ++misses_;
   SchedulePtr s = build();
   map_.emplace(key, s);
   if (!deps.empty()) deps_.emplace(key, deps);
+  if (session_) session_->stage(key, rank_, s, deps);
   return s;
 }
 
@@ -39,12 +177,14 @@ void ScheduleCache::invalidate_array(const std::string& name) {
       ++it;
     }
   }
+  if (session_) session_->drop_staged_dep(name);
 }
 
 void ScheduleCache::clear() {
   map_.clear();
   deps_.clear();
   hits_ = misses_ = invalidations_ = 0;
+  shared_hits_ = 0;
 }
 
 }  // namespace f90d::parti

@@ -12,6 +12,9 @@
 // key combines the source/destination DAD signature with a description of
 // the access pattern (the compiler emits it; see compile/codegen).
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -19,6 +22,97 @@
 #include "parti/schedule.hpp"
 
 namespace f90d::parti {
+
+/// Process-wide schedule store shared across runs and requests (service
+/// mode).  Entries are complete per-rank sets — one immutable SchedulePtr
+/// per logical processor of the run that built them — installed atomically
+/// when that run finishes, so a concurrent run can never observe a set
+/// that only some of its ranks would hit.  Thread-safe: lookups take a
+/// shared lock (warm requests never serialize), installs an exclusive one.
+class SharedScheduleStore {
+ public:
+  using RankSet = std::vector<SchedulePtr>;
+  using RankSetPtr = std::shared_ptr<const RankSet>;
+
+  struct Stats {
+    long long hits = 0;      ///< session decisions answered from the store
+    long long misses = 0;    ///< session decisions that fell back to build
+    long long installs = 0;  ///< complete per-rank sets installed
+  };
+
+  /// The complete per-rank set for `key`, or null.  `nprocs` guards
+  /// against a key collision across grid sizes (never expected; cheap).
+  [[nodiscard]] RankSetPtr lookup(const std::string& key, int nprocs) const;
+
+  /// Install a complete set; first writer wins (identical runs build
+  /// identical schedules, so losing the race is not a correctness event).
+  void install(const std::string& key, RankSet set);
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+ private:
+  friend class SharedScheduleSession;
+  void count_decision(bool hit);
+
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, RankSetPtr> map_;
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+};
+
+/// One run's collective view of a SharedScheduleStore.  The cache decision
+/// for a key must be identical on every rank of the run even while other
+/// runs install entries concurrently — schedule builds are collective
+/// message exchanges, so rank 0 hitting while rank 1 builds would wedge
+/// the machine.  The first rank to reach a key consults the store once and
+/// records the decision; every other rank replays it.  Schedules built by
+/// this run are staged per rank and installed into the store as complete
+/// sets by finish(), called after the machine run ends.
+class SharedScheduleSession {
+ public:
+  SharedScheduleSession(SharedScheduleStore* store, std::string prefix,
+                        int nprocs);
+
+  /// The stored schedule for (key, rank) when the collective decision for
+  /// `key` is HIT; null when this run must build.
+  [[nodiscard]] SchedulePtr lookup(const std::string& key, int rank);
+
+  /// Rank `rank` built its schedule for `key`: stage it for installation.
+  void stage(const std::string& key, int rank, SchedulePtr sched,
+             const std::vector<std::string>& deps);
+
+  /// The run invalidated schedules depending on `array` (redistribute /
+  /// whole-array intrinsic write): conservatively drop matching staged
+  /// entries so they are never installed.
+  void drop_staged_dep(const std::string& array);
+
+  /// Install every complete, undropped staged set.  Called once, after
+  /// the machine run completes (no rank is mid-decision).
+  void finish();
+
+  [[nodiscard]] long long hits() const;
+  [[nodiscard]] long long misses() const;
+
+ private:
+  struct Staged {
+    SharedScheduleStore::RankSet per_rank;
+    int have = 0;
+    std::vector<std::string> deps;
+    bool dropped = false;
+  };
+
+  SharedScheduleStore* store_;
+  const std::string prefix_;
+  const int nprocs_;
+  mutable std::mutex mu_;
+  /// Collective decisions: present = decided; non-null = HIT with the set.
+  std::unordered_map<std::string, SharedScheduleStore::RankSetPtr> decisions_;
+  std::unordered_map<std::string, Staged> staged_;
+  long long hits_ = 0;
+  long long misses_ = 0;
+};
 
 class ScheduleCache {
  public:
@@ -50,7 +144,22 @@ class ScheduleCache {
   void set_enabled(bool enabled) { enabled_ = enabled; }
   [[nodiscard]] bool enabled() const { return enabled_; }
 
+  /// Attach this node's cache to a run-wide shared session (service mode).
+  /// On a local miss the cache consults the session before building, and
+  /// stages what it builds for cross-run reuse.  `rank` is this node's
+  /// logical processor number.  Null detaches.
+  void set_session(SharedScheduleSession* session, int rank) {
+    session_ = session;
+    rank_ = rank;
+  }
+  /// Local misses answered by the shared store (not counted in hits() or
+  /// misses(): existing per-run counter semantics stay exact).
+  [[nodiscard]] int shared_hits() const { return shared_hits_; }
+
  private:
+  SharedScheduleSession* session_ = nullptr;
+  int rank_ = 0;
+  int shared_hits_ = 0;
   std::unordered_map<std::string, SchedulePtr> map_;
   /// Per-key dependency sets (only keys registered through the deps
   /// overload appear; legacy entries have no tracked dependencies).

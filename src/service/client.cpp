@@ -1,0 +1,50 @@
+#include "service/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace f90d::service {
+
+ClientResult request(const std::string& socket_path, const WireRequest& req) {
+  ClientResult res;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    res.error = "socket path too long: " + socket_path;
+    return res;
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    res.error = std::string("socket: ") + std::strerror(errno);
+    return res;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    res.error = std::string("connect ") + socket_path + ": " +
+                std::strerror(errno);
+    ::close(fd);
+    return res;
+  }
+  if (!write_all(fd, encode_request(req))) {
+    res.error = "short write to daemon";
+    ::close(fd);
+    return res;
+  }
+  // Half-close so a simple server could read to EOF; ours reads by length.
+  ::shutdown(fd, SHUT_WR);
+  std::string err;
+  if (!read_response(fd, res.ok, res.body, err)) {
+    res.error = err;
+    ::close(fd);
+    return res;
+  }
+  res.connected = true;
+  ::close(fd);
+  return res;
+}
+
+}  // namespace f90d::service

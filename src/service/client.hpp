@@ -1,0 +1,22 @@
+#pragma once
+// Client side of the f90dcd wire protocol: connect, send one request, read
+// one response.  Used by `f90dc --client/--ping`, the load generator, and
+// the server round-trip tests.
+#include <string>
+
+#include "service/wire.hpp"
+
+namespace f90d::service {
+
+struct ClientResult {
+  bool connected = false;  ///< transport worked end to end
+  bool ok = false;         ///< server answered OK (vs ERR)
+  std::string body;        ///< response JSON
+  std::string error;       ///< transport-level failure description
+};
+
+/// One request/response round trip against the daemon at `socket_path`.
+[[nodiscard]] ClientResult request(const std::string& socket_path,
+                                   const WireRequest& req);
+
+}  // namespace f90d::service

@@ -1,0 +1,208 @@
+#include "service/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "service/stats_json.hpp"
+#include "service/wire.hpp"
+#include "support/json.hpp"
+
+namespace f90d::service {
+
+namespace {
+
+std::string error_body(const std::string& message) {
+  JsonWriter w;
+  w.begin_object().field("ok", false).field("error", message).end_object();
+  return w.str();
+}
+
+}  // namespace
+
+Server::Server(ServerOptions opt) : opt_(std::move(opt)), core_(opt_.service) {
+  if (opt_.workers < 1) opt_.workers = 1;
+  if (opt_.max_pending < 1) opt_.max_pending = 1;
+}
+
+Server::~Server() {
+  stop();
+  wait();
+}
+
+bool Server::start(std::string& err) {
+  if (opt_.socket_path.empty()) {
+    err = "empty socket path";
+    return false;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (opt_.socket_path.size() >= sizeof(addr.sun_path)) {
+    err = "socket path too long: " + opt_.socket_path;
+    return false;
+  }
+  std::strncpy(addr.sun_path, opt_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  // A previous daemon's socket file would make bind fail; it is only ever
+  // stale (a live one would still fail the bind below on some systems, but
+  // connecting clients will discover that).
+  ::unlink(opt_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    err = std::string("bind ") + opt_.socket_path + ": " +
+          std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::listen(listen_fd_, opt_.max_pending) < 0) {
+    err = std::string("listen: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::pipe(wake_fds_) < 0) {
+    err = std::string("pipe: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  started_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  workers_.reserve(static_cast<std::size_t>(opt_.workers));
+  for (int i = 0; i < opt_.workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+  return true;
+}
+
+void Server::stop() {
+  {
+    std::lock_guard lk(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (wake_fds_[1] >= 0) {
+    const char c = 'x';
+    [[maybe_unused]] ssize_t n = ::write(wake_fds_[1], &c, 1);
+  }
+}
+
+void Server::wait() {
+  if (!started_) return;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& t : workers_)
+    if (t.joinable()) t.join();
+  workers_.clear();
+  {
+    // Shed whatever was still queued.
+    std::lock_guard lk(mu_);
+    for (int fd : pending_) ::close(fd);
+    pending_.clear();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (int& fd : wake_fds_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+  ::unlink(opt_.socket_path.c_str());
+  started_ = false;
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_fds_[0], POLLIN, 0};
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    {
+      std::lock_guard lk(mu_);
+      if (stopping_) break;
+    }
+    if (!(fds[0].revents & POLLIN)) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    bool shed = false;
+    {
+      std::lock_guard lk(mu_);
+      if (static_cast<int>(pending_.size()) >= opt_.max_pending)
+        shed = true;
+      else
+        pending_.push_back(fd);
+    }
+    if (shed) {
+      write_all(fd, encode_response(
+                        false, error_body("server busy (max_pending " +
+                                          std::to_string(opt_.max_pending) +
+                                          " connections queued)")));
+      ::close(fd);
+    } else {
+      cv_.notify_one();
+    }
+  }
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock lk(mu_);
+      cv_.wait(lk, [this] { return stopping_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // stopping, queue drained
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    handle(fd);
+    ::close(fd);
+  }
+}
+
+void Server::handle(int fd) {
+  WireRequest req;
+  std::string err;
+  if (!read_request(fd, req, err, core_.options().max_source_bytes)) {
+    write_all(fd, encode_response(false, error_body(err)));
+    return;
+  }
+  if (req.verb == "PING") {
+    JsonWriter w;
+    w.begin_object().field("ok", true).field("pong", true).end_object();
+    write_all(fd, encode_response(true, w.str()));
+    return;
+  }
+  if (req.verb == "STATS") {
+    write_all(fd, encode_response(true, core_.stats_json()));
+    return;
+  }
+  if (req.verb == "SHUTDOWN") {
+    JsonWriter w;
+    w.begin_object().field("ok", true).field("stopping", true).end_object();
+    write_all(fd, encode_response(true, w.str()));
+    stop();
+    return;
+  }
+  if (req.verb != "RUN") {
+    write_all(fd,
+              encode_response(false, error_body("unknown verb: " + req.verb)));
+    return;
+  }
+  const Outcome out = core_.submit(req.source, spec_from_request(req));
+  write_all(fd, encode_response(out.ok, run_stats_json(out)));
+}
+
+}  // namespace f90d::service

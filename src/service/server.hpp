@@ -1,0 +1,74 @@
+#pragma once
+// The f90dcd daemon: a Unix-domain-socket accept loop feeding a pool of
+// worker threads, all sharing one ServiceCore (docs/SERVICE.md).
+//
+//   * accept thread: takes connections and queues them; when more than
+//     `max_pending` connections are waiting the newcomer is answered
+//     "ERR busy" immediately instead of queueing without bound;
+//   * worker threads: pop a connection, read one request, serve it
+//     (RUN -> ServiceCore::submit + run_stats_json, PING/STATS/SHUTDOWN),
+//     write the response, close.  Concurrent RUNs share the artifact,
+//     schedule, plan-metadata and native-JIT caches — that sharing is the
+//     entire point of staying resident.
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/service.hpp"
+
+namespace f90d::service {
+
+struct ServerOptions {
+  std::string socket_path;
+  int workers = 4;
+  int max_pending = 64;  ///< queued connections before shedding load
+  ServiceOptions service;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opt);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen + spawn the accept thread and worker pool.  False with
+  /// `err` set when the socket cannot be set up.
+  bool start(std::string& err);
+
+  /// Block until stop() is called (by a SHUTDOWN request or a signal
+  /// handler), then join everything and remove the socket file.
+  void wait();
+
+  /// Request shutdown; safe from any thread and from a signal context
+  /// thanks to the self-pipe the accept loop polls.
+  void stop();
+
+  [[nodiscard]] ServiceCore& core() { return core_; }
+  [[nodiscard]] const ServerOptions& options() const { return opt_; }
+
+ private:
+  void accept_loop();
+  void worker_loop();
+  void handle(int fd);
+
+  ServerOptions opt_;
+  ServiceCore core_;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  ///< self-pipe: stop() wakes the accept poll
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<int> pending_;
+  bool stopping_ = false;
+  bool started_ = false;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace f90d::service

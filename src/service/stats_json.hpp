@@ -1,0 +1,19 @@
+#pragma once
+// Machine-readable per-run statistics: every counter the human `--stats`
+// table prints, as one JSON document.  Emitted by `f90dc --stats-json`, by
+// the f90dcd response bodies, and parsed back by the load generator and CI
+// (support/json.hpp json_find_number), so the key names are a contract —
+// see docs/SERVICE.md.
+#include <string>
+
+#include "service/service.hpp"
+
+namespace f90d::service {
+
+/// The full per-run document: request identity (artifact key, cache
+/// disposition), host timings, simulated machine totals, per-processor
+/// stats, and every cache counter (schedule / plan / irregular / native /
+/// shared-store).
+[[nodiscard]] std::string run_stats_json(const Outcome& out);
+
+}  // namespace f90d::service

@@ -1,0 +1,207 @@
+#include "service/wire.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "support/str_util.hpp"
+
+namespace f90d::service {
+
+namespace {
+
+/// Read one LF-terminated line (LF stripped).  False on EOF/error before
+/// any terminator.  Lines are tiny (headers), so char-at-a-time is fine.
+bool read_line(int fd, std::string& line) {
+  line.clear();
+  char c;
+  for (;;) {
+    const ssize_t n = ::read(fd, &c, 1);
+    if (n == 1) {
+      if (c == '\n') return true;
+      line += c;
+      if (line.size() > 4096) return false;  // header line quota
+    } else if (n == 0) {
+      return false;
+    } else if (errno != EINTR) {
+      return false;
+    }
+  }
+}
+
+bool read_exact(int fd, std::size_t count, std::string& out) {
+  out.clear();
+  out.reserve(count);
+  char buf[4096];
+  while (out.size() < count) {
+    const std::size_t want = std::min(sizeof(buf), count - out.size());
+    const ssize_t n = ::read(fd, buf, want);
+    if (n > 0)
+      out.append(buf, static_cast<std::size_t>(n));
+    else if (n == 0)
+      return false;
+    else if (errno != EINTR)
+      return false;
+  }
+  return true;
+}
+
+bool parse_bool(const std::string& v) { return v == "1" || v == "true"; }
+
+}  // namespace
+
+RunSpec spec_from_request(const WireRequest& req) {
+  RunSpec spec;
+  spec.grid = req.grid;
+  if (!req.optimize) spec.codegen = compile::CodegenOptions::all_off();
+  spec.compile_only = req.compile_only;
+  spec.run.skeleton = req.skeleton;
+  spec.run.exec_plans = req.backend != "tree";
+  spec.run.native_backend = req.backend == "native";
+  return spec;
+}
+
+std::string encode_request(const WireRequest& req) {
+  std::string out = req.verb + " " + kProtoVersion + "\n";
+  if (req.verb == "RUN") {
+    out += "source-bytes: " + std::to_string(req.source.size()) + "\n";
+    if (!req.grid.empty()) {
+      out += "grid: ";
+      for (std::size_t i = 0; i < req.grid.size(); ++i) {
+        if (i) out += 'x';
+        out += std::to_string(req.grid[i]);
+      }
+      out += "\n";
+    }
+    if (!req.optimize) out += "optimize: 0\n";
+    if (req.skeleton) out += "skeleton: 1\n";
+    if (req.compile_only) out += "compile-only: 1\n";
+    if (req.backend != "plan") out += "backend: " + req.backend + "\n";
+  }
+  out += "\n";
+  out += req.source;
+  return out;
+}
+
+std::string encode_response(bool ok, const std::string& body) {
+  std::string out = std::string(ok ? "OK" : "ERR") + " " + kProtoVersion + "\n";
+  out += "content-length: " + std::to_string(body.size()) + "\n\n";
+  out += body;
+  return out;
+}
+
+bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n > 0)
+      off += static_cast<std::size_t>(n);
+    else if (n < 0 && errno != EINTR)
+      return false;
+  }
+  return true;
+}
+
+bool read_request(int fd, WireRequest& req, std::string& err,
+                  std::size_t max_source_bytes) {
+  std::string line;
+  if (!read_line(fd, line)) {
+    err = "connection closed before request line";
+    return false;
+  }
+  const std::size_t sp = line.find(' ');
+  if (sp == std::string::npos || line.substr(sp + 1) != kProtoVersion) {
+    err = "malformed request line (want \"<VERB> F90D/1\")";
+    return false;
+  }
+  req = WireRequest{};
+  req.verb = line.substr(0, sp);
+  long long source_bytes = 0;
+  for (;;) {
+    if (!read_line(fd, line)) {
+      err = "connection closed inside headers";
+      return false;
+    }
+    if (line.empty()) break;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      err = "malformed header: " + line;
+      return false;
+    }
+    const std::string name = line.substr(0, colon);
+    std::string value = line.substr(colon + 1);
+    while (!value.empty() && value.front() == ' ') value.erase(0, 1);
+    if (name == "source-bytes") {
+      source_bytes = std::atoll(value.c_str());
+    } else if (name == "grid") {
+      req.grid.clear();
+      for (const std::string& part : split(value, 'x'))
+        req.grid.push_back(std::atoi(part.c_str()));
+    } else if (name == "optimize") {
+      req.optimize = parse_bool(value);
+    } else if (name == "skeleton") {
+      req.skeleton = parse_bool(value);
+    } else if (name == "compile-only") {
+      req.compile_only = parse_bool(value);
+    } else if (name == "backend") {
+      req.backend = value;
+    }
+    // Unknown headers are ignored (forward compatibility).
+  }
+  if (req.verb != "RUN") return true;
+  if (source_bytes < 0 ||
+      static_cast<std::size_t>(source_bytes) > max_source_bytes) {
+    err = "source-bytes " + std::to_string(source_bytes) +
+          " exceeds max_source_bytes (" + std::to_string(max_source_bytes) +
+          ")";
+    return false;
+  }
+  if (!read_exact(fd, static_cast<std::size_t>(source_bytes), req.source)) {
+    err = "connection closed inside source body";
+    return false;
+  }
+  return true;
+}
+
+bool read_response(int fd, bool& ok, std::string& body, std::string& err) {
+  std::string line;
+  if (!read_line(fd, line)) {
+    err = "connection closed before status line";
+    return false;
+  }
+  const std::size_t sp = line.find(' ');
+  if (sp == std::string::npos || line.substr(sp + 1) != kProtoVersion) {
+    err = "malformed status line: " + line;
+    return false;
+  }
+  const std::string status = line.substr(0, sp);
+  if (status != "OK" && status != "ERR") {
+    err = "unknown status: " + status;
+    return false;
+  }
+  ok = status == "OK";
+  long long content_length = -1;
+  for (;;) {
+    if (!read_line(fd, line)) {
+      err = "connection closed inside headers";
+      return false;
+    }
+    if (line.empty()) break;
+    const std::size_t colon = line.find(':');
+    if (colon != std::string::npos &&
+        line.substr(0, colon) == "content-length")
+      content_length = std::atoll(line.c_str() + colon + 1);
+  }
+  if (content_length < 0) {
+    err = "missing content-length";
+    return false;
+  }
+  if (!read_exact(fd, static_cast<std::size_t>(content_length), body)) {
+    err = "connection closed inside body";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace f90d::service

@@ -1,0 +1,54 @@
+#pragma once
+// f90dcd wire protocol (docs/SERVICE.md): a line-oriented request header
+// followed by a length-prefixed body, over a Unix-domain stream socket.
+// One connection carries one request and one response.
+//
+//   request:  "<VERB> F90D/1\n" + "name: value\n"* + "\n" + body
+//             verbs: RUN (compile-and-run; body = source), PING, STATS,
+//             SHUTDOWN.  RUN headers: source-bytes (required), grid
+//             ("4" / "4x4"), optimize / skeleton / compile-only ("0"/"1"),
+//             backend ("plan"/"native"/"tree").
+//   response: "OK F90D/1\n" / "ERR F90D/1\n" + "content-length: N\n" +
+//             "\n" + N bytes of JSON (run_stats_json on OK, {"error":...}
+//             on ERR).
+//
+// Everything here is plain blocking fd I/O — the daemon's worker pool gives
+// each connection its own thread, and requests are small.
+#include <string>
+#include <vector>
+
+#include "service/service.hpp"
+
+namespace f90d::service {
+
+inline constexpr const char* kProtoVersion = "F90D/1";
+
+struct WireRequest {
+  std::string verb = "RUN";
+  std::string source;
+  std::vector<int> grid;
+  bool optimize = true;
+  bool skeleton = false;
+  bool compile_only = false;
+  std::string backend = "plan";  ///< plan | native | tree
+};
+
+/// Map a decoded request onto the service core's RunSpec.  Wire requests
+/// zero-fill all arrays (no Init transport), so init_tag stays "zero".
+[[nodiscard]] RunSpec spec_from_request(const WireRequest& req);
+
+[[nodiscard]] std::string encode_request(const WireRequest& req);
+[[nodiscard]] std::string encode_response(bool ok, const std::string& body);
+
+/// Blocking fd helpers (true on success; false = peer closed / error).
+bool write_all(int fd, const std::string& data);
+
+/// Read and decode one request.  On a malformed or over-quota request
+/// returns false with `err` set (the caller answers ERR and closes).
+bool read_request(int fd, WireRequest& req, std::string& err,
+                  std::size_t max_source_bytes);
+
+/// Read and decode one response into (ok, body).
+bool read_response(int fd, bool& ok, std::string& body, std::string& err);
+
+}  // namespace f90d::service

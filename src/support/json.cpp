@@ -1,0 +1,143 @@
+#include "support/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace f90d {
+
+void JsonWriter::comma() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!have_value_.empty()) {
+    if (have_value_.back()) out_ += ',';
+    have_value_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  have_value_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_ += '}';
+  have_value_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma();
+  out_ += '[';
+  have_value_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_ += ']';
+  have_value_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  comma();
+  out_ += json_quote(k);
+  out_ += ':';
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  comma();
+  out_ += json_quote(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::value(double v) {
+  comma();
+  char buf[40];
+  // %.17g round-trips doubles; trim to a compact form for typical values.
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(long long v) {
+  comma();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(unsigned long long v) {
+  comma();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(const std::string& json) {
+  comma();
+  out_ += json;
+  return *this;
+}
+
+std::string json_quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+bool json_find_number(const std::string& json, const std::string& key,
+                      double& out) {
+  const std::string needle = json_quote(key) + ":";
+  const size_t at = json.find(needle);
+  if (at == std::string::npos) return false;
+  size_t p = at + needle.size();
+  while (p < json.size() && std::isspace(static_cast<unsigned char>(json[p])))
+    ++p;
+  if (p >= json.size()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(json.c_str() + p, &end);
+  if (end == json.c_str() + p) return false;
+  out = v;
+  return true;
+}
+
+double json_number_or(const std::string& json, const std::string& key,
+                      double fallback) {
+  double v = fallback;
+  json_find_number(json, key, v);
+  return v;
+}
+
+}  // namespace f90d

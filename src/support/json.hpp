@@ -1,0 +1,79 @@
+#pragma once
+// Minimal JSON emission (and a tiny value extractor) for the service layer:
+// `f90dc --stats-json`, the f90dcd response bodies, and the load-generator
+// records are all machine-parseable documents built with JsonWriter.  No
+// external dependency: the writer covers exactly the subset we emit
+// (objects, arrays, strings, numbers, booleans), and the extractor covers
+// exactly what the in-tree consumers read back (top-level-ish numeric
+// fields by key).
+#include <string>
+#include <vector>
+
+namespace f90d {
+
+/// Streaming JSON writer.  Call sites nest begin_object/begin_array and the
+/// writer tracks comma placement; keys are emitted with key() or the keyed
+/// value helpers.  The result is one compact document via str().
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emit a key inside an object; follow with a value or begin_*.
+  JsonWriter& key(const std::string& k);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(long long v);
+  JsonWriter& value(int v) { return value(static_cast<long long>(v)); }
+  JsonWriter& value(unsigned long long v);
+  JsonWriter& value(bool v);
+  /// Splice a pre-rendered JSON document in as a value (service stats
+  /// bodies embed per-request response documents verbatim).
+  JsonWriter& raw(const std::string& json);
+
+  // Keyed shorthands.
+  JsonWriter& field(const std::string& k, const std::string& v) {
+    return key(k).value(v);
+  }
+  JsonWriter& field(const std::string& k, const char* v) {
+    return key(k).value(v);
+  }
+  JsonWriter& field(const std::string& k, double v) { return key(k).value(v); }
+  JsonWriter& field(const std::string& k, long long v) {
+    return key(k).value(v);
+  }
+  JsonWriter& field(const std::string& k, int v) { return key(k).value(v); }
+  JsonWriter& field(const std::string& k, unsigned long long v) {
+    return key(k).value(v);
+  }
+  JsonWriter& field(const std::string& k, bool v) { return key(k).value(v); }
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+ private:
+  void comma();
+  std::string out_;
+  /// One entry per open container: true = a value has been emitted at this
+  /// level (the next one needs a comma).
+  std::vector<bool> have_value_;
+  bool after_key_ = false;
+};
+
+/// Escape `s` as a JSON string literal (with the quotes).
+[[nodiscard]] std::string json_quote(const std::string& s);
+
+/// Extract the first number following `"key":` in `json`.  Good enough for
+/// the in-tree documents (flat stats objects with unique key names); returns
+/// false when the key is absent.
+bool json_find_number(const std::string& json, const std::string& key,
+                      double& out);
+
+/// Same, defaulting to `fallback` when absent.
+[[nodiscard]] double json_number_or(const std::string& json,
+                                    const std::string& key, double fallback);
+
+}  // namespace f90d

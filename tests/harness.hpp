@@ -18,6 +18,7 @@
 #include "interp/interp.hpp"
 #include "machine/topology.hpp"
 #include "rts/dad.hpp"
+#include "service/service.hpp"
 
 namespace f90d::harness {
 
@@ -27,6 +28,24 @@ inline machine::SimMachine make_machine(int p,
                                         machine::MachineOptions mo = {}) {
   return machine::SimMachine(p, machine::CostModel::ideal(),
                              machine::make_hypercube(), mo);
+}
+
+/// The one compile-and-run path every workload helper below shares: the
+/// service core's free function (src/service/service.hpp) with the
+/// harness's canonical machine (ideal cost model, hypercube) and no
+/// cross-run cache sharing, so all counter assertions in the tests keep
+/// their exact single-run semantics.
+inline interp::ProgramResult run_source(
+    const std::string& source, interp::Init init,
+    const interp::RunOptions& ro = {}, machine::MachineOptions mo = {},
+    const compile::CodegenOptions& codegen = {}) {
+  service::RunSpec spec;
+  spec.codegen = codegen;
+  spec.cost = machine::CostModel::ideal();
+  spec.machine = mo;
+  spec.init = std::move(init);
+  spec.run = ro;
+  return service::compile_and_run(source, spec).result;
 }
 
 /// Run `body(gc)` on every processor of a simulated 1-D machine — the
@@ -149,14 +168,12 @@ inline DiffRun run_jacobi(int n, int iters, int p, int q,
                           const char* dist = "BLOCK",
                           const interp::RunOptions& ro = {},
                           machine::MachineOptions mo = {}) {
-  auto compiled =
-      compile::compile_source(apps::jacobi_source(n, p, q, iters, dist));
-  machine::SimMachine m = make_machine(p * q, mo);
   interp::Init init;
   init.real["A"] = [](std::span<const Index> g) {
     return jacobi_entry(g[0], g[1]);
   };
-  auto result = interp::run_compiled(compiled, m, init, ro);
+  auto result =
+      run_source(apps::jacobi_source(n, p, q, iters, dist), init, ro, mo);
   DiffRun d{"A", result.real_arrays.at("A"), jacobi_oracle(n, iters)};
   fill_counters(d, result);
   return d;
@@ -203,9 +220,6 @@ struct CountedRun {
 inline CountedRun run_jacobi_hoisted(int n, int iters, int p, int q,
                                      const char* dist = "BLOCK",
                                      const compile::CodegenOptions& opt = {}) {
-  auto compiled = compile::compile_source(
-      apps::jacobi_hoisted_source(n, p, q, iters, dist), {}, opt);
-  machine::SimMachine m = make_machine(p * q);
   interp::Init init;
   init.real["A"] = [](std::span<const Index> g) {
     return jacobi_entry(g[0], g[1]);
@@ -213,7 +227,8 @@ inline CountedRun run_jacobi_hoisted(int n, int iters, int p, int q,
   init.real["C"] = [](std::span<const Index> g) {
     return jacobi_c_entry(g[0], g[1]);
   };
-  auto result = interp::run_compiled(compiled, m, init);
+  auto result = run_source(apps::jacobi_hoisted_source(n, p, q, iters, dist),
+                           init, {}, {}, opt);
   return CountedRun{DiffRun{"A", result.real_arrays.at("A"),
                             jacobi_hoisted_oracle(n, iters),
                             result.schedule_hits, result.schedule_misses},
@@ -275,13 +290,11 @@ inline auto gauss_defined_region(int n) {
 inline DiffRun run_gauss(int n, int p, const char* dist = "BLOCK",
                          const interp::RunOptions& ro = {},
                          machine::MachineOptions mo = {}) {
-  auto compiled = compile::compile_source(apps::gauss_source(n, p, dist));
-  machine::SimMachine m = make_machine(p, mo);
   interp::Init init;
   init.real["A"] = [n](std::span<const Index> g) {
     return apps::gauss_matrix_entry(n, g[0], g[1]);
   };
-  auto result = interp::run_compiled(compiled, m, init, ro);
+  auto result = run_source(apps::gauss_source(n, p, dist), init, ro, mo);
   DiffRun d{"A", result.real_arrays.at("A"), gauss_oracle(n)};
   fill_counters(d, result);
   return d;
@@ -290,14 +303,11 @@ inline DiffRun run_gauss(int n, int p, const char* dist = "BLOCK",
 /// Gauss with explicit codegen options, counted (comm_opt property tests).
 inline CountedRun run_gauss_counted(int n, int p, const char* dist,
                                     const compile::CodegenOptions& opt) {
-  auto compiled =
-      compile::compile_source(apps::gauss_source(n, p, dist), {}, opt);
-  machine::SimMachine m = make_machine(p);
   interp::Init init;
   init.real["A"] = [n](std::span<const Index> g) {
     return apps::gauss_matrix_entry(n, g[0], g[1]);
   };
-  auto result = interp::run_compiled(compiled, m, init);
+  auto result = run_source(apps::gauss_source(n, p, dist), init, {}, {}, opt);
   return CountedRun{DiffRun{"A", result.real_arrays.at("A"), gauss_oracle(n),
                             result.schedule_hits, result.schedule_misses},
                     result.machine.total_messages(),
@@ -322,8 +332,6 @@ inline std::vector<double> irregular_oracle(int n) {
 
 inline DiffRun run_irregular(int n, int steps, int p,
                              const interp::RunOptions& ro = {}) {
-  auto compiled = compile::compile_source(apps::irregular_source(n, p, steps));
-  machine::SimMachine m = make_machine(p);
   interp::Init init;
   init.ints["U"] = [n](std::span<const Index> g) {
     return irregular_u(n, g[0]) + 1;  // Fortran arrays are 1-based
@@ -333,7 +341,7 @@ inline DiffRun run_irregular(int n, int steps, int p,
   };
   init.real["B"] = [](std::span<const Index> g) { return g[0] * 2.0; };
   init.real["C"] = [](std::span<const Index> g) { return g[0] * 100.0; };
-  auto result = interp::run_compiled(compiled, m, init, ro);
+  auto result = run_source(apps::irregular_source(n, p, steps), init, ro);
   DiffRun d{"A", result.real_arrays.at("A"), irregular_oracle(n)};
   fill_counters(d, result);
   return d;
@@ -365,9 +373,6 @@ inline std::vector<double> spmv_ell_oracle(int n, int nk, int steps) {
 inline DiffRun run_spmv_ell(int n, int nk, int steps, int p,
                             const char* dist = "BLOCK",
                             const interp::RunOptions& ro = {}) {
-  auto compiled =
-      compile::compile_source(apps::spmv_ell_source(n, nk, p, steps, dist));
-  machine::SimMachine m = make_machine(p);
   interp::Init init;
   init.ints["MAP"] = [p](std::span<const Index> g) {
     return map_owner(g[0], p) + 1;  // directive values are 1-based
@@ -378,7 +383,8 @@ inline DiffRun run_spmv_ell(int n, int nk, int steps, int p,
   init.real["A"] = [](std::span<const Index> g) { return spmv_a(g[0], g[1]); };
   init.real["X"] = [](std::span<const Index> g) { return spmv_x(g[0]); };
   init.real["Y"] = [](std::span<const Index>) { return 0.0; };
-  auto result = interp::run_compiled(compiled, m, init, ro);
+  auto result =
+      run_source(apps::spmv_ell_source(n, nk, p, steps, dist), init, ro);
   DiffRun d{"Y", result.real_arrays.at("Y"), spmv_ell_oracle(n, nk, steps)};
   fill_counters(d, result);
   return d;
@@ -408,9 +414,6 @@ inline std::vector<double> mesh_sweep_oracle(int nn, int ne, int steps) {
 inline DiffRun run_mesh_sweep(int nn, int ne, int steps, int p,
                               const char* dist = "BLOCK",
                               const interp::RunOptions& ro = {}) {
-  auto compiled =
-      compile::compile_source(apps::mesh_sweep_source(nn, ne, p, steps, dist));
-  machine::SimMachine m = make_machine(p);
   interp::Init init;
   init.ints["MAP"] = [p](std::span<const Index> g) {
     return map_owner(g[0], p) + 1;
@@ -422,7 +425,8 @@ inline DiffRun run_mesh_sweep(int nn, int ne, int steps, int p,
     return mesh_e2(nn, g[0]) + 1;
   };
   init.real["XN"] = [](std::span<const Index> g) { return mesh_xn0(g[0]); };
-  auto result = interp::run_compiled(compiled, m, init, ro);
+  auto result =
+      run_source(apps::mesh_sweep_source(nn, ne, p, steps, dist), init, ro);
   DiffRun d{"F", result.real_arrays.at("F"), mesh_sweep_oracle(nn, ne, steps)};
   fill_counters(d, result);
   return d;
@@ -446,9 +450,6 @@ inline std::vector<double> particle_bin_oracle(int np, int steps) {
 inline DiffRun run_particle_bin(int np, int steps, int p,
                                 const char* dist = "BLOCK",
                                 const interp::RunOptions& ro = {}) {
-  auto compiled =
-      compile::compile_source(apps::particle_bin_source(np, p, steps, dist));
-  machine::SimMachine m = make_machine(p);
   interp::Init init;
   init.ints["MAP"] = [p](std::span<const Index> g) {
     return map_owner(g[0], p) + 1;
@@ -458,7 +459,8 @@ inline DiffRun run_particle_bin(int np, int steps, int p,
   };
   init.real["W"] = [](std::span<const Index> g) { return pbin_w0(g[0]); };
   init.real["H"] = [](std::span<const Index>) { return 0.0; };
-  auto result = interp::run_compiled(compiled, m, init, ro);
+  auto result =
+      run_source(apps::particle_bin_source(np, p, steps, dist), init, ro);
   DiffRun d{"H", result.real_arrays.at("H"), particle_bin_oracle(np, steps)};
   fill_counters(d, result);
   return d;
@@ -490,12 +492,10 @@ inline std::vector<double> fft_oracle(int nx, int stages) {
 
 inline DiffRun run_fft(int nx, int stages, int p,
                        const interp::RunOptions& ro = {}) {
-  auto compiled = compile::compile_source(apps::fft_source(nx, p, stages));
-  machine::SimMachine m = make_machine(p);
   interp::Init init;
   init.real["X"] = [](std::span<const Index> g) { return g[0] + 1.0; };
   init.real["TERM2"] = [](std::span<const Index> g) { return g[0] * 0.5; };
-  auto result = interp::run_compiled(compiled, m, init, ro);
+  auto result = run_source(apps::fft_source(nx, p, stages), init, ro);
   DiffRun d{"X", result.real_arrays.at("X"), fft_oracle(nx, stages)};
   fill_counters(d, result);
   return d;
