@@ -103,6 +103,16 @@ inline void ladder_report(benchmark::State& state,
   state.counters["plan_misses"] = r.plan_misses;
   state.counters["native_runs"] = static_cast<double>(r.native_runs);
   state.counters["native_compile_ms"] = r.native_compile_ms;
+  // Simulated wire traffic: exact, machine-independent, and the perf-smoke
+  // gate (scripts/check_perf_smoke.py) pins them against the recorded
+  // BENCH_interp.json — a change of a single message or byte is a
+  // behaviour change, not noise.
+  state.counters["messages_sent"] =
+      static_cast<double>(r.machine.total_messages());
+  state.counters["bytes_sent"] =
+      static_cast<double>(r.machine.total_bytes());
+  state.counters["comm_plan_hits"] = static_cast<double>(r.comm_plan_hits);
+  state.counters["pool_reuses"] = static_cast<double>(r.pool_reuses);
   state.SetLabel(ladder_label(static_cast<int>(state.range(0))));
 }
 

@@ -241,6 +241,13 @@ int main(int argc, char** argv) {
         std::printf("  PARTI traffic: %lld schedules built, %lld gather "
                     "bytes, %lld scatter bytes\n",
                     r.schedules_built, r.gather_bytes, r.scatter_bytes);
+        std::printf("  comm plans   : %lld built, %lld reused, %lld "
+                    "invalidated\n",
+                    r.comm_plan_misses, r.comm_plan_hits,
+                    r.comm_plan_invalidations);
+        std::printf("  zero-copy    : %lld bytes on the memcpy fast path, "
+                    "%lld pooled payload reuses\n",
+                    r.comm_plan_fast_bytes, r.pool_reuses);
         if (backend == "native") {
           std::printf("\n=== native backend (rank 0 node + process JIT) ===\n");
           std::printf("  kernel runs  : %lld (%lld attached, %lld fallbacks, "

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate: pin the warm native jacobi ladder against the record.
+
+Runs one benchmark from the exec-plan ladder (default: the warm
+native-backend jacobi 256^2 on a 4x4 grid) at full problem size and
+compares it against the committed BENCH_interp.json:
+
+* `messages_sent` / `bytes_sent` must match EXACTLY.  Simulated wire
+  traffic is deterministic and machine-independent; a drift of a single
+  message or byte is a behaviour change (a comm plan packing a different
+  slab, a collective issuing an extra call), never noise.
+* Host wall must not regress beyond a noise tolerance.  The JIT compile
+  cost is subtracted out on both sides (`native_compile_ms`), so the
+  comparison is warm-kernel wall vs warm-kernel wall; the default
+  tolerance is generous because shared CI runners are noisy, and the
+  exact-traffic check above is the sharp edge of this gate.
+
+When the native toolchain is unavailable (F90D_NATIVE=OFF builds,
+containers without a compiler) the candidate falls back to the plan
+interpreter: traffic is still compared exactly, the wall gate is skipped
+with a note (the plan interpreter is the fallback, not a regression).
+
+Usage:
+    scripts/check_perf_smoke.py --build-dir build [--baseline BENCH_interp.json]
+"""
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+DEFAULT_BENCH = "BM_ExecPlanJacobi/mode:3/p:4/q:4/iterations:1"
+EXACT_COUNTERS = ("messages_sent", "bytes_sent")
+
+
+def load_entry(doc: dict, name: str) -> dict:
+    for b in doc.get("benchmarks", []):
+        if b.get("name") == name:
+            return b
+    raise SystemExit(f"[perf_smoke] benchmark '{name}' not in document "
+                     f"(re-record the baseline with scripts/run_benchmarks.py?)")
+
+
+def warm_wall_ms(entry: dict) -> float:
+    return entry["real_time"] - entry.get("native_compile_ms", 0.0)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--baseline", default="BENCH_interp.json",
+                    help="recorded ladder document to gate against")
+    ap.add_argument("--bench", default=DEFAULT_BENCH,
+                    help="benchmark name to run and compare")
+    ap.add_argument("--tolerance", type=float, default=0.5,
+                    help="allowed fractional wall regression (0.5 = +50%%)")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base = load_entry(json.load(f), args.bench)
+    for c in EXACT_COUNTERS:
+        if c not in base:
+            raise SystemExit(f"[perf_smoke] baseline lacks '{c}' — "
+                             f"re-record {args.baseline} from this tree")
+
+    binary = os.path.join(args.build_dir, "bench_ablation_exec_plan")
+    env = dict(os.environ)
+    env.pop("F90D_GE_N", None)  # full size: counters must match the record
+    env.pop("F90D_JACOBI_N", None)
+    cmd = [binary, "--benchmark_format=json",
+           f"--benchmark_filter={args.bench}"]
+    print(f"[perf_smoke] {' '.join(cmd)}", flush=True)
+    proc = subprocess.run(cmd, env=env, stdout=subprocess.PIPE, check=True)
+    text = proc.stdout.decode()
+    cand = load_entry(json.loads(text[: text.rfind("}") + 1]), args.bench)
+
+    failures = []
+    for c in EXACT_COUNTERS:
+        b, v = int(base[c]), int(cand.get(c, -1))
+        status = "OK" if b == v else "MISMATCH"
+        print(f"[perf_smoke] {c}: baseline {b}, candidate {v} ({status})")
+        if b != v:
+            failures.append(f"{c} changed {b} -> {v}")
+
+    base_wall, cand_wall = warm_wall_ms(base), warm_wall_ms(cand)
+    native_expected = base.get("native_runs", 0) > 0
+    native_got = cand.get("native_runs", 0) > 0
+    if native_expected and not native_got:
+        print("[perf_smoke] native backend unavailable here (plan-interpreter "
+              "fallback): skipping the wall gate, traffic checked above")
+    else:
+        limit = base_wall * (1.0 + args.tolerance)
+        status = "OK" if cand_wall <= limit else "REGRESSION"
+        print(f"[perf_smoke] warm wall: baseline {base_wall:.1f} ms, "
+              f"candidate {cand_wall:.1f} ms, limit {limit:.1f} ms ({status})")
+        if cand_wall > limit:
+            failures.append(
+                f"warm wall regressed {base_wall:.1f} -> {cand_wall:.1f} ms "
+                f"(tolerance +{args.tolerance:.0%})")
+
+    if failures:
+        print("[perf_smoke] FAILED: " + "; ".join(failures), file=sys.stderr)
+        return 1
+    print("[perf_smoke] gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

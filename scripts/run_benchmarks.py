@@ -33,6 +33,15 @@ Usage:
 
 --quick shrinks the problem sizes through F90D_GE_N (useful in CI, where
 the point is that the recording pipeline works, not the absolute numbers).
+
+Recordings are only meaningful from a Release build of libf90d: the script
+reads CMAKE_BUILD_TYPE out of the build directory's CMakeCache.txt, refuses
+to record from anything else unless --allow-non-release is given, and stamps
+every written document with context.f90d_build_type (plus a loud
+context.non_release_build flag for overridden runs).  Note the benchmark
+harness's own "library_build_type" context key describes how the *google-
+benchmark library* was compiled, not libf90d — f90d_build_type is the
+authoritative field for the numbers in these records.
 """
 import argparse
 import json
@@ -47,6 +56,32 @@ BENCH_MAP = {
     "BENCH_irregular.json": "bench_ablation_schedule_reuse",
     "BENCH_service.json": "f90d_loadgen",
 }
+
+
+def build_type(build_dir: str) -> str:
+    """CMAKE_BUILD_TYPE of the build directory ("" when undetectable)."""
+    cache = os.path.join(build_dir, "CMakeCache.txt")
+    try:
+        with open(cache) as f:
+            for line in f:
+                if line.startswith("CMAKE_BUILD_TYPE:"):
+                    return line.split("=", 1)[1].strip()
+    except OSError:
+        pass
+    return ""
+
+
+def stamp_build_type(out_path: str, bt: str) -> None:
+    """Annotate a written record with the libf90d build type."""
+    with open(out_path) as f:
+        doc = json.load(f)
+    ctx = doc.setdefault("context", {})
+    ctx["f90d_build_type"] = bt.lower()
+    if bt.lower() != "release":
+        ctx["non_release_build"] = True
+    with open(out_path, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=False)
+        f.write("\n")
 
 
 def run_loadgen(binary: str, out_path: str, env: dict, build_dir: str,
@@ -91,7 +126,20 @@ def main() -> int:
     ap.add_argument("--only", action="append", default=None,
                     metavar="BENCH_x.json",
                     help="record only the named output(s); repeatable")
+    ap.add_argument("--allow-non-release", action="store_true",
+                    help="record from a non-Release build anyway; the "
+                         "output is tagged context.non_release_build")
     args = ap.parse_args()
+
+    bt = build_type(args.build_dir)
+    if bt.lower() != "release" and not args.allow_non_release:
+        print(f"[run_benchmarks] refusing to record: build dir "
+              f"'{args.build_dir}' is CMAKE_BUILD_TYPE="
+              f"'{bt or 'unknown'}', not Release.  Benchmarks from "
+              f"unoptimised builds are not comparable; pass "
+              f"--allow-non-release to record a tagged document anyway.",
+              file=sys.stderr)
+        return 1
 
     bench_map = dict(BENCH_MAP)
     if args.only:
@@ -121,6 +169,7 @@ def main() -> int:
                             args.quick)
             else:
                 run_one(binary, out_path, env)
+            stamp_build_type(out_path, bt)
         except (subprocess.CalledProcessError, RuntimeError, ValueError) as e:
             print(f"[run_benchmarks] {bench} failed: {e}", file=sys.stderr)
             failures.append(bench)

@@ -8,6 +8,10 @@ GridComm::GridComm(machine::Proc& proc, ProcGrid grid)
           "logical grid size must equal machine size");
   my_logical_ = grid_.logical_of_phys(proc.rank());
   coords_ = grid_.coords_of(my_logical_);
+  dim_strides_.assign(static_cast<size_t>(grid_.ndims()), 1);
+  for (int d = grid_.ndims() - 2; d >= 0; --d)
+    dim_strides_[static_cast<size_t>(d)] =
+        dim_strides_[static_cast<size_t>(d + 1)] * grid_.extent(d + 1);
 }
 
 void GridComm::barrier() {
@@ -16,9 +20,11 @@ void GridComm::barrier() {
 }
 
 int GridComm::line_logical(int dim, int idx) const {
-  std::vector<int> c = coords_;
-  c[static_cast<size_t>(dim)] = idx;
-  return grid_.linear_of(c);
+  // My own logical index with coord[dim] replaced by idx: under row-major
+  // linearization that is one multiply-add on the precomputed dim stride
+  // (the old coords-vector round trip allocated on every send/recv).
+  const auto d = static_cast<size_t>(dim);
+  return my_logical_ + (idx - coords_[d]) * dim_strides_[d];
 }
 
 }  // namespace f90d::comm

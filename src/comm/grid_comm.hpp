@@ -50,6 +50,28 @@ class GridComm {
   std::vector<T> recv_logical(int src_logical, int tag) {
     return proc_->template recv_vec<T>(grid_.phys_of(src_logical), tag);
   }
+  /// Receive into an existing vector, reusing its capacity; the message
+  /// payload buffer returns to this processor's pool.  Identical matching,
+  /// waiting, and statistics as recv_logical.
+  template <typename T>
+  void recv_logical_into(int src_logical, int tag, std::vector<T>& out) {
+    machine::Message m = proc_->recv(grid_.phys_of(src_logical), tag);
+    out.resize(m.payload.size() / sizeof(T));
+    if (!out.empty())
+      std::memcpy(out.data(), m.payload.data(), out.size() * sizeof(T));
+    proc_->release_payload(std::move(m.payload));
+  }
+  /// Zero-copy twins for the compiled comm paths: send a pooled payload
+  /// straight onto the wire / receive the raw message (the caller unpacks
+  /// and releases the payload into this processor's pool).
+  void send_payload_logical(int dest_logical, int tag,
+                            std::vector<std::byte>&& payload) {
+    proc_->send_payload(grid_.phys_of(dest_logical), tag, std::move(payload));
+  }
+  [[nodiscard]] machine::Message recv_message_logical(int src_logical,
+                                                      int tag) {
+    return proc_->recv(grid_.phys_of(src_logical), tag);
+  }
 
   // --- structured primitives ----------------------------------------------
   /// transfer (paper Fig. 4a): every processor with coord[dim]==src_idx
@@ -71,7 +93,7 @@ class GridComm {
       return false;
     }
     if (coord(dim) == dest_idx) {
-      out = recv_logical<T>(peer_logical(dim, src_idx), tag);
+      recv_logical_into<T>(peer_logical(dim, src_idx), tag, out);
       return true;
     }
     return false;
@@ -98,7 +120,8 @@ class GridComm {
     }
     if (rel != 0) {
       const int src_rel = rel - recv_from_mask;
-      data = recv_logical<T>(line_logical(dim, mod(src_rel + root_idx, n)), tag);
+      recv_logical_into<T>(line_logical(dim, mod(src_rel + root_idx, n)), tag,
+                           data);
     }
     int start_mask = 1;
     if (rel != 0) start_mask = recv_from_mask;
@@ -129,7 +152,7 @@ class GridComm {
     }
     if (rel != 0) {
       const int src_rel = rel - recv_from_mask;
-      data = recv_logical<T>(mod(src_rel + root_logical, n), tag);
+      recv_logical_into<T>(mod(src_rel + root_logical, n), tag, data);
     }
     for (int mask = (rel == 0 ? highest_pow2_below(n) : recv_from_mask >> 1);
          mask >= 1; mask >>= 1) {
@@ -169,6 +192,45 @@ class GridComm {
     return received;
   }
 
+  /// Raw-bytes twin of shift_exchange for the compiled comm paths
+  /// (src/exec/comm_plan.hpp): consumes `to_neighbour` — a payload acquired
+  /// from this processor's pool and already packed — and returns the
+  /// received payload (empty when nothing arrives), which the caller
+  /// releases after unpacking.  The send moves the buffer straight onto the
+  /// wire (no copy); tag consumption, edge handling, message count, and
+  /// message sizes are exactly those of shift_exchange<T>.
+  std::vector<std::byte> shift_exchange_bytes(
+      int dim, int offset, std::vector<std::byte>&& to_neighbour,
+      bool circular) {
+    const int tag = fresh_tag();
+    const int n = grid_.extent(dim);
+    if (offset == 0 || (n == 1 && circular)) {
+      // Zero shift, or a single-processor circle: my own data comes back.
+      return std::move(to_neighbour);
+    }
+    if (n == 1) {  // open shift off a one-processor line
+      proc_->release_payload(std::move(to_neighbour));
+      return {};
+    }
+    const int me = coord(dim);
+    const int dst = circular ? mod(me + offset, n) : me + offset;
+    const int src = circular ? mod(me - offset, n) : me - offset;
+    const bool do_send = circular || (dst >= 0 && dst < n);
+    const bool do_recv = circular || (src >= 0 && src < n);
+    if (do_send)
+      proc_->send_payload(grid_.phys_of(line_logical(dim, mod(dst, n))), tag,
+                          std::move(to_neighbour));
+    else
+      proc_->release_payload(std::move(to_neighbour));
+    std::vector<std::byte> received;
+    if (do_recv) {
+      machine::Message m =
+          proc_->recv(grid_.phys_of(line_logical(dim, mod(src, n))), tag);
+      received = std::move(m.payload);
+    }
+    return received;
+  }
+
   /// concatenation (paper §5.1): allgather along `dim`, blocks ordered by
   /// grid coordinate.  Every processor in the line receives the full result.
   template <typename T>
@@ -189,6 +251,29 @@ class GridComm {
     }
     multicast<T>(dim, 0, all);
     return all;
+  }
+
+  /// Gather to logical processor 0 only — no broadcast leg.  Every
+  /// processor sends its (possibly empty) block; on the root, `consume` is
+  /// invoked once per logical processor in rank order with that processor's
+  /// block (including the root's own).  The receive buffer is reused across
+  /// senders and message payloads return to the pool, so the root's cost is
+  /// one pass over the data.  Use this instead of concat_all when only one
+  /// processor needs the result (e.g. end-of-run result collection).
+  template <typename T>
+  void gather_root(std::span<const T> local,
+                   const std::function<void(int, std::span<const T>)>& consume) {
+    const int tag = fresh_tag();
+    if (my_logical_ != 0) {
+      send_logical<T>(0, tag, local);
+      return;
+    }
+    consume(0, local);
+    std::vector<T> blk;
+    for (int i = 1; i < nprocs(); ++i) {
+      recv_logical_into<T>(i, tag, blk);
+      consume(i, std::span<const T>(blk));
+    }
   }
 
   /// concatenation over all processors (logical order).
@@ -310,6 +395,7 @@ class GridComm {
   ProcGrid grid_;
   int my_logical_;
   std::vector<int> coords_;
+  std::vector<int> dim_strides_;  ///< row-major strides of the logical grid
   int next_tag_ = 1 << 16;
 };
 

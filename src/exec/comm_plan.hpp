@@ -1,0 +1,263 @@
+#pragma once
+// CommPlans: compiled communication plans — the comm-side counterpart of
+// the execution-plan layer (exec/exec_plan.hpp).
+//
+// The tree-walking pre-communication actions re-derive the same facts on
+// every trip of a DO loop: which neighbour an overlap_shift talks to, which
+// storage cells form the boundary slab, which processor owns a broadcast
+// element, which local offsets a slab multicast packs, which owned cells a
+// PARTI executor pushes per peer.  A CommPlan resolves all of it once per
+// (statement × processor × baked runtime scalars) into flat descriptors:
+//
+//   ShiftPlan   overlap_shift lowered to two strided-copy descriptors
+//               (pack boundary slab / unpack ghost area) whose innermost
+//               contiguous runs collapse to memcpy, plus the baked grid
+//               neighbour exchange;
+//   BcastPlan   element broadcast with the root and the root's flat
+//               storage offset resolved, reusing a persistent scratch;
+//   SlabPlan    multicast/transfer slab packing through per-(variable,dim)
+//               offset tables (real local_of_global per value, so BLOCK,
+//               CYCLIC(k) and collapsed dims all work), feeding the buffer
+//               vector in place;
+//   SchedExec   PARTI read/write executors with the per-peer global-id
+//               lists pre-resolved to flat byte offsets, packing pooled
+//               payload buffers (machine::PayloadPool) instead of typed
+//               temporaries.
+//
+// Faithfulness contract: a compiled plan issues exactly the collective
+// calls, tags, message sizes (including zero-byte sends), virtual-time
+// charges and element values of the tree-walk path it replaces — the plans
+// only remove host-side recomputation and heap churn.  Anything a plan
+// cannot bake faithfully is declined slot-by-slot and runs the legacy
+// action through a callback.
+//
+// Cache key and invalidation contract: statement plans are keyed by the
+// exact plan_key() string of the execution plan they accompany (same baked
+// runtime scalars), and invalidate_array(name) drops every plan touching
+// `name` — called from the same redistribute/remap sites that invalidate
+// the ExecPlan/Schedule caches (docs/EXECUTION.md).
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "exec/exec_env.hpp"
+#include "native/lower.hpp"
+#include "parti/schedule.hpp"
+
+namespace f90d::exec {
+
+struct CommPlanStats {
+  long long hits = 0;           ///< run_pre / executor served from a plan
+  long long misses = 0;         ///< plans built
+  long long invalidations = 0;  ///< plans dropped by invalidate_array
+  /// Bytes moved through coalesced contiguous memcpy runs (pack+unpack
+  /// fast path; strided element copies are not counted).
+  long long bytes_memcpy_fast_path = 0;
+};
+
+/// One iteration range of a forall variable as the comm planner needs it
+/// (mirror of the interpreter's VarRange; `values` non-empty = explicit
+/// enumeration, e.g. block-cyclic local sets).
+struct CommRange {
+  Index val0 = 0;
+  Index step = 1;
+  Index count = 0;
+  std::vector<Index> values;
+
+  [[nodiscard]] Index value_at(Index i) const {
+    return values.empty() ? val0 + i * step : values[static_cast<size_t>(i)];
+  }
+};
+
+/// Callbacks into the interpreter: plans are built from the same expression
+/// evaluation and range machinery the tree walk uses, so a baked table is
+/// correct by construction for the keyed scalar values.
+struct CommHooks {
+  /// Evaluate a scalar expression (DO variables and runtime scalars
+  /// resolve; no forall frame is active during pre-communication).
+  std::function<Value(const ast::Expr&)> eval;
+  /// Same, with one forall variable temporarily bound to `val` (offset
+  /// table construction).
+  std::function<Value(const ast::Expr&, const std::string&, Index)> eval_bound;
+  /// ranges_for_coords_no_guards for this processor, one entry per
+  /// s.indices element.
+  std::function<std::vector<CommRange>(const compile::SpmdStmt&)> ranges;
+  /// Run one action through the tree walk (declined slots).
+  std::function<void(const compile::SpmdStmt&, const compile::CommAction&)>
+      legacy;
+};
+
+/// Strided copy between array storage and a packed buffer: `levels` outer
+/// loops (counts and byte strides) around a contiguous run of `chunk`
+/// bytes — the innermost levels whose stride equals the accumulated run
+/// length are coalesced away at build time, so a fully contiguous slab is
+/// one memcpy.
+struct CopyDesc {
+  Index base = 0;   ///< byte offset of the first element in storage
+  Index chunk = 0;  ///< bytes per contiguous run
+  Index runs = 0;   ///< number of runs (product of level counts)
+  Index total = 0;  ///< chunk * runs
+  Index elem = 0;   ///< element size (fast-path accounting: chunk > elem)
+  std::vector<Index> counts;   ///< outer loop trip counts (outer..inner)
+  std::vector<Index> strides;  ///< byte stride per level
+};
+
+/// Element type of a baked storage view (the three DistArray payloads).
+enum class ElemTy { kReal, kInt, kLogical };
+
+class CommPlans {
+ public:
+  CommPlans(Env& env, CommHooks hooks, bool use_native)
+      : env_(&env), hooks_(std::move(hooks)), use_native_(use_native) {}
+
+  /// Run every non-eliminated pre-communication action of `s` in the tree
+  /// walk's order, through compiled plans where possible.  `key` is the
+  /// statement's execution-plan key and `key_names` the scalar names that
+  /// key covers — a plan only bakes values derived from covered scalars
+  /// (anything else is declined to the legacy action, so a stale bake is
+  /// impossible by construction).
+  void run_pre(const compile::SpmdStmt& s, const std::string& key,
+               std::span<const std::string> key_names);
+
+  /// Compiled PARTI read executor into `b` (dvals or ivals by element
+  /// type).  Returns false when the schedule/array cannot be compiled —
+  /// the caller falls back to parti::execute_read.  Identical messages,
+  /// tags, charges and buffer contents as the generic executor.
+  bool execute_read(const parti::SchedulePtr& sched, const std::string& array,
+                    Buf& b);
+
+  /// Compiled PARTI write executor (overwrite combine, the interpreter's
+  /// only use).  `values` are iteration-ordered doubles; integer
+  /// destinations convert exactly like the tree walk.  Returns false to
+  /// fall back.
+  bool execute_write(const parti::SchedulePtr& sched, const std::string& array,
+                     std::span<const double> values);
+
+  /// Drop every plan bound to `array` (redistribute/remap contract).
+  void invalidate_array(const std::string& name);
+
+  [[nodiscard]] const CommPlanStats& stats() const { return stats_; }
+
+ private:
+  // --- per-kind plans -------------------------------------------------------
+  struct ShiftPlan {
+    bool noop = false;  ///< collapsed dim / zero amount: consumes nothing
+    int grid_dim = 0;
+    int offset = 0;           ///< exchange direction (-1 / +1)
+    bool expect_recv = false; ///< baked edge test of shift_exchange
+    char* base = nullptr;
+    std::size_t elem = 0;
+    CopyDesc pack, unpack;
+    native::KernelFn pack_kernel = nullptr;
+    native::KernelFn unpack_kernel = nullptr;
+  };
+
+  struct BcastPlan {
+    int root = 0;  ///< logical rank owning the element
+    bool is_root = false;
+    ElemTy ty = ElemTy::kReal;
+    const char* base = nullptr;   ///< storage base (root only)
+    Index byte_off = 0;           ///< flat byte offset of the element (root)
+    int buffer_id = -1;
+    std::vector<double> scratch;  ///< persistent bcast payload
+  };
+
+  struct SlabPlan {
+    bool on_root = false;
+    bool is_transfer = false;
+    ElemTy ty = ElemTy::kReal;  ///< source storage type (the slab itself
+                                ///< packs as double, like the tree walk)
+    const char* base = nullptr;
+    std::vector<std::pair<int, int>> comm_dims;  ///< (grid_dim, root coord)
+    std::vector<int> dest_coords;                ///< transfer destinations
+    Index slab_size = 0;
+    Index base_off = 0;                    ///< constant byte offset part
+    std::vector<Index> counts;             ///< per slab var (spec order)
+    std::vector<std::vector<Index>> tabs;  ///< per slab var: byte offsets
+    int buffer_id = -1;
+    std::vector<double> scratch;  ///< transfer receive side
+  };
+
+  struct LegacySlot {};  ///< run through hooks_.legacy
+
+  struct Slot {
+    const compile::CommAction* action = nullptr;
+    std::variant<LegacySlot, ShiftPlan, BcastPlan, SlabPlan> plan;
+  };
+
+  struct StmtPlan {
+    std::vector<Slot> slots;  ///< in run_pre_actions order
+    std::vector<std::string> arrays;  ///< invalidation scope
+  };
+
+  /// Compiled executor state for one PARTI schedule.  Keyed by schedule
+  /// identity; `owner` keeps the Schedule alive so the key cannot be
+  /// recycled (no ABA) while the entry exists.
+  struct SchedEntry {
+    parti::SchedulePtr owner;
+    std::string array;
+    ElemTy ty = ElemTy::kReal;
+    char* base = nullptr;
+    /// Per peer: byte offsets into storage of push_gidx / place_gidx ids,
+    /// byte offsets into the temporary buffer of slot_of slots, and byte
+    /// offsets into the value vector of send_pos positions.
+    std::vector<std::vector<Index>> push_off;
+    std::vector<std::vector<Index>> slot_off;
+    std::vector<std::vector<Index>> place_off;
+    std::vector<std::vector<Index>> pos_off;
+    bool read_ready = false;
+    bool write_ready = false;
+    bool read_failed = false;
+    bool write_failed = false;
+  };
+
+  // --- build ---------------------------------------------------------------
+  StmtPlan build_stmt(const compile::SpmdStmt& s,
+                      std::span<const std::string> key_names);
+  bool build_shift(const compile::CommAction& a, const compile::RefInfo& ref,
+                   ShiftPlan& out);
+  bool build_bcast(const compile::CommAction& a, const compile::RefInfo& ref,
+                   std::span<const std::string> key_names, BcastPlan& out);
+  bool build_slab(const compile::SpmdStmt& s, const compile::CommAction& a,
+                  const compile::RefInfo& ref,
+                  std::span<const std::string> key_names, SlabPlan& out);
+  SchedEntry* sched_entry(const parti::SchedulePtr& sched,
+                          const std::string& array, bool write);
+
+  // --- run ------------------------------------------------------------------
+  void run_slot(const compile::SpmdStmt& s, Slot& slot);
+  void run_shift(ShiftPlan& p);
+  void run_bcast(BcastPlan& p);
+  void run_slab(SlabPlan& p);
+  template <typename T>
+  void read_impl(const parti::Schedule& sc, SchedEntry& e, std::vector<T>& out);
+  template <typename T, typename Cast>
+  void write_impl(const parti::Schedule& sc, SchedEntry& e,
+                  std::span<const double> values, Cast cast);
+  /// Strided copy through a CopyDesc; `to_buffer` packs storage->buf,
+  /// otherwise unpacks buf->storage.
+  void run_copy(const CopyDesc& d, char* storage, std::byte* buf,
+                bool to_buffer, native::KernelFn kernel);
+  /// Compile a comm kernel through the process-global NativeCache, or null
+  /// when the native backend is off / unavailable / declined the source.
+  native::KernelFn kernel(const std::string& source) const;
+
+  Env* env_;
+  CommHooks hooks_;
+  bool use_native_ = false;
+  CommPlanStats stats_;
+  std::map<std::string, StmtPlan> stmts_;
+  std::map<const parti::Schedule*, SchedEntry> scheds_;
+  // Index-copy kernels shared by every schedule entry (8-byte elements).
+  native::KernelFn gather8_ = nullptr;
+  native::KernelFn scatter8_ = nullptr;
+  native::KernelFn gather_d2i_ = nullptr;
+  bool index_kernels_ready_ = false;
+};
+
+}  // namespace f90d::exec

@@ -1,6 +1,7 @@
 #include "exec/exec_plan.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <set>
 #include <sstream>
@@ -1084,16 +1085,36 @@ std::vector<std::string> plan_key_scalars(const SpmdStmt& s, const Env& env) {
   return std::vector<std::string>(names.begin(), names.end());
 }
 
-std::string plan_key(const SpmdStmt& s, const Env& env,
-                     const std::vector<std::string>& scalars) {
-  std::ostringstream os;
-  os << "plan:" << s.stmt_id << "@";
+void plan_key_into(const SpmdStmt& s, const Env& env,
+                   const std::vector<std::string>& scalars, std::string& out) {
+  // Integer formatting into a stack buffer: std::to_string would allocate
+  // on every call, defeating the scratch-string reuse.
+  char buf[24];
+  auto append_int = [&](long long v) {
+    auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+    (void)ec;
+    out.append(buf, end);
+  };
+  out.clear();
+  out.append("plan:");
+  append_int(s.stmt_id);
+  out.push_back('@');
   // Record the values exactly as the planner bakes them (as_i everywhere:
   // bounds, guards and runtime subscript terms are integer contexts), so
   // equal keys imply equal plans.
-  for (const std::string& nm : scalars)
-    os << nm << "=" << env.scalars.at(nm).as_i() << ";";
-  return os.str();
+  for (const std::string& nm : scalars) {
+    out.append(nm);
+    out.push_back('=');
+    append_int(env.scalars.at(nm).as_i());
+    out.push_back(';');
+  }
+}
+
+std::string plan_key(const SpmdStmt& s, const Env& env,
+                     const std::vector<std::string>& scalars) {
+  std::string out;
+  plan_key_into(s, env, scalars, out);
+  return out;
 }
 
 // ---------------------------------------------------------------------------

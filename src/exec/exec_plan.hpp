@@ -188,6 +188,13 @@ struct PlanEntry {
 [[nodiscard]] std::string plan_key(const compile::SpmdStmt& s, const Env& env,
                                    const std::vector<std::string>& scalars);
 
+/// Allocation-free twin: formats the same key into `out` (cleared first).
+/// Hot callers keep one scratch string per node — once its capacity has
+/// grown past the key length, warm DO-loop trips build their cache keys
+/// without touching the heap at all.
+void plan_key_into(const compile::SpmdStmt& s, const Env& env,
+                   const std::vector<std::string>& scalars, std::string& out);
+
 /// Lower one kForall statement into a plan for this processor, or decline.
 [[nodiscard]] PlanEntry build_exec_plan(const compile::SpmdStmt& s, Env& env);
 

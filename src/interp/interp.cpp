@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "comm/grid_comm.hpp"
+#include "exec/comm_plan.hpp"
 #include "exec/exec_env.hpp"
 #include "exec/exec_plan.hpp"
 #include "exec/irregular_plan.hpp"
@@ -103,7 +104,8 @@ class Node {
         init_(init),
         opt_(opt),
         shared_(shared),
-        env_(c, gc_, map_resolver(init)) {
+        env_(c, gc_, map_resolver(init)),
+        comm_plans_(env_, make_comm_hooks(), opt.native_backend) {
     cache_.set_enabled(opt_.schedule_cache);
     if (opt_.schedule_session != nullptr)
       cache_.set_session(opt_.schedule_session, gc_.my_logical());
@@ -113,6 +115,36 @@ class Node {
       irr_plans_.set_shared(opt_.plan_meta, opt_.cache_prefix + "|irr");
     }
     apply_init();
+  }
+
+  /// Callbacks the comm-plan builder uses to bake descriptors: the same
+  /// expression evaluation and range derivation as the tree walk, plus the
+  /// tree walk itself for declined slots.  The lambdas capture `this` and
+  /// fire only after construction completes.
+  exec::CommHooks make_comm_hooks() {
+    exec::CommHooks h;
+    h.eval = [this](const Expr& e) { return eval(e); };
+    h.eval_bound = [this](const Expr& e, const std::string& var, Index val) {
+      frame_[var] = val;
+      const exec::Value v = eval(e);
+      frame_.erase(var);
+      return v;
+    };
+    h.ranges = [this](const SpmdStmt& s) {
+      auto all = ranges_for_coords_no_guards(s, gc_.my_coords());
+      std::vector<exec::CommRange> out(all.size());
+      for (size_t k = 0; k < all.size(); ++k) {
+        out[k].val0 = all[k].val0;
+        out[k].step = all[k].step;
+        out[k].count = all[k].count;
+        out[k].values = std::move(all[k].values);
+      }
+      return out;
+    };
+    h.legacy = [this](const SpmdStmt& s, const CommAction& a) {
+      run_action(s, a, std::nullopt);
+    };
+    return h;
   }
 
   void run() {
@@ -206,8 +238,7 @@ class Node {
         !c_.sema.symbols.at(e.name).is_array())
       return eval_intrinsic(e);
 
-    auto rit = ref_of_.find(&e);
-    const RefInfo* ref = rit == ref_of_.end() ? nullptr : rit->second;
+    const RefInfo* ref = find_ref(&e);
     const Access access = ref ? ref->access : Access::kDirect;
     switch (access) {
       case Access::kDirect: {
@@ -490,7 +521,13 @@ class Node {
   void bind_refs(const SpmdStmt& s) {
     ref_of_.clear();
     for (const RefInfo& r : s.refs)
-      if (r.expr != nullptr) ref_of_.emplace(r.expr, &r);
+      if (r.expr != nullptr) ref_of_.emplace_back(r.expr, &r);
+  }
+
+  [[nodiscard]] const RefInfo* find_ref(const Expr* e) const {
+    for (const auto& [expr, ref] : ref_of_)
+      if (expr == e) return ref;
+    return nullptr;
   }
 
   /// Planned fast path: look up (or lazily build) this statement's
@@ -506,15 +543,21 @@ class Node {
     if (plans_.declined_structurally(s.stmt_id)) return false;
     const std::vector<std::string>& key_names = plans_.key_scalars(
         s.stmt_id, [&] { return exec::plan_key_scalars(s, env_); });
+    exec::plan_key_into(s, env_, key_names, key_scratch_);
+    const std::string& key = key_scratch_;
     const exec::PlanEntry& entry = plans_.get_or_build(
-        s.stmt_id, exec::plan_key(s, env_, key_names),
-        [&] { return exec::build_exec_plan(s, env_); });
+        s.stmt_id, key, [&] { return exec::build_exec_plan(s, env_); });
     if (!entry.plan) return false;
     // Pre-communication is collective and statement-scoped, not
-    // per-element: it runs through the same machinery as the tree walk.
+    // per-element: it runs through the same machinery as the tree walk —
+    // or, when comm plans are on, through cached compiled descriptors
+    // keyed by the same plan key (bit-identical messages and charges).
     // (The planner admits no schedule-based read buffers, so the guarded
     // iteration ranges those would need are not required here.)
-    run_pre_actions(s, {});
+    if (opt_.comm_plans)
+      comm_plans_.run_pre(s, key, key_names);
+    else
+      run_pre_actions(s, {});
     // Backend ladder: native kernel when enabled and attachable, tape
     // interpreter otherwise.  Both return the same iteration count, so the
     // simulated cost charged below is identical either way.
@@ -936,12 +979,19 @@ class Node {
 
     Buf& b = env_.bufs[static_cast<size_t>(a.buffer_id)];
     const Symbol& sm = env_.sym(ref.array);
+    // Compiled executor first (pre-resolved offsets, pooled payloads);
+    // falls back to the generic executor when the entry declines.  Both
+    // produce identical buffers, messages and charges.
+    const bool compiled =
+        opt_.comm_plans && comm_plans_.execute_read(sched, ref.array, b);
     if (sm.type == ast::BaseType::kInteger) {
-      b.ivals = parti::execute_read(gc_, *sched, env_.iar.at(ref.array));
+      if (!compiled)
+        b.ivals = parti::execute_read(gc_, *sched, env_.iar.at(ref.array));
       gather_bytes_ +=
           sched->remote_read_bytes(gc_.my_logical(), sizeof(long long));
     } else {
-      b.dvals = parti::execute_read(gc_, *sched, env_.dar.at(ref.array));
+      if (!compiled)
+        b.dvals = parti::execute_read(gc_, *sched, env_.dar.at(ref.array));
       gather_bytes_ +=
           sched->remote_read_bytes(gc_.my_logical(), sizeof(double));
     }
@@ -1087,17 +1137,24 @@ class Node {
             sched = build();
           }
           const Symbol& sm = env_.sym(lhs.array);
+          const bool compiled =
+              opt_.comm_plans &&
+              comm_plans_.execute_write(sched, lhs.array,
+                                        std::span<const double>(values));
           if (sm.type == ast::BaseType::kInteger) {
-            std::vector<long long> iv(values.size());
-            for (size_t k = 0; k < values.size(); ++k)
-              iv[k] = static_cast<long long>(values[k]);
-            parti::execute_write(gc_, *sched, env_.iar.at(lhs.array),
-                                 std::span<const long long>(iv));
+            if (!compiled) {
+              std::vector<long long> iv(values.size());
+              for (size_t k = 0; k < values.size(); ++k)
+                iv[k] = static_cast<long long>(values[k]);
+              parti::execute_write(gc_, *sched, env_.iar.at(lhs.array),
+                                   std::span<const long long>(iv));
+            }
             scatter_bytes_ +=
                 sched->remote_write_bytes(gc_.my_logical(), sizeof(long long));
           } else {
-            parti::execute_write(gc_, *sched, env_.dar.at(lhs.array),
-                                 std::span<const double>(values));
+            if (!compiled)
+              parti::execute_write(gc_, *sched, env_.dar.at(lhs.array),
+                                   std::span<const double>(values));
             scatter_bytes_ +=
                 sched->remote_write_bytes(gc_.my_logical(), sizeof(double));
           }
@@ -1304,6 +1361,7 @@ class Node {
     irr_plans_.invalidate_array(s.dest_array);
     native_.invalidate_array(s.dest_array);
     cache_.invalidate_array(s.dest_array);
+    comm_plans_.invalidate_array(s.dest_array);
     env_.bump_version(s.dest_array);
   }
 
@@ -1329,6 +1387,12 @@ class Node {
     shared_.result.native_attaches = ns.attaches;
     shared_.result.native_fallbacks = ns.fallbacks;
     shared_.result.native_invalidations = ns.invalidations;
+    const exec::CommPlanStats& cs = comm_plans_.stats();
+    shared_.result.comm_plan_hits = cs.hits;
+    shared_.result.comm_plan_misses = cs.misses;
+    shared_.result.comm_plan_invalidations = cs.invalidations;
+    shared_.result.comm_plan_fast_bytes = cs.bytes_memcpy_fast_path;
+    shared_.result.pool_reuses = proc_.stats().pool_reuses;
   }
 
   void collect_results() {
@@ -1341,17 +1405,20 @@ class Node {
       }
       return;
     }
-    // Collective gathers must run on every processor.
+    // Collective gathers must run on every processor; only the logical
+    // root receives (this runs after the clock/stats snapshot, so it is
+    // instrumentation, not simulated traffic — the root-only gather keeps
+    // it off the host-wall profile too).
     for (auto& [name, arr] : env_.dar) {
-      auto full = arr.gather_global(gc_);
-      if (proc_.rank() == 0) {
+      auto full = arr.gather_global_root(gc_);
+      if (gc_.my_logical() == 0) {
         std::lock_guard<std::mutex> lock(shared_.mu);
         shared_.result.real_arrays[name] = std::move(full);
       }
     }
     for (auto& [name, arr] : env_.iar) {
-      auto full = arr.gather_global(gc_);
-      if (proc_.rank() == 0) {
+      auto full = arr.gather_global_root(gc_);
+      if (gc_.my_logical() == 0) {
         std::lock_guard<std::mutex> lock(shared_.mu);
         shared_.result.int_arrays[name] = std::move(full);
       }
@@ -1372,6 +1439,7 @@ class Node {
   Shared& shared_;
 
   exec::Env env_;
+  exec::CommPlans comm_plans_;
   exec::PlanCache plans_;
   exec::IrregularPlanCache irr_plans_;
   exec::PlanScratch plan_scratch_;
@@ -1380,11 +1448,15 @@ class Node {
 
   std::map<std::string, Index> frame_;
   std::map<std::string, VarState> var_state_;
+  std::string key_scratch_;  ///< reused plan-key buffer (warm trips: no alloc)
   long long schedules_built_ = 0;
   long long gather_bytes_ = 0;
   long long scatter_bytes_ = 0;
   Index flat_iter_ = 0;
-  std::map<const Expr*, const RefInfo*> ref_of_;
+  /// Flat expr→ref binding for the current statement.  A statement has a
+  /// handful of refs, so a linear pointer scan beats a node-based map — and
+  /// the reused capacity keeps warm trips allocation-free.
+  std::vector<std::pair<const Expr*, const RefInfo*>> ref_of_;
   std::vector<Index> gidx_scratch_;
 };
 

@@ -44,6 +44,13 @@ struct RunOptions {
   /// plan, when no toolchain is available — run on the tape interpreter
   /// exactly as with the flag off.  Requires exec_plans.
   bool native_backend = false;
+  /// Compile pre-communication actions and PARTI executors to cached
+  /// communication plans (exec/comm_plan.hpp): baked peers/offsets, strided
+  /// memcpy pack/unpack, pooled zero-copy payloads.  Message sizes, tags,
+  /// time charges and element values are identical either way; off forces
+  /// the tree-walking comm path (ablation, differential testing).  Only
+  /// active on planned statements (requires exec_plans).
+  bool comm_plans = true;
   /// Service mode: this run's collective view of the process-wide schedule
   /// store (src/parti/schedule_cache.hpp).  Per-run object owned by the
   /// caller; run_compiled calls finish() on it after the machine run so
@@ -113,6 +120,18 @@ struct ProgramResult {
   long long native_compiles = 0;
   long long native_dlopens = 0;
   double native_compile_ms = 0;
+  /// Communication-plan statistics (processor 0): compiled comm actions and
+  /// PARTI executors served from / added to the CommPlans cache, plans
+  /// dropped by redistribute/remap invalidation, and payload bytes moved
+  /// through coalesced contiguous-memcpy pack/unpack runs.  All zero when
+  /// RunOptions::comm_plans is off (or no statement was planned).
+  long long comm_plan_hits = 0;
+  long long comm_plan_misses = 0;
+  long long comm_plan_invalidations = 0;
+  long long comm_plan_fast_bytes = 0;
+  /// Pooled payload buffers reused from processor 0's free list (steady
+  /// state: every message payload; zero fresh heap allocation per message).
+  long long pool_reuses = 0;
 };
 
 /// Execute the compiled program on `machine`.  Collective: the machine size

@@ -14,9 +14,9 @@
 // The mailbox itself is NOT internally synchronized: SimMachine serializes
 // access (a global lock in the threaded backend, single-threadedness in the
 // event-driven backend).  Blocking lives in SimMachine, not here.
-#include <deque>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "machine/message.hpp"
 
@@ -51,7 +51,10 @@ class Mailbox {
   [[nodiscard]] const std::string& poison_reason() const { return reason_; }
 
  private:
-  std::deque<Message> q_;
+  // Flat storage: queues are short (outstanding messages per processor),
+  // matching scans them linearly anyway, and a vector reaches a steady-state
+  // capacity instead of allocating a deque chunk per push.
+  std::vector<Message> q_;
   std::uint64_t next_seq_ = 0;
   bool poisoned_ = false;
   std::string reason_;

@@ -8,7 +8,6 @@
 #include <exception>
 #include <mutex>
 #include <numeric>
-#include <set>
 #include <thread>
 #include <utility>
 
@@ -74,12 +73,29 @@ void Proc::charge_time(double seconds) {
 }
 
 void Proc::send_bytes(int dest, int tag, const void* data, std::size_t bytes) {
+  std::vector<std::byte> payload = acquire_payload(bytes);
+  if (bytes > 0) std::memcpy(payload.data(), data, bytes);
+  send_payload(dest, tag, std::move(payload));
+}
+
+std::vector<std::byte> Proc::acquire_payload(std::size_t bytes) {
+  bool reused = false;
+  std::vector<std::byte> buf = machine_->pool(rank_).acquire(bytes, reused);
+  if (reused) stats_.pool_reuses += 1;
+  return buf;
+}
+
+void Proc::release_payload(std::vector<std::byte>&& buf) {
+  machine_->pool(rank_).release(std::move(buf));
+}
+
+void Proc::send_payload(int dest, int tag, std::vector<std::byte>&& payload) {
   require(dest >= 0 && dest < nprocs(), "send: destination rank in range");
+  const std::size_t bytes = payload.size();
   Message m;
   m.src = rank_;
   m.tag = tag;
-  m.payload.resize(bytes);
-  if (bytes > 0) std::memcpy(m.payload.data(), data, bytes);
+  m.payload = std::move(payload);
 
   // Injection: the sender is busy for latency + bytes*beta (blocking send,
   // as on the iPSC/860's store-and-forward style NX layer).
@@ -146,13 +162,15 @@ class SimMachine::EventLoop {
     for (int r = 0; r < n; ++r)
       tasks_.emplace_back(m_.options().fiber_stack_bytes,
                           [this, r] { body(r); });
-    for (int r = 0; r < n; ++r) ready_.insert({0.0, r});
+    ready_.reserve(static_cast<std::size_t>(4 * n));
+    for (int r = 0; r < n; ++r) push_ready(0.0, r);
   }
 
   RunResult run() {
     const int n = m_.nprocs();
     while (done_ < n) {
-      if (ready_.empty()) {
+      const int r = pop_ready();
+      if (r < 0) {
         // No runnable processor, not everyone finished: communication
         // deadlock.  Record the report, then poison and resume every
         // blocked fiber so their stacks unwind before we rethrow.
@@ -164,8 +182,6 @@ class SimMachine::EventLoop {
         require(woke > 0, "event loop: stuck with no blocked processor");
         continue;
       }
-      const int r = ready_.begin()->second;
-      ready_.erase(ready_.begin());
       Task& t = tasks_[static_cast<std::size_t>(r)];
       t.state = Task::State::kRunning;
       t.fiber.resume();
@@ -228,11 +244,12 @@ class SimMachine::EventLoop {
     if (t.state == Task::State::kBlocked) {
       t.state = Task::State::kReady;
       t.key = key;
-      ready_.insert({key, dest});
+      push_ready(key, dest);
     } else if (t.state == Task::State::kReady && key < t.key) {
-      ready_.erase({t.key, dest});
+      // The old entry stays in the heap; pop_ready discards it because its
+      // key no longer matches the task's.
       t.key = key;
-      ready_.insert({key, dest});
+      push_ready(key, dest);
     }
   }
 
@@ -270,7 +287,7 @@ class SimMachine::EventLoop {
       if (t.state != Task::State::kBlocked) continue;
       t.state = Task::State::kReady;
       t.key = procs_[static_cast<std::size_t>(i)].clock();
-      ready_.insert({t.key, i});
+      push_ready(t.key, i);
       ++woke;
     }
     return woke;
@@ -293,11 +310,39 @@ class SimMachine::EventLoop {
     return out;
   }
 
+  /// Push a (key, rank) wake-up entry onto the ready heap.  Superseded
+  /// entries for a rank are not erased (a binary heap cannot remove from the
+  /// middle cheaply); pop_ready filters them lazily.  Reusing the vector's
+  /// capacity keeps the scheduler allocation-free at steady state, where the
+  /// std::set it replaces paid one node allocation per block/wake cycle.
+  void push_ready(double key, int r) {
+    ready_.push_back({key, r});
+    std::push_heap(ready_.begin(), ready_.end(), std::greater<>{});
+  }
+
+  /// Pop the runnable task with the lowest (key, rank).  An entry is live
+  /// only when its task is still kReady *and* the key matches the task's
+  /// current wake-up key — anything else is a stale leftover from a resume
+  /// or a key improvement and is discarded.  Returns -1 when no task is
+  /// runnable (the deadlock candidate state, equivalent to the old set
+  /// being empty).
+  int pop_ready() {
+    while (!ready_.empty()) {
+      const std::pair<double, int> top = ready_.front();
+      std::pop_heap(ready_.begin(), ready_.end(), std::greater<>{});
+      ready_.pop_back();
+      const Task& t = tasks_[static_cast<std::size_t>(top.second)];
+      if (t.state == Task::State::kReady && t.key == top.first)
+        return top.second;
+    }
+    return -1;
+  }
+
   SimMachine& m_;
   const NodeProgram& program_;
   std::vector<Proc> procs_;
   std::deque<Task> tasks_;
-  std::set<std::pair<double, int>> ready_;
+  std::vector<std::pair<double, int>> ready_;  ///< min-heap, lazy deletion
   std::exception_ptr first_error_;
   int done_ = 0;
 };
@@ -501,6 +546,7 @@ SimMachine::SimMachine(int nprocs, const CostModel& cost,
   mailboxes_.reserve(static_cast<std::size_t>(nprocs));
   for (int i = 0; i < nprocs; ++i)
     mailboxes_.push_back(std::make_unique<Mailbox>());
+  pools_.resize(static_cast<std::size_t>(nprocs));
 }
 
 RunResult SimMachine::run(const NodeProgram& program) {

@@ -71,8 +71,47 @@ struct ProcStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t messages_received = 0;
+  std::uint64_t pool_reuses = 0;  ///< payload buffers served from the pool
   double compute_time = 0.0;  ///< time charged to local computation
   double comm_time = 0.0;     ///< time charged to communication (send+wait)
+};
+
+/// Per-processor free list of message payload buffers (docs/MACHINE.md).
+///
+/// Ownership protocol: a sender *acquires* a buffer from its OWN pool, packs
+/// it, and hands it to send_payload, which moves it through Mailbox to the
+/// receiver; the receiver, once done with the message, *releases* the buffer
+/// into its OWN pool.  Each pool is therefore touched by exactly one
+/// simulated processor (single-owner, no locking); buffers migrate between
+/// pools by riding messages, and in a loosely synchronous steady state every
+/// pool stays balanced because each processor receives as often as it sends.
+/// Pool bookkeeping is host-side machinery and charges no virtual time.
+class PayloadPool {
+ public:
+  /// Pop a recycled buffer (LIFO, best cache locality) resized to `bytes`,
+  /// or allocate a fresh one when the pool is empty.  `reused` reports
+  /// whether the free list served the request.
+  std::vector<std::byte> acquire(std::size_t bytes, bool& reused) {
+    if (free_.empty()) {
+      reused = false;
+      return std::vector<std::byte>(bytes);
+    }
+    reused = true;
+    std::vector<std::byte> buf = std::move(free_.back());
+    free_.pop_back();
+    buf.resize(bytes);
+    return buf;
+  }
+
+  /// Return a consumed payload buffer to the free list.
+  void release(std::vector<std::byte>&& buf) {
+    free_.push_back(std::move(buf));
+  }
+
+  [[nodiscard]] std::size_t size() const { return free_.size(); }
+
+ private:
+  std::vector<std::vector<std::byte>> free_;
 };
 
 /// Handle through which a node program interacts with its processor.
@@ -99,8 +138,23 @@ class Proc {
 
   // --- message passing ----------------------------------------------------
   /// Blocking, typed send.  Advances the sender's clock by the injection
-  /// cost; the message arrives at `dest` after the wire delay.
+  /// cost; the message arrives at `dest` after the wire delay.  Implemented
+  /// as acquire_payload + memcpy + send_payload, so the payload buffer comes
+  /// from this processor's pool instead of a fresh heap allocation.
   void send_bytes(int dest, int tag, const void* data, std::size_t bytes);
+
+  /// Acquire a payload buffer of `bytes` from this processor's pool.  Free
+  /// of virtual-time cost: callers pack directly into the buffer and pass
+  /// it to send_payload (the zero-copy send path).
+  [[nodiscard]] std::vector<std::byte> acquire_payload(std::size_t bytes);
+
+  /// Return a consumed payload buffer to this processor's pool (typically
+  /// the payload of a message this processor received and is done with).
+  void release_payload(std::vector<std::byte>&& buf);
+
+  /// Send an already-packed payload without copying it.  Identical cost
+  /// model, statistics, and delivery semantics as send_bytes.
+  void send_payload(int dest, int tag, std::vector<std::byte>&& payload);
 
   template <typename T>
   void send(int dest, int tag, std::span<const T> data) {
@@ -126,7 +180,9 @@ class Proc {
   std::vector<T> recv_vec(int src, int tag) {
     Message m = recv(src, tag);
     std::vector<T> out(m.payload.size() / sizeof(T));
-    std::memcpy(out.data(), m.payload.data(), out.size() * sizeof(T));
+    if (!out.empty())
+      std::memcpy(out.data(), m.payload.data(), out.size() * sizeof(T));
+    release_payload(std::move(m.payload));
     return out;
   }
   template <typename T>
@@ -134,6 +190,7 @@ class Proc {
     Message m = recv(src, tag);
     T v{};
     std::memcpy(&v, m.payload.data(), sizeof(T));
+    release_payload(std::move(m.payload));
     return v;
   }
 
@@ -186,6 +243,10 @@ class SimMachine {
   [[nodiscard]] Mailbox& mailbox(int rank) {
     return *mailboxes_[static_cast<std::size_t>(rank)];
   }
+  /// Payload buffer pool of `rank` (single-owner; see PayloadPool).
+  [[nodiscard]] PayloadPool& pool(int rank) {
+    return pools_[static_cast<std::size_t>(rank)];
+  }
 
   /// Run `program` on every processor and return the virtual-time result.
   /// The first exception thrown by any node program is re-thrown here after
@@ -212,6 +273,7 @@ class SimMachine {
   std::unique_ptr<Topology> topology_;
   MachineOptions options_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<PayloadPool> pools_;
   EventLoop* event_ = nullptr;        // non-null while run_event is live
   ThreadedState* threaded_ = nullptr; // non-null while run_threaded is live
 };

@@ -125,14 +125,22 @@ class DistArray {
     return g;
   }
 
-  /// Visit every owned element: f(global_indices, element_ref).
+  /// Visit every owned element: f(global_indices, element_ref).  The global
+  /// index vector is recomputed in place per element — no per-element heap
+  /// allocation (fill_global/gather_global walk every owned element of
+  /// every array on every run, so this is a measurable slice of host wall).
   template <typename F>
   void for_each_owned(F&& f) {
     const int r = rank();
     std::vector<Index> l(static_cast<size_t>(r), 0);
+    std::vector<Index> g(static_cast<size_t>(r));
+    std::vector<int> coords(static_cast<size_t>(r));
+    for (int d = 0; d < r; ++d) coords[static_cast<size_t>(d)] = coord_along(d);
     if (local_size() == 0) return;
     for (;;) {
-      std::vector<Index> g = global_of_local(l);
+      for (int d = 0; d < r; ++d)
+        g[static_cast<size_t>(d)] = dad_.global_of_local(
+            d, l[static_cast<size_t>(d)], coords[static_cast<size_t>(d)]);
       f(g, at_local(l));
       int d = r - 1;
       for (; d >= 0; --d) {
@@ -175,6 +183,40 @@ class DistArray {
     return out;
   }
 
+  /// Collect the full global array on logical processor 0 only (row-major
+  /// over global extents); every other processor returns an empty vector.
+  /// Ships raw values in owned-local row-major order — half the bytes of
+  /// the {index,value} pairs gather_global sends, and no broadcast leg —
+  /// and the root reconstructs each sender's global indices from the DAD.
+  /// Collective: every processor must call it at the same program point.
+  [[nodiscard]] std::vector<T> gather_global_root(comm::GridComm& gc) {
+    const int r = rank();
+    std::vector<T> mine;
+    mine.reserve(static_cast<size_t>(local_size()));
+    if (local_size() > 0) {
+      // Pack owned values only; the sender never needs global indices.
+      std::vector<Index> l(static_cast<size_t>(r), 0);
+      for (;;) {
+        mine.push_back(at_local(l));
+        int d = r - 1;
+        for (; d >= 0; --d) {
+          if (++l[static_cast<size_t>(d)] < lext_[static_cast<size_t>(d)])
+            break;
+          l[static_cast<size_t>(d)] = 0;
+        }
+        if (d < 0) break;
+      }
+    }
+    std::vector<T> out;
+    if (gc.my_logical() == 0)
+      out.assign(static_cast<size_t>(dad_.global_size()), T{});
+    gc.gather_root<T>(std::span<const T>(mine),
+                      [&](int logical, std::span<const T> blk) {
+                        place_block(gc.grid().coords_of(logical), blk, out);
+                      });
+    return out;
+  }
+
   /// Row-major flattening of a global index vector.
   [[nodiscard]] Index flat_global(std::span<const Index> g) const {
     Index flat = 0;
@@ -184,6 +226,47 @@ class DistArray {
   }
 
  private:
+  /// Scatter one processor's owned block (values in owned-local row-major
+  /// order, as packed by gather_global_root) into the full global array.
+  /// `gcoords` are that processor's grid coordinates; its local extents and
+  /// global indices are recomputed here from the DAD alone, mirroring the
+  /// sender's for_each_owned walk order.
+  void place_block(const std::vector<int>& gcoords, std::span<const T> blk,
+                   std::vector<T>& out) const {
+    const int r = rank();
+    std::vector<int> coords(static_cast<size_t>(r));
+    std::vector<Index> ext(static_cast<size_t>(r));
+    Index total = 1;
+    for (int d = 0; d < r; ++d) {
+      const DimMap& m = dad_.dim(d);
+      coords[static_cast<size_t>(d)] =
+          m.kind == DistKind::kCollapsed
+              ? 0
+              : gcoords[static_cast<size_t>(m.grid_dim)];
+      ext[static_cast<size_t>(d)] =
+          dad_.local_extent(d, coords[static_cast<size_t>(d)]);
+      total *= ext[static_cast<size_t>(d)];
+    }
+    require(static_cast<Index>(blk.size()) == total,
+            "gathered block matches the sender's owned extent");
+    if (total == 0) return;
+    std::vector<Index> l(static_cast<size_t>(r), 0);
+    for (size_t i = 0;; ++i) {
+      Index flat = 0;
+      for (int d = 0; d < r; ++d)
+        flat = flat * dad_.extent(d) +
+               dad_.global_of_local(d, l[static_cast<size_t>(d)],
+                                    coords[static_cast<size_t>(d)]);
+      out[static_cast<size_t>(flat)] = blk[i];
+      int d = r - 1;
+      for (; d >= 0; --d) {
+        if (++l[static_cast<size_t>(d)] < ext[static_cast<size_t>(d)]) break;
+        l[static_cast<size_t>(d)] = 0;
+      }
+      if (d < 0) break;
+    }
+  }
+
   [[nodiscard]] Index flat_local(std::span<const Index> l) const {
     Index flat = 0;
     for (int d = 0; d < rank(); ++d) {

@@ -46,6 +46,14 @@ std::string run_stats_json(const Outcome& out) {
       .field("gather_bytes", r.gather_bytes)
       .field("scatter_bytes", r.scatter_bytes)
       .end_object();
+  w.key("comm_plan_cache")
+      .begin_object()
+      .field("hits", r.comm_plan_hits)
+      .field("misses", r.comm_plan_misses)
+      .field("invalidations", r.comm_plan_invalidations)
+      .field("bytes_memcpy_fast_path", r.comm_plan_fast_bytes)
+      .field("pool_reuses", r.pool_reuses)
+      .end_object();
   w.key("native")
       .begin_object()
       .field("runs", r.native_runs)

@@ -1,0 +1,118 @@
+// Steady-state allocation regression guard: warm DO-loop trips of the
+// planned jacobi path must not allocate at all.  Message payloads are
+// pooled (machine::PayloadPool), communication plans bake their descriptors
+// on the first trip, plan keys format into a reused buffer, and the
+// interpreted copy odometer runs on a stack array — so the per-trip
+// heap-allocation slope of a warm loop is exactly zero.  A regression that
+// re-introduces per-message (or even per-statement) allocation shows up as
+// a positive slope and trips this test.
+//
+// The global operator new/delete replacements below count every allocation
+// in the process.  Sanitizer builds replace the allocator themselves, so
+// the counting (and the test) is compiled out under ASan/TSan/MSan.
+#include <gtest/gtest.h>
+
+#include "harness.hpp"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define F90D_ALLOC_COUNTING 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define F90D_ALLOC_COUNTING 0
+#else
+#define F90D_ALLOC_COUNTING 1
+#endif
+#else
+#define F90D_ALLOC_COUNTING 1
+#endif
+
+#if F90D_ALLOC_COUNTING
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+std::atomic<long long> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(a), n ? n : 1) != 0)
+    throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return ::operator new(n, a);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace f90d {
+namespace {
+
+using interp::Index;
+
+struct Measured {
+  long long allocs = 0;
+  long long messages = 0;
+};
+
+Measured run_jacobi_counted(int iters) {
+  interp::Init init;
+  init.real["A"] = [](std::span<const Index> g) {
+    return harness::jacobi_entry(g[0], g[1]);
+  };
+  const std::string src = apps::jacobi_source(16, 2, 2, iters, "BLOCK");
+  const long long a0 = g_allocs.load();
+  auto r = harness::run_source(src, init);
+  return {g_allocs.load() - a0,
+          static_cast<long long>(r.machine.total_messages())};
+}
+
+TEST(AllocRegression, WarmJacobiTripsDoNotAllocatePerMessage) {
+  const int kCold = 2, kHot = 12, kExtra = kHot - kCold;
+  const Measured cold = run_jacobi_counted(kCold);
+  const Measured hot = run_jacobi_counted(kHot);
+
+  const long long msgs_per_trip = (hot.messages - cold.messages) / kExtra;
+  const long long allocs_per_trip = (hot.allocs - cold.allocs) / kExtra;
+  RecordProperty("allocs_per_trip", std::to_string(allocs_per_trip));
+  RecordProperty("messages_per_trip", std::to_string(msgs_per_trip));
+
+  ASSERT_GT(msgs_per_trip, 0);
+  // Zero per-message allocation: pooled payloads are recycled, comm and
+  // exec plans are served from their caches, and every scratch structure
+  // on the warm path (plan keys, ref bindings, copy odometers) reuses
+  // preallocated storage.  One-time process setup differs slightly between
+  // the two runs, so the slope can dip a few allocations negative; any
+  // positive slope means the warm path allocates again.
+  EXPECT_LE(allocs_per_trip, 0) << "warm trips allocate again";
+}
+
+}  // namespace
+}  // namespace f90d
+
+#else  // sanitizers own the allocator
+
+TEST(AllocRegression, SkippedUnderSanitizers) { GTEST_SKIP(); }
+
+#endif

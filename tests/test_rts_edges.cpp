@@ -510,5 +510,70 @@ TEST(IrregularEdges, ZeroTripForallBuildsNoSchedules) {
   }
 }
 
+/// gather_global_root must reproduce gather_global's result exactly on the
+/// logical root (and stay empty elsewhere) for every distribution kind the
+/// DAD supports — the root reconstructs each sender's global indices from
+/// the DAD instead of receiving {index,value} pairs, so a placement slip
+/// would silently permute the collected array.
+TEST(GatherGlobalRoot, MatchesAllGatherAcrossDistributions) {
+  struct Case {
+    DistKind kind;
+    rts::Index block;  // CYCLIC(k) block size
+  };
+  const Case cases[] = {{DistKind::kBlock, 1},
+                        {DistKind::kCyclic, 1},
+                        {DistKind::kCyclic, 3}};
+  for (int p : {1, 2, 4}) {
+    for (const Case& c : cases) {
+      on_machine(p, [&](comm::GridComm& gc) {
+        const Index n = 19;  // deliberately not divisible by p
+        DistArray<double> a(
+            harness::dist1d(n, gc.grid(), c.kind, 0, 0, c.block), gc);
+        a.fill_global([](std::span<const Index> g) { return 2.0 + 5.0 * g[0]; });
+        auto all = a.gather_global(gc);
+        auto root = a.gather_global_root(gc);
+        if (gc.my_logical() == 0) {
+          ASSERT_EQ(root.size(), all.size());
+          for (size_t i = 0; i < all.size(); ++i)
+            EXPECT_DOUBLE_EQ(root[i], all[i]) << "p=" << p << " i=" << i;
+        } else {
+          EXPECT_TRUE(root.empty());
+        }
+      });
+    }
+  }
+}
+
+/// Same equivalence on a 2-D (BLOCK, BLOCK) array over a 2x2 grid, where
+/// row-major placement must interleave the four processors' blocks.
+TEST(GatherGlobalRoot, TwoDimensionalBlocks) {
+  const int p = 2, q = 2;
+  machine::SimMachine m(p * q, machine::CostModel::ipsc860(),
+                        machine::make_hypercube());
+  m.run([&](machine::Proc& proc) {
+    comm::GridComm gc(proc, comm::ProcGrid({p, q}));
+    const Index n = 6, nn = 5;  // uneven second extent
+    DimMap m0, m1;
+    m0.kind = m1.kind = DistKind::kBlock;
+    m0.grid_dim = 0;
+    m1.grid_dim = 1;
+    m0.template_extent = n;
+    m1.template_extent = nn;
+    DistArray<double> a(Dad({n, nn}, {m0, m1}, gc.grid()), gc);
+    a.fill_global([](std::span<const Index> g) {
+      return 100.0 * static_cast<double>(g[0]) + static_cast<double>(g[1]);
+    });
+    auto all = a.gather_global(gc);
+    auto root = a.gather_global_root(gc);
+    if (gc.my_logical() == 0) {
+      ASSERT_EQ(root.size(), all.size());
+      for (size_t i = 0; i < all.size(); ++i)
+        EXPECT_DOUBLE_EQ(root[i], all[i]) << "i=" << i;
+    } else {
+      EXPECT_TRUE(root.empty());
+    }
+  });
+}
+
 }  // namespace
 }  // namespace f90d

@@ -164,8 +164,10 @@ TEST(ServiceStats, RunStatsJsonCarriesTheRunCounters) {
   EXPECT_EQ(static_cast<int>(v), 4);
   ASSERT_TRUE(json_find_number(doc, "misses", v));
   EXPECT_EQ(static_cast<int>(v), out.result.schedule_misses);
-  for (const char* key : {"machine", "schedule_cache", "plan_cache",
-                          "irregular_cache", "native", "procs"})
+  for (const char* key :
+       {"machine", "schedule_cache", "plan_cache", "irregular_cache",
+        "comm_plan_cache", "bytes_memcpy_fast_path", "pool_reuses", "native",
+        "procs"})
     EXPECT_NE(doc.find(std::string("\"") + key + "\""), std::string::npos)
         << key;
 }
